@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Regenerates the Section 6 comparison: VMP's software-controlled
+ * big-page ownership caches vs conventional snoopy schemes
+ * (write-invalidate and write-update) with small lines. For the same
+ * four ATUM-like traces it reports miss ratio, bus occupancy per
+ * reference, and snoop/tag-port pressure — the three axes on which the
+ * paper argues the trade-off.
+ */
+
+#include <iostream>
+
+#include "analytic/models.hh"
+#include "bench/bench_util.hh"
+#include "sim/stats.hh"
+#include "snoopy/snoopy.hh"
+
+namespace
+{
+
+using namespace vmp;
+
+/** VMP-side numbers for one page size, derived from Figure 4 plus the
+ *  Table 2 bus cost. */
+struct VmpPoint
+{
+    double missPct = 0.0;
+    double busNsPerRef = 0.0;
+};
+
+VmpPoint
+vmpPoint(std::uint32_t page_bytes, std::uint64_t cache_bytes)
+{
+    const auto result = bench::runFig4Point(cache_bytes, page_bytes);
+    VmpPoint point;
+    point.missPct = result.missRatio() * 100;
+    // Average bus time per miss (Table 2 rule: 75% clean victims).
+    const analytic::MissCostModel costs;
+    point.busNsPerRef = result.missRatio() *
+        costs.average(page_bytes).busUs * 1000.0;
+    return point;
+}
+
+snoopy::SnoopyResult
+snoopyPoint(snoopy::Protocol protocol, std::uint32_t line_bytes,
+            std::uint64_t cache_bytes)
+{
+    snoopy::SnoopyConfig cfg;
+    cfg.protocol = protocol;
+    cfg.lineBytes = line_bytes;
+    cfg.cacheBytes = cache_bytes;
+    cfg.ways = 4;
+    cfg.processors = 1;
+    snoopy::SnoopySystem system(cfg);
+    snoopy::SnoopyResult total;
+    for (const auto &workload : trace::allWorkloads()) {
+        snoopy::SnoopySystem fresh(cfg);
+        trace::SyntheticGen gen(workload);
+        const auto result = fresh.run({&gen});
+        total.refs += result.refs;
+        total.misses += result.misses;
+        total.busTicks += result.busTicks;
+        total.invalidations += result.invalidations;
+        total.updatesBroadcast += result.updatesBroadcast;
+        total.writeThroughs += result.writeThroughs;
+        total.writeBacks += result.writeBacks;
+        total.snoopProbes += result.snoopProbes;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vmp;
+
+    bench::banner("Section 6", "VMP vs snoopy baselines (same traces, "
+                               "128K caches, uniprocessor bus "
+                               "traffic)");
+
+    TableWriter table("Bus traffic comparison");
+    table.columns({"Scheme", "Miss %", "Bus ns/ref",
+                   "Bus events", "Per-ref snoop lookups"});
+
+    for (const std::uint32_t page : {128u, 256u, 512u}) {
+        const auto point = vmpPoint(page, KiB(128));
+        table.row()
+            .cell("VMP " + std::to_string(page) + "B pages")
+            .cell(point.missPct, 3)
+            .cell(point.busNsPerRef, 1)
+            .cell("~1 per miss")
+            .cell("0 (bus monitor, no tag sharing)");
+    }
+    for (const std::uint32_t line : {16u, 32u, 64u}) {
+        const auto result = snoopyPoint(
+            snoopy::Protocol::WriteInvalidate, line, KiB(128));
+        table.row()
+            .cell("snoopy WI " + std::to_string(line) + "B lines")
+            .cell(result.missRatio() * 100, 3)
+            .cell(result.busNsPerRef(), 1)
+            .cell(result.misses + result.invalidations)
+            .cell("every bus tx probes every cache");
+    }
+    {
+        const auto result = snoopyPoint(snoopy::Protocol::WriteUpdate,
+                                        32, KiB(128));
+        table.row()
+            .cell("snoopy WU 32B lines")
+            .cell(result.missRatio() * 100, 3)
+            .cell(result.busNsPerRef(), 1)
+            .cell(result.misses + result.updatesBroadcast)
+            .cell("every bus tx probes every cache");
+    }
+    {
+        const auto result = snoopyPoint(snoopy::Protocol::WriteOnce,
+                                        32, KiB(128));
+        table.row()
+            .cell("snoopy write-once 32B (Goodman)")
+            .cell(result.missRatio() * 100, 3)
+            .cell(result.busNsPerRef(), 1)
+            .cell(result.misses + result.writeThroughs)
+            .cell("every bus tx probes every cache");
+    }
+    table.print(std::cout);
+
+    // Multiprocessor snoop pressure: the quantity that grows with the
+    // processor count and motivates dual-ported tags.
+    TableWriter pressure("Snoop-probe pressure, write-invalidate 32B "
+                         "lines, atum2 x N processors");
+    pressure.columns({"Processors", "Bus ns/ref", "Snoop probes",
+                      "Probes per ref"});
+    for (const std::uint32_t n : {1u, 2u, 4u}) {
+        snoopy::SnoopyConfig cfg;
+        cfg.lineBytes = 32;
+        cfg.cacheBytes = KiB(128);
+        cfg.processors = n;
+        snoopy::SnoopySystem system(cfg);
+        std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+        std::vector<trace::RefSource *> sources;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto workload = trace::workloadConfig("atum2");
+            workload.seed = 40 + i;
+            workload.totalRefs = 200'000;
+            gens.push_back(
+                std::make_unique<trace::SyntheticGen>(workload));
+            sources.push_back(gens.back().get());
+        }
+        const auto result = system.run(sources);
+        pressure.row()
+            .cell(std::uint64_t{n})
+            .cell(result.busNsPerRef(), 1)
+            .cell(result.snoopProbes)
+            .cell(static_cast<double>(result.snoopProbes) /
+                      static_cast<double>(result.refs),
+                  3);
+    }
+    pressure.print(std::cout);
+
+    std::cout
+        << "Expected shape (paper): the snoopy schemes' small lines "
+           "miss far more often, and every\nbus transaction "
+           "interrogates every cache's tags; write-update adds a bus "
+           "word per shared write.\nVMP pays a longer per-miss latency "
+           "instead, with zero snoop pressure on the processor/cache "
+           "path.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Regenerates Figure 4: "Cache Miss Ratio and Cache Size" — cold-start
+ * miss ratios of a 4-way set associative cache for cache sizes 64K to
+ * 256K and page sizes 128/256/512 bytes, averaged over the four
+ * ATUM-like traces (the paper's were four VAX 8200 ATUM traces of
+ * 358k-540k references). Also reports the per-trace breakdown and the
+ * operating-system share of references and misses (paper: ~25% of
+ * references, ~50% of misses).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "sim/stats.hh"
+#include "trace/analyzer.hh"
+
+int
+main()
+{
+    using namespace vmp;
+
+    bench::banner("Figure 4", "Cache Miss Ratio vs Cache Size "
+                              "(4-way, cold start, four ATUM-like "
+                              "traces)");
+
+    const std::uint64_t sizes[] = {KiB(64), KiB(128), KiB(256)};
+    const std::uint32_t pages[] = {128, 256, 512};
+
+    TableWriter table("Figure 4 series: miss ratio (%)");
+    table.columns({"Cache size", "128B pages", "256B pages",
+                   "512B pages"});
+    for (const auto size : sizes) {
+        auto &row = table.row().cell(std::to_string(size / 1024) + "K");
+        for (const auto page : pages)
+            row.cell(bench::runFig4Point(size, page).missRatio() * 100,
+                     3);
+    }
+    table.print(std::cout);
+    std::cout << "Paper anchor: 256-byte pages, 128K cache -> 0.24% "
+                 "miss ratio.\n\n";
+
+    TableWriter per_trace("Per-trace breakdown (256B pages, 128K)");
+    per_trace.columns({"Trace", "Refs", "Miss %", "OS ref %",
+                       "OS miss share %"});
+    for (const auto &name : trace::workloadNames()) {
+        trace::SyntheticGen gen(trace::workloadConfig(name));
+        core::FastCacheSim sim(
+            cache::CacheConfig::forSize(KiB(128), 256, 4, false));
+        const auto result = sim.run(gen);
+        per_trace.row()
+            .cell(name)
+            .cell(result.refs)
+            .cell(result.missRatio() * 100, 3)
+            .cell(100.0 * static_cast<double>(result.supervisorRefs) /
+                      static_cast<double>(result.refs),
+                  1)
+            .cell(result.supervisorMissShare() * 100, 1);
+    }
+    per_trace.print(std::cout);
+    std::cout
+        << "Paper: \"operating system references account for "
+           "approximately 25% of the references\n"
+           "and 50% of the misses\".\n\n";
+
+    // Cold vs warm start: rerun each trace through the already-warm
+    // cache to separate compulsory misses from steady-state behaviour.
+    TableWriter warm("Cold vs warm start (256B pages): compulsory-miss "
+                     "share of the short traces");
+    warm.columns({"Cache size", "Cold miss %", "Warm miss %",
+                  "Compulsory share %"});
+    for (const auto size : sizes) {
+        core::FastSimResult cold_total, warm_total;
+        for (const auto &name : trace::workloadNames()) {
+            core::FastCacheSim sim(
+                cache::CacheConfig::forSize(size, 256, 4, false));
+            trace::SyntheticGen cold_gen(trace::workloadConfig(name));
+            cold_total += sim.run(cold_gen);
+            sim.resetStats();
+            auto rerun_cfg = trace::workloadConfig(name);
+            rerun_cfg.seed += 1; // a different sample, same process
+            trace::SyntheticGen warm_gen(rerun_cfg);
+            warm_total += sim.run(warm_gen);
+        }
+        const double cold = cold_total.missRatio() * 100;
+        const double warm_pct = warm_total.missRatio() * 100;
+        warm.row()
+            .cell(std::to_string(size / 1024) + "K")
+            .cell(cold, 3)
+            .cell(warm_pct, 3)
+            .cell(100.0 * (cold - warm_pct) / cold, 1);
+    }
+    warm.print(std::cout);
+    std::cout << "The paper's Figure 4 is cold-start over 358k-540k "
+                 "references; a large fraction of those\nmisses are "
+                 "compulsory, which is why its miss ratios resemble "
+                 "TLB rates.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: reference
+ * throughput of the fast functional cache simulator, the synthetic
+ * trace generator, and the full event-driven multiprocessor model.
+ * These guard against performance regressions that would make the
+ * Figure 4 sweeps and multi-CPU studies impractically slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+#include "core/fast_sim.hh"
+#include "core/system.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace vmp;
+
+void
+BM_SyntheticGenerator(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto cfg = trace::workloadConfig("atum2");
+        cfg.totalRefs = 100'000;
+        trace::SyntheticGen gen(cfg);
+        trace::MemRef ref;
+        std::uint64_t n = 0;
+        while (gen.next(ref))
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SyntheticGenerator);
+
+void
+BM_FastCacheSim(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto cfg = trace::workloadConfig("atum2");
+        cfg.totalRefs = 100'000;
+        trace::SyntheticGen gen(cfg);
+        core::FastCacheSim sim(
+            cache::CacheConfig::forSize(KiB(128), 256, 4, false));
+        benchmark::DoNotOptimize(sim.run(gen).misses);
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_FastCacheSim);
+
+void
+BM_EventDrivenSystem(benchmark::State &state)
+{
+    const auto cpus = static_cast<std::uint32_t>(state.range(0));
+    setInformEnabled(false);
+    for (auto _ : state) {
+        const auto result = bench::runVmpSystem(
+            cpus, 20'000,
+            cache::CacheConfig::forSize(KiB(64), 256, 4, true));
+        benchmark::DoNotOptimize(result.totalMisses);
+    }
+    state.SetItemsProcessed(state.iterations() * 20'000 * cpus);
+}
+BENCHMARK(BM_EventDrivenSystem)->Arg(1)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Regenerates Table 1: "Elapsed Time and Bus Time per Cache Miss" —
+ * page sizes 128/256/512 bytes, replaced page unmodified or modified.
+ * The analytic model is cross-checked against the event-driven
+ * simulator by provoking a single miss of each kind and measuring the
+ * actual elapsed handler time.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analytic/models.hh"
+#include "bench/bench_util.hh"
+#include "cache/cache.hh"
+#include "mem/phys_mem.hh"
+#include "mem/vme_bus.hh"
+#include "monitor/bus_monitor.hh"
+#include "proto/controller.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace vmp;
+
+/** Measure one miss of each kind on the event-driven model. */
+double
+measureMissElapsedUs(std::uint32_t page_bytes, bool dirty_victim)
+{
+    EventQueue events;
+    mem::PhysMem memory(1 << 20, page_bytes);
+    mem::VmeBus bus(events, memory);
+    proto::FixedTranslator translator(page_bytes);
+    cache::Cache cache(cache::CacheConfig{page_bytes, 1, 8, true});
+    monitor::BusMonitor monitor(0, 1 << 20, page_bytes);
+    proto::CacheController controller(0, events, cache, monitor, bus,
+                                      translator);
+    bus.attachWatcher(0, monitor);
+
+    const cache::SlotFlags prot = static_cast<cache::SlotFlags>(
+        cache::FlagSupWritable | cache::FlagUserReadable |
+        cache::FlagUserWritable);
+    // vaddrs mapping to the same (direct-mapped) set.
+    const Addr conflict_stride = 8ull * page_bytes;
+    translator.map(1, 0x0, 0x10000, prot);
+    translator.map(1, conflict_stride, 0x20000, prot);
+
+    bool done = false;
+    if (dirty_victim) {
+        controller.writeWord(1, 0x0, 1, false, [&] { done = true; });
+        events.run();
+    } else {
+        controller.access(1, 0x0, false, false,
+                          [&](proto::AccessOutcome) { done = true; });
+        events.run();
+    }
+
+    // The conflicting access evicts the (clean or dirty) victim.
+    const Tick start = events.now();
+    done = false;
+    controller.access(1, conflict_stride, false, false,
+                      [&](proto::AccessOutcome) { done = true; });
+    events.run();
+    if (!done)
+        fatal("bench_table1: miss did not complete");
+    return toUsec(events.now() - start);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vmp;
+
+    bench::banner("Table 1",
+                  "Elapsed Time and Bus Time per Cache Miss");
+
+    const analytic::MissCostModel model;
+
+    // Paper's published values for side-by-side comparison.
+    const double paper_elapsed[2][3] = {{17, 20, 26}, {17, 23, 36}};
+    const double paper_bus[2][3] = {{3.5, 6.6, 13.0},
+                                    {7.0, 13.2, 26.0}};
+
+    TableWriter table("Table 1: per-miss cost");
+    table.columns({"Page (bytes)", "Replaced Page", "Elapsed (us)",
+                   "Bus (us)", "Sim Elapsed (us)", "Paper Elapsed",
+                   "Paper Bus"});
+    const std::uint32_t pages[3] = {128, 256, 512};
+    for (int dirty = 0; dirty <= 1; ++dirty) {
+        for (int p = 0; p < 3; ++p) {
+            const auto cost = model.perMiss(pages[p], dirty != 0);
+            const double sim =
+                measureMissElapsedUs(pages[p], dirty != 0);
+            table.row()
+                .cell(std::uint64_t{pages[p]})
+                .cell(dirty ? "modified" : "not modified")
+                .cell(cost.elapsedUs, 1)
+                .cell(cost.busUs, 1)
+                .cell(sim, 1)
+                .cell(paper_elapsed[dirty][p], 1)
+                .cell(paper_bus[dirty][p], 1);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "Model: 13.5 us serial software per miss; up to "
+              << "3.4 us of bookkeeping overlaps the victim\n"
+              << "write-back; transfers at 300 ns first word + 100 ns "
+              << "per subsequent 32-bit word.\n";
+    return 0;
+}

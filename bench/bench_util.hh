@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries. Each bench regenerates one
+ * table or figure from the paper and prints the same rows/series the
+ * paper reports, alongside the paper's published values where they are
+ * stated in the text.
+ */
+
+#ifndef VMP_BENCH_BENCH_UTIL_HH
+#define VMP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/fast_sim.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace vmp::bench
+{
+
+/** Banner naming the artifact being regenerated. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::cout << "\n=================================================="
+                 "====\n"
+              << artifact << " — " << description << "\n"
+              << "VMP: Software-Controlled Caches (Cheriton, "
+                 "Slavenburg, Boyle; ISCA 1986)\n"
+              << "===================================================="
+                 "==\n\n";
+}
+
+/** Average Figure 4 style miss ratio over the four ATUM-like traces. */
+inline core::FastSimResult
+runFig4Point(std::uint64_t cache_bytes, std::uint32_t page_bytes,
+             std::uint32_t ways = 4)
+{
+    core::FastSimResult total;
+    for (const auto &workload : trace::allWorkloads()) {
+        trace::SyntheticGen gen(workload);
+        core::FastCacheSim sim(cache::CacheConfig::forSize(
+            cache_bytes, page_bytes, ways, false));
+        total += sim.run(gen);
+    }
+    return total;
+}
+
+/**
+ * Run @p processors trace CPUs on a full event-driven system, each
+ * executing @p refs_per_cpu references of the atum2 mix with distinct
+ * seeds, and return the aggregate result.
+ */
+inline core::RunResult
+runVmpSystem(std::uint32_t processors, std::uint64_t refs_per_cpu,
+             const cache::CacheConfig &cache_cfg,
+             std::uint64_t seed_base = 1000, bool share_kernel = false)
+{
+    core::VmpConfig cfg;
+    cfg.processors = processors;
+    cfg.cache = cache_cfg;
+    cfg.memBytes = MiB(8);
+    core::VmpSystem system(cfg);
+
+    std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+    std::vector<trace::RefSource *> sources;
+    for (std::uint32_t i = 0; i < processors; ++i) {
+        auto workload = trace::workloadConfig("atum2");
+        workload.totalRefs = refs_per_cpu;
+        workload.seed = seed_base + i;
+        // Distinct ASIDs per processor; optionally a private kernel
+        // image so only bus queueing (not data contention) is measured.
+        workload.asidBase = static_cast<Asid>(1 + i * 8);
+        if (!share_kernel)
+            workload.kernelOffset = static_cast<Addr>(i) * 0x20'0000;
+        gens.push_back(
+            std::make_unique<trace::SyntheticGen>(workload));
+        sources.push_back(gens.back().get());
+    }
+    return system.runTraces(sources);
+}
+
+} // namespace vmp::bench
+
+#endif // VMP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Page-size advisor: the paper's central design trade-off is that
+ * larger cache pages cut the miss *ratio* (amortizing the fixed ~15 us
+ * software handler) but cost more per miss. This example sweeps the
+ * prototype's page sizes over a user-described workload, combines the
+ * measured miss ratios with the Table 1/2 cost model and Figure 3
+ * formula, and reports which page size maximizes processor
+ * performance — exactly the experiment the configurable prototype was
+ * built to run.
+ *
+ *   $ ./examples/pagesize_study
+ */
+
+#include <iostream>
+
+#include "analytic/models.hh"
+#include "core/fast_sim.hh"
+#include "sim/stats.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace vmp;
+
+/** One scenario to advise on. */
+struct Scenario
+{
+    const char *name;
+    trace::SyntheticConfig config;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace vmp;
+
+    // Three contrasting workloads: the calibrated ATUM-like mix, a
+    // sequential/streaming job (large pages should shine), and a
+    // scattered pointer-chasing job (large pages waste transfer time).
+    Scenario scenarios[3] = {
+        {"atum mix", trace::workloadConfig("atum2")},
+        {"streaming", trace::workloadConfig("atum1")},
+        {"scattered", trace::workloadConfig("atum3")},
+    };
+    // Streaming: long sequential data runs over a big segment.
+    scenarios[1].config.userData.meanRunWords = 200.0;
+    scenarios[1].config.userData.objects = 512;
+    scenarios[1].config.userData.theta = 0.3;
+    // Scattered: one-word touches, flat popularity.
+    scenarios[2].config.userData.meanRunWords = 1.0;
+    scenarios[2].config.userData.objects = 2048;
+    scenarios[2].config.userData.objectBytes = 64;
+    scenarios[2].config.userData.theta = 0.2;
+
+    const analytic::PerfModel perf_model;
+
+    for (const auto &scenario : scenarios) {
+        TableWriter table(std::string("Workload: ") + scenario.name +
+                          " (128K 4-way cache)");
+        table.columns({"Page size", "Miss ratio (%)",
+                       "Avg miss cost (us)", "Predicted perf"});
+        double best_perf = -1.0;
+        std::uint32_t best_page = 0;
+        for (const std::uint32_t page : {128u, 256u, 512u}) {
+            trace::SyntheticGen gen(scenario.config);
+            core::FastCacheSim sim(
+                cache::CacheConfig::forSize(KiB(128), page, 4, false));
+            const double miss = sim.run(gen).missRatio();
+            const double perf = perf_model.performance(page, miss);
+            const analytic::MissCostModel costs;
+            table.row()
+                .cell(std::to_string(page) + "B")
+                .cell(miss * 100, 3)
+                .cell(costs.average(page).elapsedUs, 1)
+                .cell(perf, 3);
+            if (perf > best_perf) {
+                best_perf = perf;
+                best_page = page;
+            }
+        }
+        table.print(std::cout);
+        std::cout << "  -> recommended cache page size: " << best_page
+                  << " bytes (predicted performance " << best_perf
+                  << ")\n\n";
+    }
+
+    std::cout
+        << "The recommendation flips with spatial locality: streaming "
+           "workloads exploit the\n40 MB/s block transfers; scattered "
+           "ones pay for words they never touch.\n";
+    return 0;
+}

@@ -1,0 +1,177 @@
+#include "analytic/models.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vmp::analytic
+{
+
+MissCostModel::MissCostModel(const proto::SoftwareTiming &software,
+                             const mem::BusTiming &bus)
+    : software_(software), bus_(bus)
+{
+}
+
+MissCost
+MissCostModel::perMiss(std::uint32_t page_bytes,
+                       bool victim_dirty) const
+{
+    const double read_us = toUsec(bus_.blockNs(page_bytes));
+    const double wb_us =
+        victim_dirty ? toUsec(bus_.blockNs(page_bytes)) : 0.0;
+    const double overlap_us = toUsec(software_.overlapNs);
+
+    MissCost cost;
+    // Software runs trapEntry, then overlapNs of bookkeeping overlapped
+    // with the victim write-back, then the serial remainder, then waits
+    // out the fill transfer (Section 5.1 / Table 1).
+    cost.elapsedUs = toUsec(software_.trapEntryNs) +
+        std::max(overlap_us, wb_us) + toUsec(software_.postNs) +
+        read_us;
+    cost.busUs = read_us + wb_us;
+    return cost;
+}
+
+MissCost
+MissCostModel::average(std::uint32_t page_bytes,
+                       double clean_fraction) const
+{
+    if (clean_fraction < 0.0 || clean_fraction > 1.0)
+        fatal("clean fraction must be in [0, 1]");
+    const MissCost clean = perMiss(page_bytes, false);
+    const MissCost dirty = perMiss(page_bytes, true);
+    MissCost avg;
+    avg.elapsedUs = clean_fraction * clean.elapsedUs +
+        (1.0 - clean_fraction) * dirty.elapsedUs;
+    avg.busUs = clean_fraction * clean.busUs +
+        (1.0 - clean_fraction) * dirty.busUs;
+    return avg;
+}
+
+PerfModel::PerfModel(const MissCostModel &costs,
+                     const cpu::M68020Timing &timing)
+    : costs_(costs), timing_(timing)
+{
+}
+
+double
+PerfModel::performance(std::uint32_t page_bytes, double m,
+                       double clean_fraction) const
+{
+    if (m < 0.0 || m > 1.0)
+        fatal("miss ratio must be in [0, 1]");
+    const double cost_us =
+        costs_.average(page_bytes, clean_fraction).elapsedUs;
+    // mips() is instructions per microsecond.
+    const double x =
+        m * timing_.refsPerInstr * timing_.mips() * cost_us;
+    return 1.0 / (1.0 + x);
+}
+
+double
+PerfModel::missRatioFor(std::uint32_t page_bytes, double target,
+                        double clean_fraction) const
+{
+    if (target <= 0.0 || target > 1.0)
+        fatal("performance target must be in (0, 1]");
+    const double cost_us =
+        costs_.average(page_bytes, clean_fraction).elapsedUs;
+    return (1.0 / target - 1.0) /
+        (timing_.refsPerInstr * timing_.mips() * cost_us);
+}
+
+BusModel::BusModel(const MissCostModel &costs,
+                   const cpu::M68020Timing &timing)
+    : costs_(costs), timing_(timing)
+{
+}
+
+double
+BusModel::utilization(std::uint32_t page_bytes, double m,
+                      double clean_fraction) const
+{
+    if (m < 0.0 || m > 1.0)
+        fatal("miss ratio must be in [0, 1]");
+    const MissCost avg = costs_.average(page_bytes, clean_fraction);
+    // Time per reference at full speed, in microseconds.
+    const double ref_us =
+        1.0 / (timing_.mips() * timing_.refsPerInstr);
+    return (m * avg.busUs) / (ref_us + m * avg.elapsedUs);
+}
+
+QueuingModel::QueuingModel(const MissCostModel &costs,
+                           const cpu::M68020Timing &timing)
+    : costs_(costs), timing_(timing)
+{
+}
+
+double
+QueuingModel::offeredLoad(std::uint32_t page_bytes, double m,
+                          unsigned n) const
+{
+    return static_cast<double>(n) *
+        BusModel(costs_, timing_).utilization(page_bytes, m);
+}
+
+double
+QueuingModel::perProcessorPerformance(std::uint32_t page_bytes,
+                                      double m, unsigned n) const
+{
+    if (n == 0)
+        fatal("queuing model needs at least one processor");
+    const MissCost avg = costs_.average(page_bytes);
+    const double ref_us =
+        1.0 / (timing_.mips() * timing_.refsPerInstr);
+    const double s = avg.busUs; // bus service time per miss
+
+    // Fixed point: queueing delay inflates per-miss time, which lowers
+    // the offered rate, which lowers the delay. Iterate to
+    // convergence; cap utilization below saturation.
+    double wait_us = 0.0;
+    for (int iter = 0; iter < 200; ++iter) {
+        const double per_ref =
+            ref_us + m * (avg.elapsedUs + wait_us);
+        const double lambda = m / per_ref; // misses per us, per CPU
+        double rho = static_cast<double>(n) * lambda * s;
+        rho = std::min(rho, 0.999);
+        // M/M/1 mean wait in queue.
+        const double new_wait = rho * s / (1.0 - rho);
+        if (std::abs(new_wait - wait_us) < 1e-9) {
+            wait_us = new_wait;
+            break;
+        }
+        wait_us = 0.5 * (wait_us + new_wait);
+    }
+
+    const double per_ref = ref_us + m * (avg.elapsedUs + wait_us);
+    return ref_us / per_ref;
+}
+
+double
+QueuingModel::systemThroughput(std::uint32_t page_bytes, double m,
+                               unsigned n) const
+{
+    return static_cast<double>(n) *
+        perProcessorPerformance(page_bytes, m, n);
+}
+
+unsigned
+QueuingModel::maxProcessors(std::uint32_t page_bytes, double m,
+                            double degradation_limit,
+                            unsigned hard_cap) const
+{
+    const double solo = perProcessorPerformance(page_bytes, m, 1);
+    unsigned best = 1;
+    for (unsigned n = 1; n <= hard_cap; ++n) {
+        const double perf =
+            perProcessorPerformance(page_bytes, m, n);
+        if (perf / solo < degradation_limit)
+            break;
+        best = n;
+    }
+    return best;
+}
+
+} // namespace vmp::analytic

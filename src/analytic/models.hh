@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Closed-form performance models from Section 5 of the paper:
+ *
+ *  - MissCostModel: elapsed and bus time per cache miss (Table 1) and
+ *    the 75%-clean-victim averages (Table 2);
+ *  - PerfModel: processor performance as a function of miss ratio
+ *    (Figure 3), normalized to 1 at zero misses;
+ *  - BusModel: per-processor bus utilization as a function of miss
+ *    ratio (Figure 5);
+ *  - QueuingModel: the single-server (bus) multiple-client (CPUs)
+ *    queueing estimate behind the "up to 5 processors" claim
+ *    (Section 5.3).
+ */
+
+#ifndef VMP_ANALYTIC_MODELS_HH
+#define VMP_ANALYTIC_MODELS_HH
+
+#include <cstdint>
+
+#include "cpu/timing.hh"
+#include "mem/vme_bus.hh"
+#include "proto/timing.hh"
+#include "sim/types.hh"
+
+namespace vmp::analytic
+{
+
+/** Per-miss elapsed and bus time, in microseconds. */
+struct MissCost
+{
+    double elapsedUs = 0.0;
+    double busUs = 0.0;
+};
+
+/**
+ * Table 1/2 calculator: combines the software instruction budget with
+ * the block-transfer timing.
+ */
+class MissCostModel
+{
+  public:
+    MissCostModel(const proto::SoftwareTiming &software = {},
+                  const mem::BusTiming &bus = {});
+
+    /** Table 1 entry for one page size and victim state. */
+    MissCost perMiss(std::uint32_t page_bytes, bool victim_dirty) const;
+
+    /**
+     * Table 2 entry: average cost with @p clean_fraction of replaced
+     * pages unmodified (the paper assumes 0.75).
+     */
+    MissCost average(std::uint32_t page_bytes,
+                     double clean_fraction = 0.75) const;
+
+    const proto::SoftwareTiming &software() const { return software_; }
+    const mem::BusTiming &bus() const { return bus_; }
+
+  private:
+    proto::SoftwareTiming software_;
+    mem::BusTiming bus_;
+};
+
+/**
+ * Figure 3: processor performance vs miss ratio.
+ *
+ *   perf(m) = 1 / (1 + m * refsPerInstr * instrRate * missCost)
+ *
+ * with missCost the Table 2 average elapsed time. At the paper's
+ * example point (256-byte pages, m = 0.24%) this gives ~87%.
+ */
+class PerfModel
+{
+  public:
+    PerfModel(const MissCostModel &costs = MissCostModel{},
+              const cpu::M68020Timing &timing = {});
+
+    /** Normalized performance at miss ratio @p m for @p page_bytes. */
+    double performance(std::uint32_t page_bytes, double m,
+                       double clean_fraction = 0.75) const;
+
+    /** Miss ratio that degrades performance to @p target. */
+    double missRatioFor(std::uint32_t page_bytes, double target,
+                        double clean_fraction = 0.75) const;
+
+  private:
+    MissCostModel costs_;
+    cpu::M68020Timing timing_;
+};
+
+/**
+ * Figure 5: single-processor bus utilization vs miss ratio.
+ *
+ *   util(m) = m * busTime / (1/(instrRate*refsPerInstr)
+ *                            + m * elapsedTime)
+ */
+class BusModel
+{
+  public:
+    BusModel(const MissCostModel &costs = MissCostModel{},
+             const cpu::M68020Timing &timing = {});
+
+    double utilization(std::uint32_t page_bytes, double m,
+                       double clean_fraction = 0.75) const;
+
+  private:
+    MissCostModel costs_;
+    cpu::M68020Timing timing_;
+};
+
+/**
+ * Section 5.3: M/M/1-style shared-bus congestion estimate. Each of n
+ * processors offers bus work at rate lambda (misses/sec) with mean
+ * service time s (bus time per miss); waiting inflates the effective
+ * miss cost and thus degrades per-processor performance.
+ */
+class QueuingModel
+{
+  public:
+    QueuingModel(const MissCostModel &costs = MissCostModel{},
+                 const cpu::M68020Timing &timing = {});
+
+    /** Aggregate offered bus utilization of n processors. */
+    double offeredLoad(std::uint32_t page_bytes, double m,
+                       unsigned n) const;
+
+    /**
+     * Expected per-processor performance with n processors sharing
+     * the bus (M/M/1 waiting time added to each miss).
+     */
+    double perProcessorPerformance(std::uint32_t page_bytes, double m,
+                                   unsigned n) const;
+
+    /** Aggregate throughput in units of single-processor full speed. */
+    double systemThroughput(std::uint32_t page_bytes, double m,
+                            unsigned n) const;
+
+    /**
+     * Largest n whose per-processor performance stays above
+     * @p degradation_limit of the 1-processor value. The paper's
+     * parameters give about 5.
+     */
+    unsigned maxProcessors(std::uint32_t page_bytes, double m,
+                           double degradation_limit = 0.9,
+                           unsigned hard_cap = 64) const;
+
+  private:
+    MissCostModel costs_;
+    cpu::M68020Timing timing_;
+};
+
+} // namespace vmp::analytic
+
+#endif // VMP_ANALYTIC_MODELS_HH

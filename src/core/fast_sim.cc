@@ -1,0 +1,65 @@
+#include "core/fast_sim.hh"
+
+namespace vmp::core
+{
+
+FastSimResult &
+FastSimResult::operator+=(const FastSimResult &other)
+{
+    refs += other.refs;
+    misses += other.misses;
+    supervisorRefs += other.supervisorRefs;
+    supervisorMisses += other.supervisorMisses;
+    return *this;
+}
+
+FastCacheSim::FastCacheSim(cache::CacheConfig config)
+    : cache_((config.storeData = false, config))
+{
+}
+
+bool
+FastCacheSim::step(const trace::MemRef &ref)
+{
+    ++result_.refs;
+    if (ref.supervisor)
+        ++result_.supervisorRefs;
+
+    const auto res = cache_.access(ref.asid, ref.vaddr, ref.isWrite(),
+                                   ref.supervisor);
+    if (res.hit)
+        return false;
+
+    ++result_.misses;
+    if (ref.supervisor)
+        ++result_.supervisorMisses;
+
+    // Uniprocessor functional model: every fill is fully permissive
+    // and exclusive, so only tag (NoMatch) misses recur.
+    if (res.miss == cache::MissKind::NoMatch) {
+        cache_.fill(res.suggestedVictim,
+                    cache_.tagFor(ref.asid, ref.vaddr),
+                    static_cast<cache::SlotFlags>(
+                        cache::FlagExclusive | cache::FlagSupWritable |
+                        cache::FlagUserReadable |
+                        cache::FlagUserWritable));
+    }
+    return true;
+}
+
+void
+FastCacheSim::resetStats()
+{
+    result_ = FastSimResult{};
+}
+
+FastSimResult
+FastCacheSim::run(trace::RefSource &source)
+{
+    trace::MemRef ref;
+    while (source.next(ref))
+        step(ref);
+    return result_;
+}
+
+} // namespace vmp::core

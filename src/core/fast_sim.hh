@@ -1,0 +1,82 @@
+/**
+ * @file
+ * FastCacheSim: the cold-start, single-cache, trace-driven simulator
+ * behind Figure 4. It evaluates only the cache's tag behaviour (no bus,
+ * no timing, no consistency), exactly like the ATUM-trace simulations
+ * the paper credits to Agarwal, so multi-million-reference parameter
+ * sweeps finish in milliseconds.
+ */
+
+#ifndef VMP_CORE_FAST_SIM_HH
+#define VMP_CORE_FAST_SIM_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "trace/ref.hh"
+
+namespace vmp::core
+{
+
+/** Results of one functional simulation. */
+struct FastSimResult
+{
+    std::uint64_t refs = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t supervisorRefs = 0;
+    std::uint64_t supervisorMisses = 0;
+
+    double
+    missRatio() const
+    {
+        return refs == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(refs);
+    }
+
+    double
+    supervisorMissShare() const
+    {
+        return misses == 0
+            ? 0.0
+            : static_cast<double>(supervisorMisses) /
+                static_cast<double>(misses);
+    }
+
+    /** Merge another trace's results (for averaging across traces). */
+    FastSimResult &operator+=(const FastSimResult &other);
+};
+
+/** Functional (timeless) cache simulator. */
+class FastCacheSim
+{
+  public:
+    /** @param config geometry; storeData is forced off. */
+    explicit FastCacheSim(cache::CacheConfig config);
+
+    /** Present one reference; returns true on miss. */
+    bool step(const trace::MemRef &ref);
+
+    /** Drain an entire source, cold-start. */
+    FastSimResult run(trace::RefSource &source);
+
+    /**
+     * Clear the statistics but keep the cache contents: subsequent
+     * references are measured warm-start. The paper's Figure 4 is
+     * explicitly cold-start; the warm variant quantifies how much of
+     * the measured miss ratio is compulsory misses of the short
+     * traces.
+     */
+    void resetStats();
+
+    const cache::Cache &cache() const { return cache_; }
+    const FastSimResult &result() const { return result_; }
+
+  private:
+    cache::Cache cache_;
+    FastSimResult result_;
+};
+
+} // namespace vmp::core
+
+#endif // VMP_CORE_FAST_SIM_HH

@@ -1,0 +1,17 @@
+#include "core/paged_system.hh"
+
+namespace vmp::core
+{
+
+PagedVmpSystem::PagedVmpSystem(const VmpConfig &config,
+                               const vm::VmConfig &vm_config)
+{
+    machine_ = std::make_unique<VmpSystem>(config, &translator_);
+    vm_ = std::make_unique<vm::VmSystem>(machine_->events(),
+                                         machine_->memory(), vm_config);
+    translator_.bind(*vm_);
+    for (std::size_t i = 0; i < machine_->processors(); ++i)
+        vm_->attach(machine_->controller(i));
+}
+
+} // namespace vmp::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PagedVmpSystem: the full software stack of the paper in one object —
+ * the multiprocessor machine of VmpSystem with translation served by
+ * the real two-level page tables of vm::VmSystem instead of the
+ * demand-allocating stub. Every user-page touch demand-pages through
+ * the fault handler, page-table walks nest through the caches, and the
+ * pageout daemon reclaims frames under memory pressure, all while the
+ * ownership protocol keeps everything coherent.
+ */
+
+#ifndef VMP_CORE_PAGED_SYSTEM_HH
+#define VMP_CORE_PAGED_SYSTEM_HH
+
+#include <memory>
+
+#include "core/system.hh"
+#include "vm/vm_system.hh"
+
+namespace vmp::core
+{
+
+/** VmpSystem + VmSystem, wired. */
+class PagedVmpSystem
+{
+  public:
+    explicit PagedVmpSystem(const VmpConfig &config,
+                            const vm::VmConfig &vm_config = {});
+
+    VmpSystem &machine() { return *machine_; }
+    vm::VmSystem &vm() { return *vm_; }
+    proto::CacheController &controller(std::size_t index)
+    {
+        return machine_->controller(index);
+    }
+
+    /** Run trace CPUs (as VmpSystem::runTraces) with demand paging. */
+    RunResult runTraces(const std::vector<trace::RefSource *> &sources)
+    {
+        return machine_->runTraces(sources);
+    }
+
+  private:
+    vm::VmTranslator translator_;
+    std::unique_ptr<VmpSystem> machine_;
+    std::unique_ptr<vm::VmSystem> vm_;
+};
+
+} // namespace vmp::core
+
+#endif // VMP_CORE_PAGED_SYSTEM_HH

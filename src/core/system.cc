@@ -1,0 +1,199 @@
+#include "core/system.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "trace/synthetic.hh"
+
+namespace vmp::core
+{
+
+void
+VmpConfig::check() const
+{
+    cache.check();
+    if (processors == 0 || processors > 64)
+        fatal("system: processors must be in [1, 64]");
+    if (memBytes == 0 || memBytes % cache.pageBytes != 0)
+        fatal("system: memory must be a positive multiple of the cache "
+              "page size");
+    if (fifoCapacity == 0)
+        fatal("system: FIFO capacity must be positive");
+}
+
+ProcessorBoard::ProcessorBoard(CpuId id, EventQueue &events,
+                               mem::VmeBus &bus,
+                               proto::Translator &translator,
+                               const VmpConfig &config)
+    : cache(config.cache),
+      monitor(id, config.memBytes, config.cache.pageBytes,
+              config.fifoCapacity),
+      controller(id, events, cache, monitor, bus, translator,
+                 config.swTiming)
+{
+    bus.attachWatcher(id, monitor);
+}
+
+std::string
+RunResult::toString() const
+{
+    std::ostringstream os;
+    os << "refs=" << totalRefs << " misses=" << totalMisses
+       << " missRatio=" << missRatio * 100 << "%"
+       << " perf=" << performance
+       << " busUtil=" << busUtilization * 100 << "%"
+       << " aborts=" << busAborts << " writeBacks=" << writeBacks
+       << " elapsed=" << toUsec(elapsed) << "us";
+    return os.str();
+}
+
+VmpSystem::VmpSystem(const VmpConfig &config,
+                     proto::Translator *translator)
+    : cfg_(config), memory_(config.memBytes, config.cache.pageBytes),
+      bus_(events_, memory_, config.busTiming)
+{
+    cfg_.check();
+    if (translator == nullptr) {
+        ownedTranslator_ = std::make_unique<proto::DemandTranslator>(
+            cfg_.memBytes, cfg_.cache.pageBytes, trace::kernelBase,
+            trace::userBase);
+        translator_ = ownedTranslator_.get();
+    } else {
+        translator_ = translator;
+    }
+    for (CpuId id = 0; id < cfg_.processors; ++id) {
+        boards_.push_back(std::make_unique<ProcessorBoard>(
+            id, events_, bus_, *translator_, cfg_));
+    }
+}
+
+std::uint32_t
+VmpSystem::processors() const
+{
+    return cfg_.processors;
+}
+
+ProcessorBoard &
+VmpSystem::board(std::size_t index)
+{
+    if (index >= boards_.size())
+        panic("board index ", index, " out of range");
+    return *boards_[index];
+}
+
+proto::CacheController &
+VmpSystem::controller(std::size_t index)
+{
+    return board(index).controller;
+}
+
+RunResult
+VmpSystem::runTraces(const std::vector<trace::RefSource *> &sources)
+{
+    if (sources.size() > boards_.size())
+        fatal("system: ", sources.size(), " traces for ",
+              boards_.size(), " processors");
+
+    std::vector<std::unique_ptr<cpu::TraceCpu>> cpus;
+    std::vector<cpu::TraceCpu *> raw;
+    std::size_t remaining = sources.size();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        cpus.push_back(std::make_unique<cpu::TraceCpu>(
+            static_cast<CpuId>(i), events_, controller(i),
+            *sources[i], cfg_.cpuTiming));
+        raw.push_back(cpus.back().get());
+    }
+    for (auto &c : cpus)
+        c->run([&remaining] { --remaining; });
+    events_.run();
+    if (remaining != 0)
+        panic("system: ", remaining, " trace CPUs did not finish");
+    return collect(raw);
+}
+
+std::vector<std::unique_ptr<cpu::ProgramCpu>>
+VmpSystem::runPrograms(const std::vector<cpu::Program> &programs)
+{
+    if (programs.size() > boards_.size())
+        fatal("system: ", programs.size(), " programs for ",
+              boards_.size(), " processors");
+
+    std::vector<std::unique_ptr<cpu::ProgramCpu>> cpus;
+    std::size_t remaining = programs.size();
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        cpus.push_back(std::make_unique<cpu::ProgramCpu>(
+            static_cast<CpuId>(i), events_, controller(i),
+            static_cast<Asid>(i + 1), programs[i], cfg_.cpuTiming));
+    }
+    for (auto &c : cpus)
+        c->run([&remaining] { --remaining; });
+    events_.run();
+    if (remaining != 0)
+        panic("system: ", remaining, " program CPUs did not halt");
+    return cpus;
+}
+
+void
+VmpSystem::attachIdleServicers()
+{
+    for (auto &board : boards_) {
+        auto *controller = &board->controller;
+        controller->busMonitor().setInterruptLine(
+            [this, controller] {
+                events_.scheduleIn(1, [controller] {
+                    controller->serviceInterrupts([] {});
+                }, "idle-service");
+            });
+    }
+}
+
+void
+VmpSystem::setUserPrivateHint(bool enabled)
+{
+    if (!ownedTranslator_)
+        fatal("setUserPrivateHint requires the internal demand "
+              "translator");
+    ownedTranslator_->setUserPrivateHint(enabled);
+}
+
+void
+VmpSystem::dumpStats(std::ostream &os) const
+{
+    StatGroup bus_group("bus");
+    bus_.registerStats(bus_group);
+    bus_group.dump(os);
+    for (std::size_t i = 0; i < boards_.size(); ++i) {
+        StatGroup cpu_group("cpu" + std::to_string(i));
+        boards_[i]->controller.registerStats(cpu_group);
+        boards_[i]->cache.registerStats(cpu_group);
+        cpu_group.dump(os);
+    }
+}
+
+RunResult
+VmpSystem::collect(const std::vector<cpu::TraceCpu *> &cpus) const
+{
+    RunResult result;
+    result.elapsed = events_.now();
+    double perf_sum = 0.0;
+    for (const auto *c : cpus) {
+        result.totalRefs += c->refsRetired().value();
+        perf_sum += c->performance();
+    }
+    for (const auto &b : boards_) {
+        result.totalMisses += b->controller.misses().value();
+        result.writeBacks += b->controller.writeBacks().value();
+    }
+    result.missRatio = result.totalRefs == 0
+        ? 0.0
+        : static_cast<double>(result.totalMisses) /
+            static_cast<double>(result.totalRefs);
+    result.performance =
+        cpus.empty() ? 0.0 : perf_sum / static_cast<double>(cpus.size());
+    result.busUtilization = bus_.utilization();
+    result.busAborts = bus_.aborts().value();
+    return result;
+}
+
+} // namespace vmp::core

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * VmpSystem: the full machine of Section 4 — a shared VMEbus, central
+ * memory, and several processor boards, each a 68020-rate CPU model
+ * with virtually addressed cache, bus monitor and software cache
+ * controller. This is the top-level object of the library's public
+ * API: configure it, hand each processor a trace or a scripted
+ * program, run, and read the statistics back.
+ */
+
+#ifndef VMP_CORE_SYSTEM_HH
+#define VMP_CORE_SYSTEM_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cpu/program_cpu.hh"
+#include "cpu/timing.hh"
+#include "cpu/trace_cpu.hh"
+#include "mem/phys_mem.hh"
+#include "mem/vme_bus.hh"
+#include "monitor/bus_monitor.hh"
+#include "proto/controller.hh"
+#include "proto/translator.hh"
+#include "sim/event.hh"
+#include "trace/ref.hh"
+
+namespace vmp::core
+{
+
+/** Whole-machine configuration. */
+struct VmpConfig
+{
+    /** Number of processor boards on the bus. */
+    std::uint32_t processors = 1;
+    /** Per-processor cache geometry (prototype: 256 KiB, 4-way). */
+    cache::CacheConfig cache{256, 4, 256, true};
+    /** Central memory size (prototype maximum: 8 MiB). */
+    std::uint64_t memBytes = MiB(8);
+    /** Bus and memory-board timing. */
+    mem::BusTiming busTiming{};
+    /** Software miss-handler instruction budget. */
+    proto::SoftwareTiming swTiming{};
+    /** Processor execution rate. */
+    cpu::M68020Timing cpuTiming{};
+    /** Bus-monitor interrupt FIFO depth. */
+    std::size_t fifoCapacity = 128;
+
+    void check() const;
+};
+
+/** One processor board: cache + monitor + controller (+ CPU, if any). */
+struct ProcessorBoard
+{
+    ProcessorBoard(CpuId id, EventQueue &events, mem::VmeBus &bus,
+                   proto::Translator &translator,
+                   const VmpConfig &config);
+
+    cache::Cache cache;
+    monitor::BusMonitor monitor;
+    proto::CacheController controller;
+};
+
+/** Aggregate results of a run. */
+struct RunResult
+{
+    Tick elapsed = 0;
+    std::uint64_t totalRefs = 0;
+    std::uint64_t totalMisses = 0;
+    double missRatio = 0.0;
+    /** Mean per-processor performance, normalized (Figure 3 metric). */
+    double performance = 0.0;
+    /** Bus utilization over the run. */
+    double busUtilization = 0.0;
+    std::uint64_t busAborts = 0;
+    std::uint64_t writeBacks = 0;
+
+    std::string toString() const;
+};
+
+/** The machine. */
+class VmpSystem
+{
+  public:
+    /**
+     * Build a system. If @p translator is null an internal
+     * DemandTranslator is used (kernel region shared across ASIDs).
+     */
+    explicit VmpSystem(const VmpConfig &config,
+                       proto::Translator *translator = nullptr);
+
+    const VmpConfig &config() const { return cfg_; }
+    EventQueue &events() { return events_; }
+    mem::PhysMem &memory() { return memory_; }
+    mem::VmeBus &bus() { return bus_; }
+    std::uint32_t processors() const;
+    ProcessorBoard &board(std::size_t index);
+    proto::CacheController &controller(std::size_t index);
+
+    /**
+     * Attach one trace-driven CPU per source and run all of them to
+     * completion (each stops when its source is exhausted).
+     */
+    RunResult runTraces(
+        const std::vector<trace::RefSource *> &sources);
+
+    /**
+     * Attach one scripted CPU per program (CPU i uses ASID i+1) and
+     * run until every program halts. Returns the CPUs for register
+     * inspection. Keep them alive while continuing to use the system:
+     * even halted processors service their bus monitors, and pages
+     * they own privately are unreachable to other masters otherwise.
+     */
+    std::vector<std::unique_ptr<cpu::ProgramCpu>>
+    runPrograms(const std::vector<cpu::Program> &programs);
+
+    /** Collect aggregate statistics for the run so far. */
+    RunResult collect(const std::vector<cpu::TraceCpu *> &cpus) const;
+
+    /**
+     * Make every board behave like an idle processor: whenever its
+     * bus-monitor interrupt line rises, a service pass is scheduled.
+     * Use when driving controllers directly (no CPU models attached);
+     * TraceCpu/ProgramCpu objects override these hooks while running.
+     */
+    void attachIdleServicers();
+
+    /**
+     * When using the internal demand translator: declare user pages
+     * non-shared (Section 5.4 hint). Read misses to user pages then
+     * fetch read-private, eliminating later write upgrades.
+     */
+    void setUserPrivateHint(bool enabled);
+
+    /** gem5-style dump of every component's statistics. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    VmpConfig cfg_;
+    EventQueue events_;
+    mem::PhysMem memory_;
+    mem::VmeBus bus_;
+    std::unique_ptr<proto::DemandTranslator> ownedTranslator_;
+    proto::Translator *translator_;
+    std::vector<std::unique_ptr<ProcessorBoard>> boards_;
+};
+
+} // namespace vmp::core
+
+#endif // VMP_CORE_SYSTEM_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * A tiny scripted instruction set for functional multiprocessor tests
+ * and the synchronization studies of Section 5.4. Programs are short
+ * op vectors (loads, stores, cached/uncached test-and-set, branches,
+ * notification primitives) executed by ProgramCpu at the 68020 rate;
+ * unlike the trace CPU they move real data through the caches, so
+ * coherence results can be checked end to end.
+ */
+
+#ifndef VMP_CPU_PROGRAM_HH
+#define VMP_CPU_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vmp::cpu
+{
+
+/** Number of general-purpose registers a program can use. */
+constexpr std::size_t numRegs = 8;
+
+/** Operation kinds. */
+enum class OpKind : std::uint8_t
+{
+    Read,          //!< reg[dst] = cached[vaddr]
+    Write,         //!< cached[vaddr] = reg[src]
+    WriteImm,      //!< cached[vaddr] = imm
+    CachedTas,     //!< reg[dst] = cached[vaddr]; cached[vaddr] = 1
+    UncachedRead,  //!< reg[dst] = phys[addr]
+    UncachedWrite, //!< phys[addr] = imm
+    UncachedTas,   //!< reg[dst] = atomic test-and-set phys[addr]
+    MoveImm,       //!< reg[dst] = imm
+    AddImm,        //!< reg[dst] += imm
+    AddReg,        //!< reg[dst] += reg[src]
+    BranchIfZero,  //!< if reg[src] == 0 goto target
+    BranchIfNotZero, //!< if reg[src] != 0 goto target
+    DecBranchNotZero, //!< --reg[dst]; if reg[dst] != 0 goto target
+    Jump,          //!< goto target
+    Notify,        //!< notify bus transaction on frame of addr
+    SetActionEntry, //!< write own action-table entry for addr (imm)
+    WaitNotify,    //!< suspend until a notification (or timeout imm ns)
+    Delay,         //!< idle for imm ns
+    Halt,          //!< stop
+};
+
+/** One scripted operation. */
+struct Op
+{
+    OpKind kind = OpKind::Halt;
+    Addr addr = 0;
+    std::uint32_t imm = 0;
+    std::uint8_t dst = 0;
+    std::uint8_t src = 0;
+    std::int32_t target = 0;
+    bool supervisor = false;
+};
+
+/** A program is a flat op vector; targets are op indices. */
+using Program = std::vector<Op>;
+
+// Small builder helpers keeping test programs readable.
+inline Op
+opRead(Addr va, std::uint8_t dst)
+{
+    Op op;
+    op.kind = OpKind::Read;
+    op.addr = va;
+    op.dst = dst;
+    return op;
+}
+
+inline Op
+opWrite(Addr va, std::uint8_t src)
+{
+    Op op;
+    op.kind = OpKind::Write;
+    op.addr = va;
+    op.src = src;
+    return op;
+}
+
+inline Op
+opWriteImm(Addr va, std::uint32_t imm)
+{
+    Op op;
+    op.kind = OpKind::WriteImm;
+    op.addr = va;
+    op.imm = imm;
+    return op;
+}
+
+inline Op
+opCachedTas(Addr va, std::uint8_t dst)
+{
+    Op op;
+    op.kind = OpKind::CachedTas;
+    op.addr = va;
+    op.dst = dst;
+    return op;
+}
+
+inline Op
+opUncachedRead(Addr pa, std::uint8_t dst)
+{
+    Op op;
+    op.kind = OpKind::UncachedRead;
+    op.addr = pa;
+    op.dst = dst;
+    return op;
+}
+
+inline Op
+opUncachedWrite(Addr pa, std::uint32_t imm)
+{
+    Op op;
+    op.kind = OpKind::UncachedWrite;
+    op.addr = pa;
+    op.imm = imm;
+    return op;
+}
+
+inline Op
+opUncachedTas(Addr pa, std::uint8_t dst)
+{
+    Op op;
+    op.kind = OpKind::UncachedTas;
+    op.addr = pa;
+    op.dst = dst;
+    return op;
+}
+
+inline Op
+opMoveImm(std::uint8_t dst, std::uint32_t imm)
+{
+    Op op;
+    op.kind = OpKind::MoveImm;
+    op.dst = dst;
+    op.imm = imm;
+    return op;
+}
+
+inline Op
+opAddImm(std::uint8_t dst, std::uint32_t imm)
+{
+    Op op;
+    op.kind = OpKind::AddImm;
+    op.dst = dst;
+    op.imm = imm;
+    return op;
+}
+
+inline Op
+opAddReg(std::uint8_t dst, std::uint8_t src)
+{
+    Op op;
+    op.kind = OpKind::AddReg;
+    op.dst = dst;
+    op.src = src;
+    return op;
+}
+
+inline Op
+opBranchIfZero(std::uint8_t src, std::int32_t target)
+{
+    Op op;
+    op.kind = OpKind::BranchIfZero;
+    op.src = src;
+    op.target = target;
+    return op;
+}
+
+inline Op
+opBranchIfNotZero(std::uint8_t src, std::int32_t target)
+{
+    Op op;
+    op.kind = OpKind::BranchIfNotZero;
+    op.src = src;
+    op.target = target;
+    return op;
+}
+
+inline Op
+opDecBranchNotZero(std::uint8_t dst, std::int32_t target)
+{
+    Op op;
+    op.kind = OpKind::DecBranchNotZero;
+    op.dst = dst;
+    op.target = target;
+    return op;
+}
+
+inline Op
+opJump(std::int32_t target)
+{
+    Op op;
+    op.kind = OpKind::Jump;
+    op.target = target;
+    return op;
+}
+
+inline Op
+opNotify(Addr pa)
+{
+    Op op;
+    op.kind = OpKind::Notify;
+    op.addr = pa;
+    return op;
+}
+
+inline Op
+opSetActionEntry(Addr pa, std::uint32_t entry)
+{
+    Op op;
+    op.kind = OpKind::SetActionEntry;
+    op.addr = pa;
+    op.imm = entry;
+    return op;
+}
+
+inline Op
+opWaitNotify(std::uint32_t timeout_ns)
+{
+    Op op;
+    op.kind = OpKind::WaitNotify;
+    op.imm = timeout_ns;
+    return op;
+}
+
+inline Op
+opDelay(std::uint32_t ns)
+{
+    Op op;
+    op.kind = OpKind::Delay;
+    op.imm = ns;
+    return op;
+}
+
+inline Op
+opHalt()
+{
+    Op op;
+    op.kind = OpKind::Halt;
+    return op;
+}
+
+} // namespace vmp::cpu
+
+#endif // VMP_CPU_PROGRAM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Processor timing model. The prototype pairs a 16 MHz 68020 (60 ns
+ * cycle) with zero-wait-state cache access; following MacGregor[16] the
+ * paper uses 7 clocks per instruction (2.4 MIPS) and, implicitly in the
+ * Figure 3/5 formulas, 1.2 memory references per instruction.
+ */
+
+#ifndef VMP_CPU_TIMING_HH
+#define VMP_CPU_TIMING_HH
+
+#include "sim/types.hh"
+
+namespace vmp::cpu
+{
+
+/** MC68020-style execution-rate parameters. */
+struct M68020Timing
+{
+    /** Processor clock period. */
+    Tick clockNs = 60;
+    /** Average clocks per instruction (MacGregor[16]). */
+    double clocksPerInstr = 7.0;
+    /** Average memory references per instruction. */
+    double refsPerInstr = 1.2;
+
+    /** Time for one average instruction (417 ns, 2.4 MIPS). */
+    Tick
+    instrNs() const
+    {
+        return static_cast<Tick>(static_cast<double>(clockNs) *
+                                 clocksPerInstr);
+    }
+
+    /** Full-speed time attributed to one memory reference. */
+    Tick
+    refNs() const
+    {
+        return static_cast<Tick>(static_cast<double>(instrNs()) /
+                                 refsPerInstr);
+    }
+
+    /** Instruction execution rate in MIPS. */
+    double
+    mips() const
+    {
+        return 1000.0 / static_cast<double>(instrNs());
+    }
+};
+
+} // namespace vmp::cpu
+
+#endif // VMP_CPU_TIMING_HH

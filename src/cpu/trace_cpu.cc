@@ -1,0 +1,125 @@
+#include "cpu/trace_cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::cpu
+{
+
+TraceCpu::TraceCpu(CpuId id, EventQueue &events,
+                   proto::CacheController &controller,
+                   trace::RefSource &refs, const M68020Timing &timing)
+    : id_(id), events_(events), controller_(controller), source_(refs),
+      timing_(timing)
+{
+    // While executing, interrupts are polled between references; once
+    // the trace is exhausted the processor sits in the idle loop and
+    // must still take bus-monitor interrupts (it may own pages other
+    // processors need).
+    controller_.busMonitor().setInterruptLine(
+        [this] { onInterruptLine(); });
+}
+
+TraceCpu::~TraceCpu()
+{
+    controller_.busMonitor().setInterruptLine(nullptr);
+}
+
+void
+TraceCpu::onInterruptLine()
+{
+    if (running_ || idleServicing_)
+        return;
+    idleServicing_ = true;
+    events_.scheduleIn(1, [this] {
+        controller_.serviceInterrupts([this] {
+            idleServicing_ = false;
+            if (!running_ && controller_.interruptPending())
+                onInterruptLine();
+        });
+    }, "idle-service");
+}
+
+void
+TraceCpu::run(Done done)
+{
+    if (running_)
+        panic("cpu", id_, " started twice");
+    running_ = true;
+    done_ = std::move(done);
+    startedAt_ = events_.now();
+    step();
+}
+
+void
+TraceCpu::step()
+{
+    // Bus-monitor interrupts are taken between instructions.
+    if (controller_.interruptPending()) {
+        controller_.serviceInterrupts([this] { step(); });
+        return;
+    }
+
+    trace::MemRef ref;
+    if (!source_.next(ref)) {
+        running_ = false;
+        finishedAt_ = events_.now();
+        if (done_)
+            done_();
+        // Words that arrived exactly at the boundary are picked up by
+        // the idle loop.
+        if (controller_.interruptPending())
+            onInterruptLine();
+        return;
+    }
+
+    // Full-speed execution charge for this reference, then present it
+    // to the cache; a miss blocks us inside the controller.
+    events_.scheduleIn(timing_.refNs(), [this, ref] {
+        controller_.access(ref.asid, ref.vaddr, ref.isWrite(),
+                           ref.supervisor,
+                           [this](proto::AccessOutcome) {
+                               ++refs_;
+                               step();
+                           });
+    }, "cpu-step");
+}
+
+Tick
+TraceCpu::elapsed() const
+{
+    const Tick end = running_ ? events_.now() : finishedAt_;
+    return end - startedAt_;
+}
+
+Tick
+TraceCpu::idealTicks() const
+{
+    return refs_.value() * timing_.refNs();
+}
+
+double
+TraceCpu::performance() const
+{
+    const Tick actual = elapsed();
+    return actual == 0
+        ? 1.0
+        : static_cast<double>(idealTicks()) /
+            static_cast<double>(actual);
+}
+
+double
+TraceCpu::missRatio() const
+{
+    return refs_.value() == 0
+        ? 0.0
+        : static_cast<double>(controller_.misses().value()) /
+            static_cast<double>(refs_.value());
+}
+
+void
+TraceCpu::registerStats(StatGroup &group) const
+{
+    group.addCounter("refs", "memory references retired", refs_);
+}
+
+} // namespace vmp::cpu

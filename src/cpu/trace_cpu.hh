@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace-driven processor model: replays a reference stream against its
+ * cache at the 68020 execution rate, trapping into the software miss
+ * handler (the CacheController) on misses and servicing bus-monitor
+ * interrupts between references. This is the workhorse of the
+ * multiprocessor performance experiments (Sections 5.2, 5.3).
+ */
+
+#ifndef VMP_CPU_TRACE_CPU_HH
+#define VMP_CPU_TRACE_CPU_HH
+
+#include <functional>
+
+#include "cpu/timing.hh"
+#include "proto/controller.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "trace/ref.hh"
+
+namespace vmp::cpu
+{
+
+/** One trace-driven processor. */
+class TraceCpu
+{
+  public:
+    using Done = std::function<void()>;
+
+    TraceCpu(CpuId id, EventQueue &events,
+             proto::CacheController &controller, trace::RefSource &refs,
+             const M68020Timing &timing = {});
+    ~TraceCpu();
+
+    /** Start executing; @p done fires when the trace is exhausted. */
+    void run(Done done);
+
+    bool running() const { return running_; }
+    CpuId cpuId() const { return id_; }
+
+    // --- statistics ---
+    std::uint64_t refsExecuted() const { return refs_.value(); }
+    const Counter &refsRetired() const { return refs_; }
+    Tick startedAt() const { return startedAt_; }
+    Tick finishedAt() const { return finishedAt_; }
+    /** Total elapsed execution time. */
+    Tick elapsed() const;
+    /** Full-speed time for the retired references. */
+    Tick idealTicks() const;
+    /**
+     * Processor performance normalized to 1.0 at zero misses — the
+     * metric of Figure 3.
+     */
+    double performance() const;
+    /** Miss ratio observed by this CPU (initial misses / references). */
+    double missRatio() const;
+    void registerStats(StatGroup &group) const;
+
+  private:
+    void step();
+    void onInterruptLine();
+
+    CpuId id_;
+    EventQueue &events_;
+    proto::CacheController &controller_;
+    trace::RefSource &source_;
+    M68020Timing timing_;
+    Done done_;
+    bool running_ = false;
+    bool idleServicing_ = false;
+    Tick startedAt_ = 0;
+    Tick finishedAt_ = 0;
+    Counter refs_;
+};
+
+} // namespace vmp::cpu
+
+#endif // VMP_CPU_TRACE_CPU_HH

@@ -1,0 +1,62 @@
+#include "mem/block_copier.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::mem
+{
+
+BlockCopier::BlockCopier(std::uint32_t master_id, VmeBus &bus)
+    : masterId_(master_id), bus_(bus)
+{
+}
+
+void
+BlockCopier::start(const BusTransaction &tx, Done done)
+{
+    if (busy_)
+        panic("block copier of master ", masterId_,
+              " started while busy");
+    busy_ = true;
+    ++copies_;
+    bus_.request(tx, [this, done = std::move(done)](const TxResult &res) {
+        busy_ = false;
+        if (res.aborted)
+            ++aborted_;
+        if (done)
+            done(res);
+    });
+}
+
+void
+BlockCopier::readPage(Addr paddr, std::uint8_t *buffer,
+                      std::uint32_t bytes, bool exclusive, Done done)
+{
+    BusTransaction tx;
+    tx.type = exclusive ? TxType::ReadPrivate : TxType::ReadShared;
+    tx.requester = masterId_;
+    tx.paddr = paddr;
+    tx.bytes = bytes;
+    tx.data = buffer;
+    tx.newEntry = exclusive ? ActionEntry::Protect : ActionEntry::Shared;
+    tx.updatesTable = true;
+    start(tx, std::move(done));
+}
+
+void
+BlockCopier::writeBackPage(Addr paddr, const std::uint8_t *buffer,
+                           std::uint32_t bytes, ActionEntry after,
+                           Done done)
+{
+    BusTransaction tx;
+    tx.type = TxType::WriteBack;
+    tx.requester = masterId_;
+    tx.paddr = paddr;
+    tx.bytes = bytes;
+    // The bus only reads from this buffer for write-back transactions.
+    tx.data = const_cast<std::uint8_t *>(buffer);
+    tx.newEntry = after;
+    tx.updatesTable = true;
+    start(tx, std::move(done));
+}
+
+} // namespace vmp::mem

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The block copier embedded in each cache controller (Section 2). It
+ * moves whole cache pages between main memory and the cache over the
+ * bus's sequential block-transfer mode, concurrently with the CPU
+ * executing out of local memory, and carries the cache-page flags /
+ * action-table entry to apply if the copy succeeds.
+ */
+
+#ifndef VMP_MEM_BLOCK_COPIER_HH
+#define VMP_MEM_BLOCK_COPIER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/vme_bus.hh"
+#include "sim/stats.hh"
+
+namespace vmp::mem
+{
+
+/**
+ * One processor board's block-copy engine. At most one copy operation
+ * may be in flight per copier, matching the hardware (the CPU blocks on
+ * the cache controller mid-instruction if it references the cache while
+ * a transfer is in progress).
+ */
+class BlockCopier
+{
+  public:
+    using Done = std::function<void(const TxResult &)>;
+
+    BlockCopier(std::uint32_t master_id, VmeBus &bus);
+
+    /**
+     * Start a page read (read-shared or read-private per @p exclusive)
+     * from main memory into @p buffer.
+     */
+    void readPage(Addr paddr, std::uint8_t *buffer, std::uint32_t bytes,
+                  bool exclusive, Done done);
+
+    /**
+     * Write a page back to main memory, releasing ownership. The
+     * requester's action-table entry becomes @p after (Ignore when the
+     * page is being dropped, Shared when it is being downgraded).
+     */
+    void writeBackPage(Addr paddr, const std::uint8_t *buffer,
+                       std::uint32_t bytes, ActionEntry after, Done done);
+
+    bool busy() const { return busy_; }
+
+    const Counter &copies() const { return copies_; }
+    const Counter &abortedCopies() const { return aborted_; }
+
+  private:
+    void start(const BusTransaction &tx, Done done);
+
+    std::uint32_t masterId_;
+    VmeBus &bus_;
+    bool busy_ = false;
+    Counter copies_;
+    Counter aborted_;
+};
+
+} // namespace vmp::mem
+
+#endif // VMP_MEM_BLOCK_COPIER_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bus transaction vocabulary. Section 3.1 defines six transaction types
+ * associated with bus-monitor operation — read-shared, read-private,
+ * assert-ownership, write-back, notify and write-action-table — of which
+ * the first five are "consistency-related". DMA devices and device
+ * register accesses use normal transactions that monitors never abort.
+ */
+
+#ifndef VMP_MEM_BUS_TYPES_HH
+#define VMP_MEM_BUS_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace vmp::mem
+{
+
+/** All bus transaction types the model distinguishes. */
+enum class TxType : std::uint8_t
+{
+    ReadShared,       //!< acquire a shared copy of a cache page
+    ReadPrivate,      //!< acquire an exclusive copy of a cache page
+    AssertOwnership,  //!< gain ownership without reading from memory
+    WriteBack,        //!< write page back, releasing ownership
+    Notify,           //!< notification signal (Section 5.4)
+    WriteActionTable, //!< explicit action-table entry update
+    DmaRead,          //!< normal (non-consistency) device read
+    DmaWrite,         //!< normal (non-consistency) device write
+};
+
+/** True for the five consistency-related types of Section 3.1. */
+constexpr bool
+isConsistencyRelated(TxType type)
+{
+    switch (type) {
+      case TxType::ReadShared:
+      case TxType::ReadPrivate:
+      case TxType::AssertOwnership:
+      case TxType::WriteBack:
+      case TxType::Notify:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for types that move a block of data over the bus. */
+constexpr bool
+movesData(TxType type)
+{
+    switch (type) {
+      case TxType::ReadShared:
+      case TxType::ReadPrivate:
+      case TxType::WriteBack:
+      case TxType::DmaRead:
+      case TxType::DmaWrite:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *txTypeName(TxType type);
+
+/** 2-bit action-table entry values (Section 3.2). */
+enum class ActionEntry : std::uint8_t
+{
+    Ignore = 0b00,    //!< 00 - do nothing
+    Shared = 0b01,    //!< 01 - interrupt on read-private/assert-ownership
+    Protect = 0b10,   //!< 10 - abort + interrupt on consistency tx
+    Notify = 0b11,    //!< 11 - interrupt on notification transaction
+};
+
+const char *actionEntryName(ActionEntry entry);
+
+/**
+ * One bus transaction. @c data points at the requester-side buffer for
+ * block-moving types (destination for reads, source for write-back /
+ * DMA write); it must stay valid until the completion callback runs.
+ */
+struct BusTransaction
+{
+    TxType type = TxType::ReadShared;
+    /** Issuing master: CPU id, or a device id for DMA. */
+    std::uint32_t requester = 0;
+    /** Physical byte address (cache-page aligned for block types). */
+    Addr paddr = 0;
+    /** Transfer length in bytes (0 for non-block types). */
+    std::uint32_t bytes = 0;
+    /** Requester-side data buffer for block types. */
+    std::uint8_t *data = nullptr;
+    /**
+     * Action-table entry the issuing CPU's monitor should take for this
+     * frame if the transaction succeeds (the Section 3.2 "side effect"
+     * update). Also the payload of WriteActionTable.
+     */
+    ActionEntry newEntry = ActionEntry::Ignore;
+    /** Whether the side-effect update applies. */
+    bool updatesTable = false;
+    /**
+     * Atomic read-modify-write (DmaWrite only): the old memory value is
+     * copied into @c oldData before @c data is written, in one bus
+     * tenure — the indivisible access used for uncached test-and-set.
+     */
+    bool rmw = false;
+    std::uint8_t *oldData = nullptr;
+
+    std::string toString() const;
+};
+
+/** What a bus watcher (monitor) decides about a transaction. */
+enum class WatchVerdict : std::uint8_t
+{
+    Ignore,           //!< no action
+    Interrupt,        //!< interrupt local processor, let tx proceed
+    AbortAndInterrupt //!< abort the transaction and interrupt
+};
+
+} // namespace vmp::mem
+
+#endif // VMP_MEM_BUS_TYPES_HH

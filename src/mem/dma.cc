@@ -1,0 +1,63 @@
+#include "mem/dma.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace vmp::mem
+{
+
+DmaDevice::DmaDevice(std::uint32_t master_id, VmeBus &bus)
+    : masterId_(master_id), bus_(bus)
+{
+}
+
+void
+DmaDevice::write(Addr paddr, std::vector<std::uint8_t> data, Done done)
+{
+    if (data.empty())
+        panic("DMA write of zero bytes");
+    auto buffer =
+        std::make_shared<std::vector<std::uint8_t>>(std::move(data));
+    BusTransaction tx;
+    tx.type = TxType::DmaWrite;
+    tx.requester = masterId_;
+    tx.paddr = paddr;
+    tx.bytes = static_cast<std::uint32_t>(buffer->size());
+    tx.data = buffer->data();
+    bytesMoved_ += buffer->size();
+    ++transfers_;
+    bus_.request(tx, [buffer, done = std::move(done)](const TxResult &r) {
+        if (r.aborted)
+            panic("DMA transactions are never aborted");
+        if (done)
+            done();
+    });
+}
+
+void
+DmaDevice::read(Addr paddr, std::uint32_t bytes,
+                std::function<void(std::vector<std::uint8_t>)> done)
+{
+    if (bytes == 0)
+        panic("DMA read of zero bytes");
+    auto buffer =
+        std::make_shared<std::vector<std::uint8_t>>(bytes, 0);
+    BusTransaction tx;
+    tx.type = TxType::DmaRead;
+    tx.requester = masterId_;
+    tx.paddr = paddr;
+    tx.bytes = bytes;
+    tx.data = buffer->data();
+    bytesMoved_ += bytes;
+    ++transfers_;
+    bus_.request(tx,
+                 [buffer, done = std::move(done)](const TxResult &r) {
+                     if (r.aborted)
+                         panic("DMA transactions are never aborted");
+                     if (done)
+                         done(std::move(*buffer));
+                 });
+}
+
+} // namespace vmp::mem

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * VME-standard DMA device model (Section 3.3). DMA transfers are
+ * normal (non-consistency) block transactions that no bus monitor ever
+ * aborts; correctness comes from the software bracket around them —
+ * the OS takes a lock on the region, assert-ownership flushes every
+ * cached copy, the monitors are set to protect the frames, and only
+ * then does the device stream data.
+ */
+
+#ifndef VMP_MEM_DMA_HH
+#define VMP_MEM_DMA_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/vme_bus.hh"
+#include "sim/stats.hh"
+
+namespace vmp::mem
+{
+
+/** One DMA-capable device (disk controller, Ethernet, framebuffer). */
+class DmaDevice
+{
+  public:
+    using Done = std::function<void()>;
+
+    /**
+     * @param master_id bus master id; must not collide with any CPU
+     */
+    DmaDevice(std::uint32_t master_id, VmeBus &bus);
+
+    /** Stream @p data into memory at @p paddr (device -> memory). */
+    void write(Addr paddr, std::vector<std::uint8_t> data, Done done);
+
+    /** Read @p bytes from memory at @p paddr (memory -> device);
+     *  the data is handed to @p done. */
+    void read(Addr paddr, std::uint32_t bytes,
+              std::function<void(std::vector<std::uint8_t>)> done);
+
+    const Counter &transfers() const { return transfers_; }
+    std::uint64_t bytesMoved() const { return bytesMoved_; }
+
+  private:
+    std::uint32_t masterId_;
+    VmeBus &bus_;
+    Counter transfers_;
+    std::uint64_t bytesMoved_ = 0;
+};
+
+} // namespace vmp::mem
+
+#endif // VMP_MEM_DMA_HH

@@ -1,0 +1,89 @@
+#include "mem/phys_mem.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace vmp::mem
+{
+
+PhysMem::PhysMem(std::uint64_t bytes, std::uint32_t page_bytes)
+    : pageBytes_(page_bytes)
+{
+    if (!isPowerOf2(page_bytes))
+        fatal("physical memory page size must be a power of two");
+    if (bytes == 0 || bytes % page_bytes != 0)
+        fatal("physical memory size must be a positive multiple of the "
+              "page size");
+    data_.assign(bytes, 0);
+}
+
+std::uint64_t
+PhysMem::frameOf(Addr paddr) const
+{
+    checkRange(paddr, 1);
+    return paddr / pageBytes_;
+}
+
+Addr
+PhysMem::frameBase(std::uint64_t frame) const
+{
+    if (frame >= frames())
+        panic("frame ", frame, " out of range (", frames(), " frames)");
+    return frame * pageBytes_;
+}
+
+void
+PhysMem::checkRange(Addr paddr, std::uint32_t len) const
+{
+    if (paddr + len > data_.size() || paddr + len < paddr)
+        panic("physical access [0x", std::hex, paddr, ", +", std::dec,
+              len, ") beyond memory of ", data_.size(), " bytes");
+}
+
+void
+PhysMem::readBlock(Addr paddr, void *dst, std::uint32_t len) const
+{
+    checkRange(paddr, len);
+    std::memcpy(dst, data_.data() + paddr, len);
+}
+
+void
+PhysMem::writeBlock(Addr paddr, const void *src, std::uint32_t len)
+{
+    checkRange(paddr, len);
+    std::memcpy(data_.data() + paddr, src, len);
+    ++writes_;
+}
+
+void
+PhysMem::initBlock(Addr paddr, const void *src, std::uint32_t len)
+{
+    checkRange(paddr, len);
+    std::memcpy(data_.data() + paddr, src, len);
+    ++initWrites_;
+}
+
+void
+PhysMem::zeroInit(Addr paddr, std::uint32_t len)
+{
+    checkRange(paddr, len);
+    std::memset(data_.data() + paddr, 0, len);
+    ++initWrites_;
+}
+
+std::uint32_t
+PhysMem::readWord(Addr paddr) const
+{
+    std::uint32_t v = 0;
+    readBlock(paddr, &v, sizeof(v));
+    return v;
+}
+
+void
+PhysMem::writeWord(Addr paddr, std::uint32_t value)
+{
+    writeBlock(paddr, &value, sizeof(value));
+}
+
+} // namespace vmp::mem

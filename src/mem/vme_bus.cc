@@ -1,0 +1,230 @@
+#include "mem/vme_bus.hh"
+
+#include <sstream>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace vmp::mem
+{
+
+const char *
+txTypeName(TxType type)
+{
+    switch (type) {
+      case TxType::ReadShared: return "read-shared";
+      case TxType::ReadPrivate: return "read-private";
+      case TxType::AssertOwnership: return "assert-ownership";
+      case TxType::WriteBack: return "write-back";
+      case TxType::Notify: return "notify";
+      case TxType::WriteActionTable: return "write-action-table";
+      case TxType::DmaRead: return "dma-read";
+      case TxType::DmaWrite: return "dma-write";
+    }
+    return "?";
+}
+
+const char *
+actionEntryName(ActionEntry entry)
+{
+    switch (entry) {
+      case ActionEntry::Ignore: return "00-ignore";
+      case ActionEntry::Shared: return "01-shared";
+      case ActionEntry::Protect: return "10-protect";
+      case ActionEntry::Notify: return "11-notify";
+    }
+    return "?";
+}
+
+std::string
+BusTransaction::toString() const
+{
+    std::ostringstream os;
+    os << txTypeName(type) << " req=" << requester << " pa=0x"
+       << std::hex << paddr << std::dec << " len=" << bytes;
+    return os.str();
+}
+
+Tick
+BusTiming::blockNs(std::uint32_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    const std::uint32_t words = (bytes + 3) / 4;
+    return firstWordNs + static_cast<Tick>(words - 1) * wordNs;
+}
+
+Tick
+BusTiming::occupancy(TxType type, std::uint32_t bytes) const
+{
+    // The 150 ns check/update interval is overlapped with the block
+    // transfer (Figure 2), so block transactions cost only the
+    // transfer; short transactions cost one address/check cycle.
+    return movesData(type) ? blockNs(bytes) : shortTxNs;
+}
+
+VmeBus::VmeBus(EventQueue &events, PhysMem &memory,
+               const BusTiming &timing)
+    : events_(events), mem_(memory), timing_(timing)
+{
+}
+
+void
+VmeBus::attachWatcher(std::uint32_t id, BusWatcher &watcher)
+{
+    for (const auto &[existing, w] : watchers_) {
+        if (existing == id)
+            fatal("bus watcher for master ", id, " already attached");
+    }
+    watchers_.emplace_back(id, &watcher);
+}
+
+void
+VmeBus::request(const BusTransaction &tx, Completion done)
+{
+    if (movesData(tx.type)) {
+        if (tx.bytes == 0)
+            panic("block transaction with zero length: ", tx.toString());
+        if (tx.data == nullptr)
+            panic("block transaction without buffer: ", tx.toString());
+    }
+    queue_.push_back(Pending{tx, std::move(done), events_.now()});
+    if (!busy_)
+        grant();
+}
+
+void
+VmeBus::grant()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    const BusTransaction &tx = pending.tx;
+    const Tick queue_delay = events_.now() - pending.queuedAt;
+
+    // Consistency check: every attached monitor observes the
+    // transaction (including the requester's own).
+    bool aborted = false;
+    if (isConsistencyRelated(tx.type)) {
+        for (const auto &[id, watcher] : watchers_) {
+            const WatchVerdict verdict = watcher->observe(tx);
+            if (verdict == WatchVerdict::AbortAndInterrupt)
+                aborted = true;
+        }
+    }
+
+    const Tick bus_time = aborted
+        ? timing_.abortNs
+        : timing_.occupancy(tx.type, tx.bytes);
+    VMP_DTRACE(debug::Bus, events_.now(), tx.toString(),
+               aborted ? " ABORTED" : " granted", " busTime=",
+               bus_time);
+
+    ++transactions_;
+    ++typeCounts_[static_cast<std::uint8_t>(tx.type)];
+    queueDelays_.sample(toUsec(queue_delay));
+    if (aborted) {
+        ++aborts_;
+        ++typeAborts_[static_cast<std::uint8_t>(tx.type)];
+    }
+    busyTicks_ += bus_time;
+
+    events_.scheduleIn(bus_time,
+                       [this, p = std::move(pending), aborted,
+                        queue_delay, bus_time]() mutable {
+                           complete(std::move(p), aborted, queue_delay,
+                                    bus_time);
+                       },
+                       "bus-complete");
+}
+
+void
+VmeBus::complete(Pending pending, bool aborted, Tick queue_delay,
+                 Tick bus_time)
+{
+    const BusTransaction &tx = pending.tx;
+    if (!aborted) {
+        // Architected data movement.
+        switch (tx.type) {
+          case TxType::ReadShared:
+          case TxType::ReadPrivate:
+          case TxType::DmaRead:
+            mem_.readBlock(tx.paddr, tx.data, tx.bytes);
+            break;
+          case TxType::WriteBack:
+          case TxType::DmaWrite:
+            if (tx.rmw && tx.oldData)
+                mem_.readBlock(tx.paddr, tx.oldData, tx.bytes);
+            mem_.writeBlock(tx.paddr, tx.data, tx.bytes);
+            break;
+          default:
+            break;
+        }
+        // Concurrent action-table update on the issuing processor's
+        // monitor (only when not aborted, Section 3.2).
+        if (tx.updatesTable) {
+            for (const auto &[id, watcher] : watchers_) {
+                if (id == tx.requester)
+                    watcher->sideEffectUpdate(tx);
+            }
+        }
+    }
+
+    TxResult result;
+    result.aborted = aborted;
+    result.queueDelay = queue_delay;
+    result.busTime = bus_time;
+
+    // Grant the next queued transaction before running the completion
+    // so a retry issued from the callback queues behind existing work.
+    Completion done = std::move(pending.done);
+    grant();
+    if (done)
+        done(result);
+}
+
+double
+VmeBus::utilization() const
+{
+    const Tick now = events_.now();
+    return now == 0
+        ? 0.0
+        : static_cast<double>(busyTicks_) / static_cast<double>(now);
+}
+
+const Counter &
+VmeBus::countOf(TxType type) const
+{
+    return typeCounts_[static_cast<std::uint8_t>(type)];
+}
+
+const Counter &
+VmeBus::abortsOf(TxType type) const
+{
+    return typeAborts_[static_cast<std::uint8_t>(type)];
+}
+
+void
+VmeBus::registerStats(StatGroup &group) const
+{
+    group.addCounter("transactions", "bus transactions granted",
+                     transactions_);
+    group.addCounter("aborts", "transactions aborted by a monitor",
+                     aborts_);
+    group.addCounter("read_shared", "read-shared transactions",
+                     countOf(TxType::ReadShared));
+    group.addCounter("read_private", "read-private transactions",
+                     countOf(TxType::ReadPrivate));
+    group.addCounter("assert_ownership", "assert-ownership transactions",
+                     countOf(TxType::AssertOwnership));
+    group.addCounter("write_back", "write-back transactions",
+                     countOf(TxType::WriteBack));
+    group.addCounter("notify", "notify transactions",
+                     countOf(TxType::Notify));
+}
+
+} // namespace vmp::mem

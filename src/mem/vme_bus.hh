@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The shared VMEbus model: single-master-at-a-time FIFO arbitration,
+ * block transfers at the paper's sequential-access timing (300 ns first
+ * 32-bit word, 100 ns per subsequent word, ~40 MB/s), a 150 ns
+ * consistency-check/action-table-update interval overlapped with the
+ * transfer, and abort semantics (an aborted transaction terminates at
+ * the end of the current memory reference and moves no architected
+ * data — write-back is the only transaction that modifies main memory).
+ *
+ * Bus monitors attach as BusWatcher instances; every watcher — including
+ * the requester's own, which is what makes the alias "competing against
+ * itself" trick of Section 3.3 work — observes every consistency-related
+ * transaction and may interrupt its processor and/or abort the
+ * transaction.
+ */
+
+#ifndef VMP_MEM_VME_BUS_HH
+#define VMP_MEM_VME_BUS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/bus_types.hh"
+#include "mem/phys_mem.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp::mem
+{
+
+/** Timing parameters of bus and memory (Sections 2, 4 and 5.1). */
+struct BusTiming
+{
+    /** First sequential access to a memory board. */
+    Tick firstWordNs = 300;
+    /** Each subsequent sequential 32-bit word. */
+    Tick wordNs = 100;
+    /** Consistency-check / action-table-update interval. */
+    Tick checkNs = 150;
+    /**
+     * Bus occupancy of non-block transactions (assert-ownership,
+     * notify, write-action-table): one address/check cycle.
+     */
+    Tick shortTxNs = 450;
+    /** Occupancy of an aborted transaction (terminates at the end of
+     *  the current memory reference). */
+    Tick abortNs = 450;
+
+    /** Block transfer occupancy for @p bytes (32-bit strobes). */
+    Tick blockNs(std::uint32_t bytes) const;
+    /** Total bus occupancy of a (successful) transaction. */
+    Tick occupancy(TxType type, std::uint32_t bytes) const;
+};
+
+/**
+ * Interface bus monitors implement to watch the bus. observe() is called
+ * for every consistency-related transaction (on every watcher);
+ * sideEffectUpdate() is called only on the requester's watcher when its
+ * transaction completes unaborted, carrying the Section 3.2 concurrent
+ * action-table update.
+ */
+class BusWatcher
+{
+  public:
+    virtual ~BusWatcher() = default;
+
+    /** Decide and take local action (e.g. queue an interrupt word). */
+    virtual WatchVerdict observe(const BusTransaction &tx) = 0;
+
+    /** Action-table side-effect update for the issuing processor. */
+    virtual void sideEffectUpdate(const BusTransaction &tx) = 0;
+};
+
+/** Outcome handed to the requester's completion callback. */
+struct TxResult
+{
+    bool aborted = false;
+    /** Time the transaction spent queued waiting for the bus. */
+    Tick queueDelay = 0;
+    /** Bus occupancy of this transaction. */
+    Tick busTime = 0;
+};
+
+/** The shared bus. */
+class VmeBus
+{
+  public:
+    using Completion = std::function<void(const TxResult &)>;
+
+    VmeBus(EventQueue &events, PhysMem &memory,
+           const BusTiming &timing = {});
+
+    /**
+     * Register @p watcher as the bus monitor of master @p id. Masters
+     * without watchers (DMA devices) simply never get side-effect
+     * updates.
+     */
+    void attachWatcher(std::uint32_t id, BusWatcher &watcher);
+
+    /**
+     * Queue a transaction. The completion callback fires when the
+     * transaction leaves the bus (successfully or aborted). FIFO
+     * arbitration.
+     */
+    void request(const BusTransaction &tx, Completion done);
+
+    /** True if a transaction currently occupies the bus. */
+    bool busy() const { return busy_; }
+
+    const BusTiming &timing() const { return timing_; }
+
+    // --- statistics ---
+    const Counter &transactions() const { return transactions_; }
+    const Counter &aborts() const { return aborts_; }
+    Tick busyTicks() const { return busyTicks_; }
+    /** Bus utilization over [0, now]. */
+    double utilization() const;
+    const Counter &countOf(TxType type) const;
+    /** Aborted transactions of a given type. */
+    const Counter &abortsOf(TxType type) const;
+    /** Distribution of arbitration queueing delays (us buckets). */
+    const Histogram &queueDelays() const { return queueDelays_; }
+    void registerStats(StatGroup &group) const;
+
+  private:
+    struct Pending
+    {
+        BusTransaction tx;
+        Completion done;
+        Tick queuedAt;
+    };
+
+    void grant();
+    void complete(Pending pending, bool aborted, Tick queue_delay,
+                  Tick bus_time);
+
+    EventQueue &events_;
+    PhysMem &mem_;
+    BusTiming timing_;
+    std::vector<std::pair<std::uint32_t, BusWatcher *>> watchers_;
+    std::deque<Pending> queue_;
+    bool busy_ = false;
+
+    Counter transactions_;
+    Counter aborts_;
+    Counter typeCounts_[8];
+    Counter typeAborts_[8];
+    /** Queue delay in microseconds, 1 us buckets up to 64 us. */
+    Histogram queueDelays_{64, 1.0};
+    Tick busyTicks_ = 0;
+};
+
+} // namespace vmp::mem
+
+#endif // VMP_MEM_VME_BUS_HH

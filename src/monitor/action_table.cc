@@ -1,0 +1,72 @@
+#include "monitor/action_table.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::monitor
+{
+
+ActionTable::ActionTable(std::uint64_t mem_bytes,
+                         std::uint32_t page_bytes)
+    : pageBytes_(page_bytes)
+{
+    if (!isPowerOf2(page_bytes) || page_bytes == 0)
+        fatal("action table page size must be a power of two");
+    if (mem_bytes == 0 || mem_bytes % page_bytes != 0)
+        fatal("action table memory size must be a multiple of the page "
+              "size");
+    frames_ = mem_bytes / page_bytes;
+    bits_.assign((frames_ + 3) / 4, 0);
+}
+
+mem::ActionEntry
+ActionTable::get(std::uint64_t frame) const
+{
+    if (frame >= frames_)
+        panic("action table frame ", frame, " out of range");
+    const std::uint8_t byte = bits_[frame / 4];
+    const unsigned shift = (frame % 4) * 2;
+    return static_cast<mem::ActionEntry>((byte >> shift) & 0b11);
+}
+
+void
+ActionTable::set(std::uint64_t frame, mem::ActionEntry entry)
+{
+    if (frame >= frames_)
+        panic("action table frame ", frame, " out of range");
+    std::uint8_t &byte = bits_[frame / 4];
+    const unsigned shift = (frame % 4) * 2;
+    byte = static_cast<std::uint8_t>(
+        (byte & ~(0b11 << shift)) |
+        (static_cast<std::uint8_t>(entry) << shift));
+}
+
+mem::ActionEntry
+ActionTable::entryFor(Addr paddr) const
+{
+    return get(paddr / pageBytes_);
+}
+
+void
+ActionTable::setFor(Addr paddr, mem::ActionEntry entry)
+{
+    set(paddr / pageBytes_, entry);
+}
+
+void
+ActionTable::clear()
+{
+    std::fill(bits_.begin(), bits_.end(), 0);
+}
+
+std::vector<std::uint64_t>
+ActionTable::nonIgnoredFrames() const
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t f = 0; f < frames_; ++f) {
+        if (get(f) != mem::ActionEntry::Ignore)
+            out.push_back(f);
+    }
+    return out;
+}
+
+} // namespace vmp::monitor

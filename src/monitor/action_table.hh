@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The bus monitor's action table: a two-bit entry per physical cache
+ * page frame (Section 3.2). For the prototype's 8 MiB of physical
+ * memory this is 16/8/4 KiB of monitor memory at 128/256/512-byte
+ * pages; we store entries packed two bits each, as the hardware would.
+ */
+
+#ifndef VMP_MONITOR_ACTION_TABLE_HH
+#define VMP_MONITOR_ACTION_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/bus_types.hh"
+#include "sim/types.hh"
+
+namespace vmp::monitor
+{
+
+/** Packed 2-bit-per-frame action table. */
+class ActionTable
+{
+  public:
+    /**
+     * @param mem_bytes physical memory covered
+     * @param page_bytes cache page (frame) size
+     */
+    ActionTable(std::uint64_t mem_bytes, std::uint32_t page_bytes);
+
+    /** Number of frames covered. */
+    std::uint64_t frames() const { return frames_; }
+    /** Monitor memory consumed by the table, in bytes. */
+    std::uint64_t storageBytes() const { return bits_.size(); }
+
+    mem::ActionEntry get(std::uint64_t frame) const;
+    void set(std::uint64_t frame, mem::ActionEntry entry);
+
+    /** Entry for the frame containing physical address @p paddr. */
+    mem::ActionEntry entryFor(Addr paddr) const;
+    void setFor(Addr paddr, mem::ActionEntry entry);
+
+    /** Reset every entry to 00 (ignore). */
+    void clear();
+
+    /** Frames whose entry is not 00 (recovery sweeps, tests). */
+    std::vector<std::uint64_t> nonIgnoredFrames() const;
+
+  private:
+    std::uint64_t frames_;
+    std::uint32_t pageBytes_;
+    /** Packed storage: 4 entries per byte. */
+    std::vector<std::uint8_t> bits_;
+};
+
+} // namespace vmp::monitor
+
+#endif // VMP_MONITOR_ACTION_TABLE_HH

@@ -1,0 +1,103 @@
+#include "monitor/bus_monitor.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::monitor
+{
+
+BusMonitor::BusMonitor(std::uint32_t owner_id, std::uint64_t mem_bytes,
+                       std::uint32_t page_bytes,
+                       std::size_t fifo_capacity)
+    : ownerId_(owner_id), table_(mem_bytes, page_bytes),
+      fifo_(fifo_capacity)
+{
+}
+
+mem::WatchVerdict
+BusMonitor::decide(const mem::BusTransaction &tx) const
+{
+    using mem::ActionEntry;
+    using mem::TxType;
+    using mem::WatchVerdict;
+
+    if (!mem::isConsistencyRelated(tx.type))
+        return WatchVerdict::Ignore;
+
+    // A processor's own write-back is the legal release of a privately
+    // held page: the monitor's entry is rewritten as part of the
+    // transaction, never aborted ("write-backs ... are never aborted",
+    // Section 3.2). All other own transactions are checked normally —
+    // that is what catches virtual-address aliases (Section 3.3).
+    if (tx.requester == ownerId_ && tx.type == mem::TxType::WriteBack)
+        return WatchVerdict::Ignore;
+
+    switch (table_.entryFor(tx.paddr)) {
+      case ActionEntry::Ignore:
+        // 00 - do nothing.
+        return WatchVerdict::Ignore;
+
+      case ActionEntry::Shared:
+        // 01 - interrupt on read-private / assert-ownership; ignore
+        // read-shared and notify. A write-back against a page we hold
+        // shared is a protocol violation: abort it.
+        switch (tx.type) {
+          case TxType::ReadPrivate:
+          case TxType::AssertOwnership:
+            return WatchVerdict::Interrupt;
+          case TxType::WriteBack:
+            return WatchVerdict::AbortAndInterrupt;
+          default:
+            return WatchVerdict::Ignore;
+        }
+
+      case ActionEntry::Protect:
+        // 10 - abort and interrupt on any consistency-related
+        // transaction (including read-shared).
+        return WatchVerdict::AbortAndInterrupt;
+
+      case ActionEntry::Notify:
+        // 11 - interrupt on a notification transaction.
+        return tx.type == TxType::Notify ? WatchVerdict::Interrupt
+                                         : WatchVerdict::Ignore;
+    }
+    return WatchVerdict::Ignore;
+}
+
+mem::WatchVerdict
+BusMonitor::observe(const mem::BusTransaction &tx)
+{
+    const mem::WatchVerdict verdict = decide(tx);
+    switch (verdict) {
+      case mem::WatchVerdict::Ignore:
+        break;
+      case mem::WatchVerdict::Interrupt:
+        queueWord(tx, false);
+        break;
+      case mem::WatchVerdict::AbortAndInterrupt:
+        ++aborts_;
+        queueWord(tx, true);
+        break;
+    }
+    return verdict;
+}
+
+void
+BusMonitor::queueWord(const mem::BusTransaction &tx, bool aborted)
+{
+    fifo_.push(InterruptWord{tx.type, tx.paddr, tx.requester, aborted});
+    ++interrupts_;
+    // The interrupt line is raised even if the word was dropped: the
+    // sticky overflow flag tells software to run its recovery sweep.
+    if (line_)
+        line_();
+}
+
+void
+BusMonitor::sideEffectUpdate(const mem::BusTransaction &tx)
+{
+    // Concurrent action-table update for the issuing processor
+    // (Section 3.2): the new entry rides along with the transaction.
+    table_.setFor(tx.paddr, tx.newEntry);
+}
+
+} // namespace vmp::monitor

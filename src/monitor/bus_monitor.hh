@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The per-processor bus monitor (Section 3.2): a simple state machine
+ * that, for every consistency-related bus transaction, consults its
+ * action table and either does nothing, queues an interrupt word for
+ * its processor, or aborts the transaction and queues an interrupt
+ * word. It is deliberately *not* connected to the cache — it shares no
+ * tag or flag state with it — so it never steals processor/cache
+ * bandwidth; all cache knowledge lives in the processor's software.
+ */
+
+#ifndef VMP_MONITOR_BUS_MONITOR_HH
+#define VMP_MONITOR_BUS_MONITOR_HH
+
+#include <functional>
+
+#include "mem/bus_types.hh"
+#include "mem/vme_bus.hh"
+#include "monitor/action_table.hh"
+#include "monitor/interrupt_fifo.hh"
+#include "sim/stats.hh"
+
+namespace vmp::monitor
+{
+
+/**
+ * Bus monitor for one processor. Implements mem::BusWatcher so the bus
+ * feeds it every consistency-related transaction (including those of
+ * its own processor, which is what resolves virtual-address aliases).
+ */
+class BusMonitor : public mem::BusWatcher
+{
+  public:
+    /** Callback raising the (non-maskable) interrupt line to the CPU. */
+    using InterruptLine = std::function<void()>;
+
+    /**
+     * @param owner_id bus master id of the owning processor
+     * @param mem_bytes physical memory covered by the action table
+     * @param page_bytes cache page size
+     * @param fifo_capacity interrupt FIFO depth (128 in the prototype)
+     */
+    BusMonitor(std::uint32_t owner_id, std::uint64_t mem_bytes,
+               std::uint32_t page_bytes,
+               std::size_t fifo_capacity = 128);
+
+    std::uint32_t ownerId() const { return ownerId_; }
+
+    /** Connect the interrupt line (may be reset in tests). */
+    void setInterruptLine(InterruptLine line) { line_ = std::move(line); }
+
+    ActionTable &table() { return table_; }
+    const ActionTable &table() const { return table_; }
+    InterruptFifo &fifo() { return fifo_; }
+    const InterruptFifo &fifo() const { return fifo_; }
+
+    // --- BusWatcher interface ---
+    mem::WatchVerdict observe(const mem::BusTransaction &tx) override;
+    void sideEffectUpdate(const mem::BusTransaction &tx) override;
+
+    const Counter &interrupts() const { return interrupts_; }
+    const Counter &abortsIssued() const { return aborts_; }
+
+  private:
+    /** Pure decision function: what does the table say about @p tx? */
+    mem::WatchVerdict decide(const mem::BusTransaction &tx) const;
+
+    void queueWord(const mem::BusTransaction &tx, bool aborted);
+
+    std::uint32_t ownerId_;
+    ActionTable table_;
+    InterruptFifo fifo_;
+    InterruptLine line_;
+    Counter interrupts_;
+    Counter aborts_;
+};
+
+} // namespace vmp::monitor
+
+#endif // VMP_MONITOR_BUS_MONITOR_HH

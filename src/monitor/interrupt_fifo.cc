@@ -1,0 +1,36 @@
+#include "monitor/interrupt_fifo.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::monitor
+{
+
+InterruptFifo::InterruptFifo(std::size_t capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("interrupt FIFO capacity must be positive");
+}
+
+void
+InterruptFifo::push(const InterruptWord &word)
+{
+    if (words_.size() >= capacity_) {
+        overflowed_ = true;
+        ++dropped_;
+        return;
+    }
+    words_.push_back(word);
+    ++pushed_;
+}
+
+std::optional<InterruptWord>
+InterruptFifo::pop()
+{
+    if (words_.empty())
+        return std::nullopt;
+    InterruptWord word = words_.front();
+    words_.pop_front();
+    return word;
+}
+
+} // namespace vmp::monitor

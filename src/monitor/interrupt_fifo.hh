@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The bus monitor's interrupt FIFO (Section 3.2): up to 128 queued
+ * interrupt words, each recording the type and physical address of a
+ * bus transaction the processor must act on, plus a sticky flag set
+ * when a word is dropped because the FIFO was full — the trigger for
+ * the software's consistency recovery sweep.
+ */
+
+#ifndef VMP_MONITOR_INTERRUPT_FIFO_HH
+#define VMP_MONITOR_INTERRUPT_FIFO_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "mem/bus_types.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp::monitor
+{
+
+/** One queued interrupt word. */
+struct InterruptWord
+{
+    mem::TxType type = mem::TxType::ReadShared;
+    Addr paddr = 0;
+    /** Master that issued the transaction. */
+    std::uint32_t requester = 0;
+    /** True if this monitor aborted the transaction. */
+    bool aborted = false;
+};
+
+/** Bounded interrupt word queue with overflow flag. */
+class InterruptFifo
+{
+  public:
+    /** Hardware capacity; the prototype provides 128 entries. */
+    explicit InterruptFifo(std::size_t capacity = 128);
+
+    /** Queue a word; sets the overflow flag instead when full. */
+    void push(const InterruptWord &word);
+
+    /** Pop the oldest word, if any. */
+    std::optional<InterruptWord> pop();
+
+    bool empty() const { return words_.empty(); }
+    std::size_t size() const { return words_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** True once any word has been dropped; cleared by software. */
+    bool overflowed() const { return overflowed_; }
+    void clearOverflow() { overflowed_ = false; }
+
+    const Counter &pushed() const { return pushed_; }
+    const Counter &dropped() const { return dropped_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<InterruptWord> words_;
+    bool overflowed_ = false;
+    Counter pushed_;
+    Counter dropped_;
+};
+
+} // namespace vmp::monitor
+
+#endif // VMP_MONITOR_INTERRUPT_FIFO_HH

@@ -1,0 +1,1143 @@
+#include "proto/controller.hh"
+
+#include <memory>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace vmp::proto
+{
+
+namespace
+{
+
+/** Sentinel owningSlot for ownership acquired without a cache copy. */
+constexpr cache::SlotIndex noSlot = 0xffffffff;
+
+/** Does a protection flag set permit this access? (Mirrors the cache.) */
+bool
+protPermits(cache::SlotFlags prot, bool write, bool supervisor)
+{
+    using namespace vmp::cache;
+    if (supervisor)
+        return !write || (prot & FlagSupWritable);
+    return write ? (prot & FlagUserWritable) != 0
+                 : (prot & FlagUserReadable) != 0;
+}
+
+} // namespace
+
+CacheController::CacheController(CpuId cpu, EventQueue &events,
+                                 cache::Cache &cache,
+                                 monitor::BusMonitor &busMonitor,
+                                 mem::VmeBus &bus,
+                                 Translator &translator,
+                                 const SoftwareTiming &timing)
+    : cpuId_(cpu), events_(events), cache_(cache), monitor_(busMonitor),
+      bus_(bus), copier_(cpu, bus), translator_(translator),
+      timing_(timing), rng_(0x9E3779B9u * (cpu + 1) + 0x1234)
+{
+}
+
+Tick
+CacheController::retryDelay()
+{
+    Tick delay = timing_.retryNs;
+    if (timing_.retryJitterNs > 0)
+        delay += rng_.below(timing_.retryJitterNs + 1);
+    return delay;
+}
+
+void
+CacheController::setFaultHandler(FaultHandler handler)
+{
+    faultHandler_ = std::move(handler);
+}
+
+void
+CacheController::setNotifyHandler(NotifyHandler handler)
+{
+    notifyHandler_ = std::move(handler);
+}
+
+std::uint32_t
+CacheController::pageBytes() const
+{
+    return cache_.config().pageBytes;
+}
+
+std::uint64_t
+CacheController::frameOf(Addr paddr) const
+{
+    return paddr / pageBytes();
+}
+
+Addr
+CacheController::frameBase(Addr paddr) const
+{
+    return alignDown(paddr, pageBytes());
+}
+
+void
+CacheController::afterSoftware(Tick delay, Done fn)
+{
+    events_.scheduleIn(delay, std::move(fn), "sw");
+}
+
+void
+CacheController::releaseLoop(
+    const std::shared_ptr<std::function<void()>> &loop)
+{
+    // Looping operations (retry-until-success, FIFO drains) are closures
+    // that capture a shared_ptr to themselves so they stay alive across
+    // asynchronous steps. Once the loop terminates, that self-reference
+    // must be broken or the closure leaks; clearing is deferred one
+    // event so the currently executing target is never destroyed
+    // mid-run.
+    events_.scheduleIn(0, [loop] { *loop = nullptr; }, "loop-gc");
+}
+
+// --------------------------------------------------------------------
+// Reference entry point
+// --------------------------------------------------------------------
+
+void
+CacheController::access(Asid asid, Addr vaddr, bool write,
+                        bool supervisor, AccessDone done)
+{
+    const auto res = cache_.access(asid, vaddr, write, supervisor);
+    if (res.hit) {
+        done(AccessOutcome::Hit);
+        return;
+    }
+
+    ++missCount_;
+    VMP_DTRACE(debug::Proto, events_.now(), "cpu", cpuId_, " miss ",
+               (write ? "W" : "R"), " va=0x", std::hex, vaddr,
+               std::dec, " asid=", unsigned{asid});
+    const TranslateRequest req{asid, vaddr, write, supervisor};
+    const Tick started = events_.now();
+    switch (res.miss) {
+      case cache::MissKind::NoMatch:
+        handleFullMiss(req, started, std::move(done));
+        break;
+      case cache::MissKind::WriteShared:
+        ++ownershipCount_;
+        handleOwnershipMiss(req, *res.slot, started, std::move(done));
+        break;
+      case cache::MissKind::Protection:
+        handleProtectionMiss(req, *res.slot, started, std::move(done));
+        break;
+      case cache::MissKind::None:
+        panic("miss dispatch with MissKind::None");
+    }
+}
+
+void
+CacheController::retryAccess(const TranslateRequest &req, Tick started,
+                             AccessDone done)
+{
+    // The processor re-traps on the retried instruction; pending
+    // monitor interrupts are taken first, which is what resolves the
+    // self-competition (alias) aborts.
+    ++retryCount_;
+    serviceInterrupts([this, req, started, done = std::move(done)] {
+        afterSoftware(retryDelay(), [this, req, started, done] {
+            const auto res = cache_.access(req.asid, req.vaddr,
+                                           req.write, req.supervisor);
+            if (res.hit) {
+                missStall_ += events_.now() - started;
+                done(AccessOutcome::MissCompleted);
+                return;
+            }
+            switch (res.miss) {
+              case cache::MissKind::NoMatch:
+                handleFullMiss(req, started, done);
+                break;
+              case cache::MissKind::WriteShared:
+                handleOwnershipMiss(req, *res.slot, started, done);
+                break;
+              case cache::MissKind::Protection:
+                handleProtectionMiss(req, *res.slot, started, done);
+                break;
+              case cache::MissKind::None:
+                panic("retry dispatch with MissKind::None");
+            }
+        });
+    });
+}
+
+// --------------------------------------------------------------------
+// Full miss: trap, translate, retire victim, block-copy fill
+// --------------------------------------------------------------------
+
+void
+CacheController::handleFullMiss(TranslateRequest req, Tick started,
+                                AccessDone done)
+{
+    afterSoftware(timing_.trapEntryNs, [this, req, started,
+                                        done = std::move(done)] {
+        translator_.translate(
+            req, *this,
+            [this, req, started, done](const TranslateResult &result) {
+                if (!result.ok) {
+                    if (!faultHandler_)
+                        fatal("page fault at 0x", std::hex, req.vaddr,
+                              std::dec, " (asid ",
+                              unsigned{req.asid},
+                              ") with no fault handler installed");
+                    faultHandler_(req, [this, req, started, done] {
+                        retryAccess(req, started, done);
+                    });
+                    return;
+                }
+                if (!protPermits(result.prot, req.write,
+                                 req.supervisor)) {
+                    if (!faultHandler_)
+                        fatal("protection violation at 0x", std::hex,
+                              req.vaddr, std::dec);
+                    faultHandler_(req, [this, req, started, done] {
+                        retryAccess(req, started, done);
+                    });
+                    return;
+                }
+                missWithTranslation(req, result, started, done);
+            });
+    });
+}
+
+void
+CacheController::missWithTranslation(const TranslateRequest &req,
+                                     const TranslateResult &result,
+                                     Tick started, AccessDone done)
+{
+    const cache::SlotIndex victim = cache_.victimFor(req.vaddr);
+    retireVictim(victim, [this, req, result, victim, started,
+                          done = std::move(done)] {
+        afterSoftware(timing_.postNs,
+                      [this, req, result, victim, started, done] {
+                          issueFill(req, result, victim, started, done);
+                      });
+    });
+}
+
+void
+CacheController::forgetSlot(cache::SlotIndex slot)
+{
+    const auto it = slotFrame_.find(slot);
+    if (it == slotFrame_.end())
+        return;
+    const std::uint64_t frame = it->second;
+    slotFrame_.erase(it);
+    // Drop the frame bookkeeping once no slot caches it any more.
+    bool still_held = false;
+    for (const auto &[s, f] : slotFrame_)
+        still_held = still_held || f == frame;
+    if (!still_held)
+        frames_.erase(frame);
+}
+
+void
+CacheController::retireVictim(cache::SlotIndex victim, Done done)
+{
+    cache::Slot &slot = cache_.slot(victim);
+    if (!slot.valid()) {
+        afterSoftware(timing_.overlapNs, std::move(done));
+        return;
+    }
+
+    const auto frame_it = slotFrame_.find(victim);
+    if (frame_it == slotFrame_.end())
+        panic("cpu", cpuId_, ": valid victim slot ", victim,
+              " has no frame bookkeeping");
+    const std::uint64_t frame = frame_it->second;
+    const Addr base = frame * pageBytes();
+
+    if (slot.modified()) {
+        // Dirty implies privately owned: write the page back,
+        // releasing ownership (entry -> 00), overlapped with up to
+        // overlapNs of bookkeeping.
+        auto buffer = std::make_shared<std::vector<std::uint8_t>>(
+            slot.data);
+        forgetSlot(victim);
+        cache_.invalidate(victim);
+        ++writeBackCount_;
+
+        auto remaining = std::make_shared<int>(2);
+        auto join = [remaining, done = std::move(done)] {
+            if (--*remaining == 0)
+                done();
+        };
+
+        // Write-back retries until it succeeds; an abort can only come
+        // from another monitor's stale entry and resolves once that
+        // processor services its interrupt.
+        auto attempt = std::make_shared<std::function<void()>>();
+        *attempt = [this, base, buffer, frame, join, attempt] {
+            copier_.writeBackPage(
+                base, buffer->data(), pageBytes(),
+                mem::ActionEntry::Ignore,
+                [this, frame, join, attempt](const mem::TxResult &res) {
+                    if (res.aborted) {
+                        ++violationCount_;
+                        afterSoftware(retryDelay(), *attempt);
+                        return;
+                    }
+                    shadow_[frame] = mem::ActionEntry::Ignore;
+                    releaseLoop(attempt);
+                    join();
+                });
+        };
+        (*attempt)();
+        afterSoftware(timing_.overlapNs, join);
+        return;
+    }
+
+    // Clean victim.
+    const auto info_it = frames_.find(frame);
+    const bool was_private = info_it != frames_.end() &&
+        info_it->second.state == FrameState::Private;
+    forgetSlot(victim);
+    cache_.invalidate(victim);
+
+    if (was_private && frames_.find(frame) == frames_.end()) {
+        // A privately held (but clean) page is being dropped: the
+        // Protect entry must not go stale or it would abort every
+        // other master's access to the frame forever. Release it with
+        // an explicit action-table write, overlapped with bookkeeping.
+        auto remaining = std::make_shared<int>(2);
+        auto join = [remaining, done = std::move(done)] {
+            if (--*remaining == 0)
+                done();
+        };
+        writeActionTable(base, mem::ActionEntry::Ignore, join);
+        afterSoftware(timing_.overlapNs, join);
+    } else {
+        // Shared (or still-aliased) victim: leave the 01 entry stale;
+        // a later spurious interrupt cleans it up lazily. This keeps
+        // the common replacement path free of extra bus transactions.
+        afterSoftware(timing_.overlapNs, std::move(done));
+    }
+}
+
+void
+CacheController::issueFill(const TranslateRequest &req,
+                           const TranslateResult &result,
+                           cache::SlotIndex victim, Tick started,
+                           AccessDone done)
+{
+    const Addr base = frameBase(result.paddr);
+    const std::uint64_t frame = frameOf(result.paddr);
+    auto staging =
+        std::make_shared<std::vector<std::uint8_t>>(pageBytes());
+
+    // Non-shared memory (Section 5.4 hint) is fetched with
+    // read-private even on a read miss, pre-empting the later
+    // assert-ownership upgrade on the first write.
+    const bool exclusive = req.write || result.privateHint;
+    if (!req.write && result.privateHint)
+        ++hintedPrivateFills_;
+    copier_.readPage(
+        base, staging->data(), pageBytes(), exclusive,
+        [this, req, result, victim, started, done = std::move(done),
+         staging, base, frame, exclusive](const mem::TxResult &res) {
+            if (res.aborted) {
+                // The instruction re-traps and retries (Section 2):
+                // cache flags were left unchanged.
+                retryAccess(req, started, done);
+                return;
+            }
+            cache::SlotFlags flags = result.prot;
+            if (exclusive)
+                flags = static_cast<cache::SlotFlags>(
+                    flags | cache::FlagExclusive);
+            cache_.fill(victim, cache_.tagFor(req.asid, req.vaddr),
+                        flags);
+            if (cache_.config().storeData)
+                cache_.writeBytes(victim, 0, staging->data(),
+                                  pageBytes());
+            slotFrame_[victim] = frame;
+            FrameInfo &info = frames_[frame];
+            if (exclusive) {
+                info.state = FrameState::Private;
+                info.owningSlot = victim;
+            } else {
+                // Shared fill. (A private state here is impossible:
+                // our own monitor would have aborted the read-shared.)
+                info.state = FrameState::Shared;
+                info.owningSlot = 0xffffffff;
+            }
+            shadow_[frame] = exclusive ? mem::ActionEntry::Protect
+                                       : mem::ActionEntry::Shared;
+            missStall_ += events_.now() - started;
+            done(AccessOutcome::MissCompleted);
+        });
+}
+
+// --------------------------------------------------------------------
+// Ownership (write-to-shared) and protection misses
+// --------------------------------------------------------------------
+
+void
+CacheController::handleOwnershipMiss(TranslateRequest req,
+                                     cache::SlotIndex slot,
+                                     Tick started, AccessDone done)
+{
+    const auto frame_it = slotFrame_.find(slot);
+    if (frame_it == slotFrame_.end())
+        panic("cpu", cpuId_, ": ownership miss on untracked slot");
+    const std::uint64_t frame = frame_it->second;
+    const Addr base = frame * pageBytes();
+
+    // The handler consults the page tables before granting write
+    // access: this re-validates protection against a concurrent
+    // mapping change and lets the VM system maintain the PTE modified
+    // bit (Section 3.4).
+    afterSoftware(timing_.trapEntryNs, [this, req, slot, frame, base,
+                                        started,
+                                        done = std::move(done)] {
+        translator_.translate(
+            req, *this,
+            [this, req, slot, frame, base, started,
+             done](const TranslateResult &result) {
+                if (!result.ok ||
+                    !protPermits(result.prot, req.write,
+                                 req.supervisor)) {
+                    if (!faultHandler_)
+                        fatal("write fault at 0x", std::hex, req.vaddr,
+                              std::dec, " during ownership upgrade");
+                    faultHandler_(req, [this, req, started, done] {
+                        retryAccess(req, started, done);
+                    });
+                    return;
+                }
+                if (frameOf(result.paddr) != frame) {
+                    // The mapping changed under us: drop the stale
+                    // slot and redo the access from scratch.
+                    cache_.invalidate(slot);
+                    forgetSlot(slot);
+                    retryAccess(req, started, done);
+                    return;
+                }
+                afterSoftware(timing_.ownershipNs, [this, req, slot,
+                                                    frame, base,
+                                                    started, done] {
+                    mem::BusTransaction tx;
+                    tx.type = mem::TxType::AssertOwnership;
+                    tx.requester = cpuId_;
+                    tx.paddr = base;
+                    tx.newEntry = mem::ActionEntry::Protect;
+                    tx.updatesTable = true;
+                    bus_.request(tx, [this, req, slot, frame, started,
+                                      done](const mem::TxResult &res) {
+                        if (res.aborted) {
+                            retryAccess(req, started, done);
+                            return;
+                        }
+                        // We now own the frame exclusively. Other
+                        // caches (and our own aliases, via the
+                        // self-echo interrupt word) discard their
+                        // copies in parallel.
+                        cache::Slot &s = cache_.slot(slot);
+                        if (s.valid()) {
+                            cache_.setFlags(
+                                slot, static_cast<cache::SlotFlags>(
+                                          s.flags |
+                                          cache::FlagExclusive));
+                        }
+                        FrameInfo &info = frames_[frame];
+                        info.state = FrameState::Private;
+                        info.owningSlot = slot;
+                        shadow_[frame] = mem::ActionEntry::Protect;
+                        missStall_ += events_.now() - started;
+                        done(AccessOutcome::MissCompleted);
+                    });
+                });
+            });
+    });
+}
+
+void
+CacheController::handleProtectionMiss(TranslateRequest req,
+                                      cache::SlotIndex slot,
+                                      Tick started, AccessDone done)
+{
+    afterSoftware(timing_.trapEntryNs, [this, req, slot, started,
+                                        done = std::move(done)] {
+        translator_.translate(
+            req, *this,
+            [this, req, slot, started,
+             done](const TranslateResult &result) {
+                if (!result.ok ||
+                    !protPermits(result.prot, req.write,
+                                 req.supervisor)) {
+                    if (!faultHandler_)
+                        fatal("protection fault at 0x", std::hex,
+                              req.vaddr, std::dec, " (asid ",
+                              unsigned{req.asid}, ")");
+                    faultHandler_(req, [this, req, started, done] {
+                        retryAccess(req, started, done);
+                    });
+                    return;
+                }
+                // The page tables grant the access: refresh the slot's
+                // protection flags and retry (the retry resolves any
+                // remaining ownership requirement).
+                cache::Slot &s = cache_.slot(slot);
+                if (s.valid()) {
+                    const cache::SlotFlags keep =
+                        static_cast<cache::SlotFlags>(
+                            s.flags & (cache::FlagModified |
+                                       cache::FlagExclusive));
+                    cache_.setFlags(
+                        slot, static_cast<cache::SlotFlags>(
+                                  cache::FlagValid | result.prot |
+                                  keep));
+                }
+                retryAccess(req, started, done);
+            });
+    });
+}
+
+// --------------------------------------------------------------------
+// Data plane
+// --------------------------------------------------------------------
+
+void
+CacheController::readWord(Asid asid, Addr vaddr, bool supervisor,
+                          std::function<void(std::uint32_t)> done)
+{
+    access(asid, vaddr, false, supervisor,
+           [this, asid, vaddr, supervisor,
+            done = std::move(done)](AccessOutcome) {
+               const auto res =
+                   cache_.probe(asid, vaddr, false, supervisor);
+               if (!res.hit)
+                   panic("cpu", cpuId_,
+                         ": readWord probe missed after access");
+               std::uint32_t value = 0;
+               cache_.readBytes(*res.slot, cache_.offsetOf(vaddr),
+                                &value, sizeof(value));
+               done(value);
+           });
+}
+
+void
+CacheController::writeWord(Asid asid, Addr vaddr, std::uint32_t value,
+                           bool supervisor, Done done)
+{
+    access(asid, vaddr, true, supervisor,
+           [this, asid, vaddr, value, supervisor,
+            done = std::move(done)](AccessOutcome) {
+               const auto res =
+                   cache_.probe(asid, vaddr, true, supervisor);
+               if (!res.hit)
+                   panic("cpu", cpuId_,
+                         ": writeWord probe missed after access");
+               cache::Slot &s = cache_.slot(*res.slot);
+               s.flags = static_cast<cache::SlotFlags>(
+                   s.flags | cache::FlagModified);
+               cache_.writeBytes(*res.slot, cache_.offsetOf(vaddr),
+                                 &value, sizeof(value));
+               done();
+           });
+}
+
+// --------------------------------------------------------------------
+// Interrupt service
+// --------------------------------------------------------------------
+
+bool
+CacheController::interruptPending() const
+{
+    return !monitor_.fifo().empty() || monitor_.fifo().overflowed();
+}
+
+void
+CacheController::serviceInterrupts(Done done)
+{
+    if (!interruptPending()) {
+        done();
+        return;
+    }
+    const Tick started = events_.now();
+    auto finish = [this, started, done = std::move(done)] {
+        serviceStall_ += events_.now() - started;
+        done();
+    };
+
+    auto drain = std::make_shared<std::function<void()>>();
+    *drain = [this, drain, finish = std::move(finish)] {
+        if (monitor_.fifo().overflowed()) {
+            monitor_.fifo().clearOverflow();
+            recoverFromOverflow(*drain);
+            return;
+        }
+        const auto word = monitor_.fifo().pop();
+        if (!word) {
+            releaseLoop(drain);
+            finish();
+            return;
+        }
+        ++serviceCount_;
+        VMP_DTRACE(debug::Monitor, events_.now(), "cpu", cpuId_,
+                   " service word ", mem::txTypeName(word->type),
+                   " pa=0x", std::hex, word->paddr, std::dec,
+                   " from=", word->requester,
+                   word->aborted ? " (aborted)" : "");
+        afterSoftware(timing_.serviceNs, [this, w = *word, drain] {
+            serviceWord(w, *drain);
+        });
+    };
+    (*drain)();
+}
+
+void
+CacheController::serviceWord(const monitor::InterruptWord &word,
+                             Done next)
+{
+    const std::uint64_t frame = frameOf(word.paddr);
+    const Addr base = frame * pageBytes();
+    const auto info_it = frames_.find(frame);
+
+    switch (word.type) {
+      case mem::TxType::Notify:
+        if (notifyHandler_)
+            notifyHandler_(word.paddr);
+        next();
+        return;
+
+      case mem::TxType::WriteBack:
+        // We aborted someone's write-back. The writer owns the page,
+        // so any entry (or copy) we still have for the frame is stale
+        // — typically a lazily-left 01 from a clean replacement. Clear
+        // it so the writer's retry can succeed; a dirty copy of our
+        // own here would be a genuine protocol violation.
+        {
+            bool genuine = false;
+            std::vector<cache::SlotIndex> drop;
+            for (const auto &[slot, f] : slotFrame_) {
+                if (f == frame)
+                    drop.push_back(slot);
+            }
+            for (const auto slot : drop) {
+                genuine = genuine || cache_.slot(slot).modified();
+                cache_.invalidate(slot);
+                forgetSlot(slot);
+            }
+            frames_.erase(frame);
+            if (genuine)
+                ++violationCount_;
+            if (shadowEntry(word.paddr) != mem::ActionEntry::Ignore) {
+                ++spuriousCount_;
+                writeActionTable(base, mem::ActionEntry::Ignore, next);
+                return;
+            }
+        }
+        next();
+        return;
+
+      case mem::TxType::ReadShared:
+        // Only queued when we aborted it: we hold the frame privately
+        // (possibly via an alias of our own). Downgrade to shared.
+        if (info_it == frames_.end()) {
+            // Stale Protect entry with no bookkeeping: clean it up.
+            ++spuriousCount_;
+            if (shadowEntry(word.paddr) != mem::ActionEntry::Ignore) {
+                writeActionTable(base, mem::ActionEntry::Ignore, next);
+            } else {
+                next();
+            }
+            return;
+        }
+        downgradeFrame(frame, std::move(next));
+        return;
+
+      case mem::TxType::ReadPrivate:
+      case mem::TxType::AssertOwnership:
+        if (info_it == frames_.end()) {
+            ++spuriousCount_;
+            if (shadowEntry(word.paddr) != mem::ActionEntry::Ignore) {
+                writeActionTable(base, mem::ActionEntry::Ignore, next);
+            } else {
+                next();
+            }
+            return;
+        }
+        if (word.requester == cpuId_ && !word.aborted) {
+            // Echo of our own successful acquisition: discard our other
+            // (alias) copies of the frame, keeping the acquiring slot.
+            const cache::SlotIndex keep = info_it->second.owningSlot;
+            std::vector<cache::SlotIndex> drop;
+            for (const auto &[slot, f] : slotFrame_) {
+                if (f == frame && slot != keep)
+                    drop.push_back(slot);
+            }
+            for (const auto slot : drop) {
+                cache_.invalidate(slot);
+                forgetSlot(slot);
+            }
+            next();
+            return;
+        }
+        // Another master wants the frame privately (or we aborted our
+        // own transaction against a page we hold): relinquish.
+        relinquishFrame(frame, std::move(next));
+        return;
+
+      default:
+        panic("cpu", cpuId_, ": unexpected interrupt word type ",
+              mem::txTypeName(word.type));
+    }
+}
+
+void
+CacheController::relinquishFrame(std::uint64_t frame, Done next)
+{
+    const Addr base = frame * pageBytes();
+    const auto info_it = frames_.find(frame);
+    if (info_it == frames_.end()) {
+        next();
+        return;
+    }
+    const FrameState state = info_it->second.state;
+
+    // Collect and drop every slot caching this frame, remembering any
+    // dirty contents for the write-back.
+    std::shared_ptr<std::vector<std::uint8_t>> dirty;
+    std::vector<cache::SlotIndex> drop;
+    for (const auto &[slot, f] : slotFrame_) {
+        if (f == frame)
+            drop.push_back(slot);
+    }
+    for (const auto slot : drop) {
+        cache::Slot &s = cache_.slot(slot);
+        if (s.valid() && s.modified())
+            dirty = std::make_shared<std::vector<std::uint8_t>>(s.data);
+        cache_.invalidate(slot);
+        forgetSlot(slot);
+    }
+    frames_.erase(frame);
+
+    if (dirty) {
+        ++writeBackCount_;
+        auto attempt = std::make_shared<std::function<void()>>();
+        *attempt = [this, base, frame, dirty, next = std::move(next),
+                    attempt] {
+            copier_.writeBackPage(
+                base, dirty->data(), pageBytes(),
+                mem::ActionEntry::Ignore,
+                [this, frame, next, attempt](const mem::TxResult &res) {
+                    if (res.aborted) {
+                        ++violationCount_;
+                        afterSoftware(retryDelay(), *attempt);
+                        return;
+                    }
+                    shadow_[frame] = mem::ActionEntry::Ignore;
+                    releaseLoop(attempt);
+                    next();
+                });
+        };
+        (*attempt)();
+        return;
+    }
+
+    // Clean: release via an explicit action-table write when the entry
+    // could be non-00 (shared copies or clean private).
+    (void)state;
+    if (shadowEntry(base) != mem::ActionEntry::Ignore) {
+        writeActionTable(base, mem::ActionEntry::Ignore,
+                         std::move(next));
+    } else {
+        next();
+    }
+}
+
+void
+CacheController::downgradeFrame(std::uint64_t frame, Done next)
+{
+    const Addr base = frame * pageBytes();
+    const auto info_it = frames_.find(frame);
+    if (info_it == frames_.end()) {
+        next();
+        return;
+    }
+    // Clear exclusive/modified on our copies, capturing dirty data.
+    std::shared_ptr<std::vector<std::uint8_t>> dirty;
+    bool any_slot = false;
+    for (const auto &[slot, f] : slotFrame_) {
+        if (f != frame)
+            continue;
+        cache::Slot &s = cache_.slot(slot);
+        if (!s.valid())
+            continue;
+        any_slot = true;
+        if (s.modified())
+            dirty = std::make_shared<std::vector<std::uint8_t>>(s.data);
+        s.flags = static_cast<cache::SlotFlags>(
+            s.flags &
+            ~(cache::FlagExclusive | cache::FlagModified));
+    }
+
+    if (!any_slot) {
+        // Ownership held without a cached copy (DMA bracket): release
+        // it entirely rather than leaving a stale shared entry.
+        frames_.erase(info_it);
+        writeActionTable(base, mem::ActionEntry::Ignore,
+                         std::move(next));
+        return;
+    }
+
+    FrameInfo &info = info_it->second;
+    info.state = FrameState::Shared;
+    info.owningSlot = noSlot;
+
+    if (dirty) {
+        ++writeBackCount_;
+        auto attempt = std::make_shared<std::function<void()>>();
+        *attempt = [this, base, frame, dirty, next = std::move(next),
+                    attempt] {
+            copier_.writeBackPage(
+                base, dirty->data(), pageBytes(),
+                mem::ActionEntry::Shared,
+                [this, frame, next, attempt](const mem::TxResult &res) {
+                    if (res.aborted) {
+                        ++violationCount_;
+                        afterSoftware(retryDelay(), *attempt);
+                        return;
+                    }
+                    shadow_[frame] = mem::ActionEntry::Shared;
+                    releaseLoop(attempt);
+                    next();
+                });
+        };
+        (*attempt)();
+        return;
+    }
+
+    // Clean private copy: memory is already current; just move the
+    // entry from 10 to 01.
+    writeActionTable(base, mem::ActionEntry::Shared, std::move(next));
+}
+
+void
+CacheController::recoverFromOverflow(Done done)
+{
+    ++recoveryCount_;
+    // Conservative recovery (Section 3.3): discard every shared entry
+    // and clear the matching action-table entries. Privately owned
+    // pages are safe — requests against them are aborted and retried,
+    // so their interrupt words regenerate.
+    std::vector<std::uint64_t> shared_frames;
+    for (const auto &[frame, info] : frames_) {
+        if (info.state == FrameState::Shared)
+            shared_frames.push_back(frame);
+    }
+    for (const auto frame : shared_frames) {
+        std::vector<cache::SlotIndex> drop;
+        for (const auto &[slot, f] : slotFrame_) {
+            if (f == frame)
+                drop.push_back(slot);
+        }
+        for (const auto slot : drop) {
+            cache_.invalidate(slot);
+            forgetSlot(slot);
+        }
+        frames_.erase(frame);
+    }
+
+    // Clear the table entries one bus write at a time.
+    auto remaining =
+        std::make_shared<std::vector<std::uint64_t>>(shared_frames);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, remaining, done = std::move(done), step] {
+        while (!remaining->empty() &&
+               shadowEntry(remaining->back() * pageBytes()) ==
+                   mem::ActionEntry::Ignore) {
+            remaining->pop_back();
+        }
+        if (remaining->empty()) {
+            releaseLoop(step);
+            done();
+            return;
+        }
+        const std::uint64_t frame = remaining->back();
+        remaining->pop_back();
+        writeActionTable(frame * pageBytes(), mem::ActionEntry::Ignore,
+                         *step);
+    };
+    (*step)();
+}
+
+// --------------------------------------------------------------------
+// VM / synchronization support operations
+// --------------------------------------------------------------------
+
+void
+CacheController::assertOwnership(Addr paddr, Done done)
+{
+    const std::uint64_t frame = frameOf(paddr);
+    const auto info_it = frames_.find(frame);
+    if (info_it != frames_.end() &&
+        info_it->second.state == FrameState::Private) {
+        done();
+        return;
+    }
+
+    auto attempt = std::make_shared<std::function<void()>>();
+    *attempt = [this, paddr, frame, done = std::move(done), attempt] {
+        mem::BusTransaction tx;
+        tx.type = mem::TxType::AssertOwnership;
+        tx.requester = cpuId_;
+        tx.paddr = frameBase(paddr);
+        tx.newEntry = mem::ActionEntry::Protect;
+        tx.updatesTable = true;
+        bus_.request(tx, [this, frame, done,
+                          attempt](const mem::TxResult &res) {
+            if (res.aborted) {
+                ++retryCount_;
+                // Service our own words first: the abort may be our
+                // own monitor protecting an alias we hold.
+                serviceInterrupts([this, attempt] {
+                    afterSoftware(retryDelay(), *attempt);
+                });
+                return;
+            }
+            FrameInfo &info = frames_[frame];
+            info.state = FrameState::Private;
+            info.owningSlot = noSlot;
+            shadow_[frame] = mem::ActionEntry::Protect;
+            releaseLoop(attempt);
+            done();
+        });
+    };
+    (*attempt)();
+}
+
+void
+CacheController::releaseProtection(Addr paddr, Done done)
+{
+    const std::uint64_t frame = frameOf(paddr);
+    bool has_slots = false;
+    for (const auto &[slot, f] : slotFrame_)
+        has_slots = has_slots || f == frame;
+
+    const auto info_it = frames_.find(frame);
+    if (info_it != frames_.end()) {
+        if (has_slots) {
+            info_it->second.state = FrameState::Shared;
+            info_it->second.owningSlot = noSlot;
+        } else {
+            frames_.erase(info_it);
+        }
+    }
+    writeActionTable(paddr,
+                     has_slots ? mem::ActionEntry::Shared
+                               : mem::ActionEntry::Ignore,
+                     std::move(done));
+}
+
+void
+CacheController::notifyFrame(Addr paddr, Done done)
+{
+    auto attempt = std::make_shared<std::function<void()>>();
+    *attempt = [this, paddr, done = std::move(done), attempt] {
+        mem::BusTransaction tx;
+        tx.type = mem::TxType::Notify;
+        tx.requester = cpuId_;
+        tx.paddr = frameBase(paddr);
+        bus_.request(tx, [this, done, attempt](const mem::TxResult &r) {
+            if (r.aborted) {
+                afterSoftware(retryDelay(), *attempt);
+                return;
+            }
+            releaseLoop(attempt);
+            done();
+        });
+    };
+    (*attempt)();
+}
+
+void
+CacheController::writeActionTable(Addr paddr, mem::ActionEntry entry,
+                                  Done done)
+{
+    mem::BusTransaction tx;
+    tx.type = mem::TxType::WriteActionTable;
+    tx.requester = cpuId_;
+    tx.paddr = frameBase(paddr);
+    tx.newEntry = entry;
+    tx.updatesTable = true;
+    const std::uint64_t frame = frameOf(paddr);
+    bus_.request(tx, [this, frame, entry,
+                      done = std::move(done)](const mem::TxResult &) {
+        shadow_[frame] = entry;
+        done();
+    });
+}
+
+void
+CacheController::uncachedRead(Addr paddr,
+                              std::function<void(std::uint32_t)> done)
+{
+    auto buf = std::make_shared<std::uint32_t>(0);
+    mem::BusTransaction tx;
+    tx.type = mem::TxType::DmaRead;
+    tx.requester = cpuId_;
+    tx.paddr = paddr;
+    tx.bytes = 4;
+    tx.data = reinterpret_cast<std::uint8_t *>(buf.get());
+    bus_.request(tx, [buf, done = std::move(done)](const mem::TxResult &) {
+        done(*buf);
+    });
+}
+
+void
+CacheController::uncachedWrite(Addr paddr, std::uint32_t value,
+                               Done done)
+{
+    auto buf = std::make_shared<std::uint32_t>(value);
+    mem::BusTransaction tx;
+    tx.type = mem::TxType::DmaWrite;
+    tx.requester = cpuId_;
+    tx.paddr = paddr;
+    tx.bytes = 4;
+    tx.data = reinterpret_cast<std::uint8_t *>(buf.get());
+    bus_.request(tx,
+                 [buf, done = std::move(done)](const mem::TxResult &) {
+                     done();
+                 });
+}
+
+void
+CacheController::uncachedTas(Addr paddr,
+                             std::function<void(std::uint32_t)> done)
+{
+    auto new_value = std::make_shared<std::uint32_t>(1);
+    auto old_value = std::make_shared<std::uint32_t>(0);
+    mem::BusTransaction tx;
+    tx.type = mem::TxType::DmaWrite;
+    tx.requester = cpuId_;
+    tx.paddr = paddr;
+    tx.bytes = 4;
+    tx.data = reinterpret_cast<std::uint8_t *>(new_value.get());
+    tx.rmw = true;
+    tx.oldData = reinterpret_cast<std::uint8_t *>(old_value.get());
+    bus_.request(tx, [new_value, old_value,
+                      done = std::move(done)](const mem::TxResult &) {
+        done(*old_value);
+    });
+}
+
+void
+CacheController::flushFrame(Addr paddr, Done done)
+{
+    const std::uint64_t frame = frameOf(paddr);
+    const Addr base = frame * pageBytes();
+
+    std::shared_ptr<std::vector<std::uint8_t>> dirty;
+    std::vector<cache::SlotIndex> drop;
+    for (const auto &[slot, f] : slotFrame_) {
+        if (f == frame)
+            drop.push_back(slot);
+    }
+    for (const auto slot : drop) {
+        cache::Slot &s = cache_.slot(slot);
+        if (s.valid() && s.modified())
+            dirty = std::make_shared<std::vector<std::uint8_t>>(s.data);
+        cache_.invalidate(slot);
+        forgetSlot(slot);
+    }
+    // We still own the frame (protection retained for the caller).
+    FrameInfo &info = frames_[frame];
+    info.state = FrameState::Private;
+    info.owningSlot = noSlot;
+
+    if (!dirty) {
+        done();
+        return;
+    }
+    ++writeBackCount_;
+    auto attempt = std::make_shared<std::function<void()>>();
+    *attempt = [this, base, frame, dirty, done = std::move(done),
+                attempt] {
+        copier_.writeBackPage(
+            base, dirty->data(), pageBytes(), mem::ActionEntry::Protect,
+            [this, frame, done, attempt](const mem::TxResult &res) {
+                if (res.aborted) {
+                    ++violationCount_;
+                    afterSoftware(retryDelay(), *attempt);
+                    return;
+                }
+                shadow_[frame] = mem::ActionEntry::Protect;
+                releaseLoop(attempt);
+                done();
+            });
+    };
+    (*attempt)();
+}
+
+void
+CacheController::invalidateFrame(Addr paddr)
+{
+    const std::uint64_t frame = frameOf(paddr);
+    std::vector<cache::SlotIndex> drop;
+    for (const auto &[slot, f] : slotFrame_) {
+        if (f == frame)
+            drop.push_back(slot);
+    }
+    for (const auto slot : drop) {
+        cache_.invalidate(slot);
+        forgetSlot(slot);
+    }
+    frames_.erase(frame);
+}
+
+// --------------------------------------------------------------------
+// Introspection and statistics
+// --------------------------------------------------------------------
+
+const FrameInfo *
+CacheController::frameInfo(Addr paddr) const
+{
+    const auto it = frames_.find(frameOf(paddr));
+    return it == frames_.end() ? nullptr : &it->second;
+}
+
+mem::ActionEntry
+CacheController::shadowEntry(Addr paddr) const
+{
+    const auto it = shadow_.find(frameOf(paddr));
+    return it == shadow_.end() ? mem::ActionEntry::Ignore : it->second;
+}
+
+void
+CacheController::registerStats(StatGroup &group) const
+{
+    group.addCounter("misses", "references that missed in the cache",
+                     missCount_);
+    group.addCounter("ownership_misses",
+                     "write misses upgraded with assert-ownership",
+                     ownershipCount_);
+    group.addCounter("hinted_private_fills",
+                     "read misses served read-private (non-shared "
+                     "hint)",
+                     hintedPrivateFills_);
+    group.addCounter("retries", "aborted transactions retried",
+                     retryCount_);
+    group.addCounter("words_serviced",
+                     "bus-monitor interrupt words serviced",
+                     serviceCount_);
+    group.addCounter("spurious_words",
+                     "interrupt words against stale table entries",
+                     spuriousCount_);
+    group.addCounter("write_backs", "cache pages written back",
+                     writeBackCount_);
+    group.addCounter("protocol_violations",
+                     "aborted write-backs observed", violationCount_);
+    group.addCounter("overflow_recoveries",
+                     "interrupt FIFO overflow recovery sweeps",
+                     recoveryCount_);
+}
+
+} // namespace vmp::proto

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The software side of VMP cache management: one CacheController per
+ * processor board models the miss-handler and consistency code that the
+ * real machine runs out of local memory.
+ *
+ * It implements, per Sections 2 and 3:
+ *  - software cache miss handling (trap, translate, victim write-back
+ *    overlapped with bookkeeping, block-copy fill, retry on abort);
+ *  - the two-state (shared/private) distributed ownership protocol,
+ *    including assert-ownership upgrades and the "competing against
+ *    itself" resolution of virtual-address aliases;
+ *  - servicing of bus-monitor interrupt words between instructions
+ *    (invalidate, downgrade-with-write-back, relinquish, notification);
+ *  - recovery from interrupt-FIFO overflow;
+ *  - the local-memory bookkeeping: physical-frame -> cache-slot maps,
+ *    frame ownership state, and a shadow of the bus monitor's action
+ *    table (the hardware table is bus-side and not CPU-readable).
+ *
+ * All operations are asynchronous against the shared event queue; the
+ * owning CPU model is blocked for the duration of each call, which is
+ * exactly the paper's execution model (the CPU blocks on the cache
+ * controller mid-instruction awaiting the block transfer).
+ */
+
+#ifndef VMP_PROTO_CONTROLLER_HH
+#define VMP_PROTO_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "mem/block_copier.hh"
+#include "mem/vme_bus.hh"
+#include "monitor/bus_monitor.hh"
+#include "proto/timing.hh"
+#include "sim/random.hh"
+#include "proto/translator.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+
+namespace vmp::proto
+{
+
+/** How an access() call was satisfied. */
+enum class AccessOutcome : std::uint8_t
+{
+    Hit,           //!< satisfied by the cache at full speed
+    MissCompleted, //!< one or more misses were handled in software
+};
+
+/** Per-frame ownership state kept in local memory. */
+enum class FrameState : std::uint8_t
+{
+    Shared,
+    Private,
+};
+
+/**
+ * Software bookkeeping for one physical frame held in (or protected
+ * by) this cache. The slots caching a frame are found through the
+ * slot-to-frame map; only the ownership state lives here.
+ */
+struct FrameInfo
+{
+    FrameState state = FrameState::Shared;
+    /** The slot that acquired ownership, when state == Private. */
+    cache::SlotIndex owningSlot = 0;
+};
+
+/** The per-processor cache management software. */
+class CacheController
+{
+  public:
+    using AccessDone = std::function<void(AccessOutcome)>;
+    using Done = std::function<void()>;
+    /** Page-fault upcall: handle the fault, then invoke retry. */
+    using FaultHandler =
+        std::function<void(const TranslateRequest &, Done retry)>;
+    /** Notification upcall (Section 5.4 locks, messages). */
+    using NotifyHandler = std::function<void(Addr paddr)>;
+
+    CacheController(CpuId cpu, EventQueue &events, cache::Cache &cache,
+                    monitor::BusMonitor &busMonitor, mem::VmeBus &bus,
+                    Translator &translator,
+                    const SoftwareTiming &timing = {});
+
+    CpuId cpuId() const { return cpuId_; }
+    cache::Cache &cache() { return cache_; }
+    monitor::BusMonitor &busMonitor() { return monitor_; }
+    const SoftwareTiming &timing() const { return timing_; }
+
+    void setFaultHandler(FaultHandler handler);
+    void setNotifyHandler(NotifyHandler handler);
+
+    /**
+     * Present one memory reference. On a hit @p done runs immediately
+     * (same tick); on a miss it runs once the software handler, block
+     * transfers and any retries complete.
+     */
+    void access(Asid asid, Addr vaddr, bool write, bool supervisor,
+                AccessDone done);
+
+    /** Data-plane reference: read a 32-bit word through the cache. */
+    void readWord(Asid asid, Addr vaddr, bool supervisor,
+                  std::function<void(std::uint32_t)> done);
+    /** Data-plane reference: write a 32-bit word through the cache. */
+    void writeWord(Asid asid, Addr vaddr, std::uint32_t value,
+                   bool supervisor, Done done);
+
+    /**
+     * Service all pending bus-monitor interrupt words (called by the
+     * CPU model between instructions). Runs overflow recovery first if
+     * the FIFO dropped a word.
+     */
+    void serviceInterrupts(Done done);
+
+    /** True if any interrupt word (or the overflow flag) is pending. */
+    bool interruptPending() const;
+
+    // --- operations used by the VM system and synchronization code ---
+
+    /**
+     * Issue assert-ownership on the frame at @p paddr (used by the VM
+     * system for translation consistency and DMA, Section 3.3/3.4).
+     * Retries until it succeeds; the caller need not hold a copy.
+     */
+    void assertOwnership(Addr paddr, Done done);
+
+    /** Release a frame protected via assertOwnership (entry -> 00). */
+    void releaseProtection(Addr paddr, Done done);
+
+    /** Send a notification transaction for @p paddr. */
+    void notifyFrame(Addr paddr, Done done);
+
+    /** Set this monitor's action-table entry via the bus. */
+    void writeActionTable(Addr paddr, mem::ActionEntry entry, Done done);
+
+    /** Uncached (non-consistency) global-memory word operations. */
+    void uncachedRead(Addr paddr, std::function<void(std::uint32_t)> d);
+    void uncachedWrite(Addr paddr, std::uint32_t value, Done done);
+    /** Uncached atomic test-and-set; yields the previous value. */
+    void uncachedTas(Addr paddr, std::function<void(std::uint32_t)> d);
+
+    /**
+     * Drop every slot caching the frame at @p paddr, without write-back
+     * (used when another master has asserted ownership away from us —
+     * normally driven by interrupt service, public for the VM tests).
+     */
+    void invalidateFrame(Addr paddr);
+
+    /**
+     * Flush our own copies of the frame at @p paddr: write the dirty
+     * data back (retaining ownership — the entry stays Protect) and
+     * invalidate the local slots. Requires ownership to have been
+     * asserted; used by the VM system's Section 3.4 sequences.
+     */
+    void flushFrame(Addr paddr, Done done);
+
+    // --- introspection for tests ---
+    /** Bookkeeping entry for a frame, or nullptr. */
+    const FrameInfo *frameInfo(Addr paddr) const;
+    /** Software's belief about this monitor's action-table entry. */
+    mem::ActionEntry shadowEntry(Addr paddr) const;
+
+    // --- statistics ---
+    const Counter &misses() const { return missCount_; }
+    const Counter &ownershipMisses() const { return ownershipCount_; }
+    const Counter &hintedPrivateFills() const
+    {
+        return hintedPrivateFills_;
+    }
+    const Counter &retries() const { return retryCount_; }
+    const Counter &wordsServiced() const { return serviceCount_; }
+    const Counter &spuriousWords() const { return spuriousCount_; }
+    const Counter &writeBacks() const { return writeBackCount_; }
+    const Counter &protocolViolations() const { return violationCount_; }
+    const Counter &overflowRecoveries() const { return recoveryCount_; }
+    Tick missStallTicks() const { return missStall_; }
+    Tick serviceStallTicks() const { return serviceStall_; }
+    void registerStats(StatGroup &group) const;
+
+  private:
+    std::uint64_t frameOf(Addr paddr) const;
+    Addr frameBase(Addr paddr) const;
+    std::uint32_t pageBytes() const;
+
+    /** Schedule @p fn after @p delay of software execution. */
+    void afterSoftware(Tick delay, Done fn);
+
+    /** Break a looping closure's self-reference once it terminates. */
+    void releaseLoop(const std::shared_ptr<std::function<void()>> &loop);
+
+    /** Full (no-match) miss path. */
+    void handleFullMiss(TranslateRequest req, Tick started,
+                        AccessDone done);
+    /** Phase 2 of the full miss: after successful translation. */
+    void missWithTranslation(const TranslateRequest &req,
+                             const TranslateResult &result, Tick started,
+                             AccessDone done);
+    /** Phase 3: victim retired, issue the page read. */
+    void issueFill(const TranslateRequest &req,
+                   const TranslateResult &result,
+                   cache::SlotIndex victim, Tick started,
+                   AccessDone done);
+    /** Ownership (write-to-shared) miss path. */
+    void handleOwnershipMiss(TranslateRequest req,
+                             cache::SlotIndex slot, Tick started,
+                             AccessDone done);
+    /** Protection miss path (flags deny the access). */
+    void handleProtectionMiss(TranslateRequest req,
+                              cache::SlotIndex slot, Tick started,
+                              AccessDone done);
+    /** Abort recovery: service own words, re-trap, redo the access. */
+    void retryAccess(const TranslateRequest &req, Tick started,
+                     AccessDone done);
+
+    /** Retire the victim slot: write back / release as needed. The
+     *  continuation receives no arguments; bookkeeping is updated. */
+    void retireVictim(cache::SlotIndex victim, Done done);
+
+    /** Remove @p slot from its frame's bookkeeping (if tracked). */
+    void forgetSlot(cache::SlotIndex slot);
+
+    /** Service one interrupt word, then continue with @p next. */
+    void serviceWord(const monitor::InterruptWord &word, Done next);
+    void relinquishFrame(std::uint64_t frame, Done next);
+    void downgradeFrame(std::uint64_t frame, Done next);
+    void recoverFromOverflow(Done done);
+
+    /** Retry delay with desynchronizing jitter. */
+    Tick retryDelay();
+
+    CpuId cpuId_;
+    EventQueue &events_;
+    cache::Cache &cache_;
+    monitor::BusMonitor &monitor_;
+    mem::VmeBus &bus_;
+    mem::BlockCopier copier_;
+    Translator &translator_;
+    SoftwareTiming timing_;
+    Rng rng_;
+    FaultHandler faultHandler_;
+    NotifyHandler notifyHandler_;
+
+    /** frame -> local bookkeeping. */
+    std::unordered_map<std::uint64_t, FrameInfo> frames_;
+    /** slot -> frame currently cached there (parallel to cache). */
+    std::unordered_map<cache::SlotIndex, std::uint64_t> slotFrame_;
+    /** Software's shadow of the monitor's action table. */
+    std::unordered_map<std::uint64_t, mem::ActionEntry> shadow_;
+
+    Counter missCount_;
+    Counter ownershipCount_;
+    Counter hintedPrivateFills_;
+    Counter retryCount_;
+    Counter serviceCount_;
+    Counter spuriousCount_;
+    Counter writeBackCount_;
+    Counter violationCount_;
+    Counter recoveryCount_;
+    Tick missStall_ = 0;
+    Tick serviceStall_ = 0;
+};
+
+} // namespace vmp::proto
+
+#endif // VMP_PROTO_CONTROLLER_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Software-cost model of the cache-management code that runs out of
+ * local memory. The paper evaluates the miss handler by summing 68020
+ * instruction execution times ("about 15 usecs" of software per miss,
+ * Section 5.1); these parameters reproduce Table 1 when combined with
+ * the 300/100 ns block-transfer timing:
+ *
+ *   elapsed(clean victim) = trapEntry + overlap + post + readXfer
+ *                         = 13.5 us + readXfer
+ *   elapsed(dirty victim) = trapEntry + max(overlap, wbXfer) + post
+ *                           + readXfer
+ *
+ * i.e. up to `overlapNs` of bookkeeping is performed concurrently with
+ * the victim write-back by the block copier, and the remainder of the
+ * handler is serial.
+ */
+
+#ifndef VMP_PROTO_TIMING_HH
+#define VMP_PROTO_TIMING_HH
+
+#include "sim/types.hh"
+
+namespace vmp::proto
+{
+
+/** Instruction-time budget of the software cache-management routines. */
+struct SoftwareTiming
+{
+    /** Exception stacking and dispatch into the miss handler. */
+    Tick trapEntryNs = 2000;
+    /**
+     * Bookkeeping that can overlap the victim write-back transfer
+     * (virtual-to-physical translation, cache-table updates).
+     */
+    Tick overlapNs = 3400;
+    /** Serial remainder of the handler, including return-from-trap. */
+    Tick postNs = 8100;
+    /** Software cost of an ownership (assert-ownership) miss. */
+    Tick ownershipNs = 8000;
+    /** Software cost of servicing one consistency interrupt word. */
+    Tick serviceNs = 3000;
+    /** Extra re-trap cost when retrying after an aborted transaction. */
+    Tick retryNs = 1000;
+    /**
+     * Upper bound of the random jitter added to each retry. Real
+     * instruction streams desynchronize contending processors; a
+     * deterministic simulator needs explicit jitter or symmetric
+     * contenders can livelock in lockstep.
+     */
+    Tick retryJitterNs = 12000;
+
+    /** Total serial software time on a miss (no write-back overlap). */
+    Tick serialNs() const { return trapEntryNs + overlapNs + postNs; }
+};
+
+} // namespace vmp::proto
+
+#endif // VMP_PROTO_TIMING_HH

@@ -1,0 +1,120 @@
+#include "sim/debug.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vmp::debug
+{
+
+namespace
+{
+
+std::atomic<std::uint32_t> activeFlags{0};
+std::atomic<Sink> activeSink{nullptr};
+
+void
+defaultSink(const std::string &line)
+{
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+} // namespace
+
+const char *
+flagName(Flag flag)
+{
+    switch (flag) {
+      case Bus: return "Bus";
+      case Cache: return "Cache";
+      case Monitor: return "Monitor";
+      case Proto: return "Proto";
+      case Vm: return "Vm";
+      case Cpu: return "Cpu";
+      default: return "?";
+    }
+}
+
+std::uint32_t
+parseFlags(const std::string &spec)
+{
+    std::uint32_t result = 0;
+    std::istringstream stream(spec);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        if (token.empty())
+            continue;
+        if (token == "all" || token == "All") {
+            result = All;
+        } else if (token == "Bus") {
+            result |= Bus;
+        } else if (token == "Cache") {
+            result |= Cache;
+        } else if (token == "Monitor") {
+            result |= Monitor;
+        } else if (token == "Proto") {
+            result |= Proto;
+        } else if (token == "Vm") {
+            result |= Vm;
+        } else if (token == "Cpu") {
+            result |= Cpu;
+        } else {
+            fatal("unknown debug flag '", token,
+                  "' (known: Bus, Cache, Monitor, Proto, Vm, Cpu, "
+                  "all)");
+        }
+    }
+    return result;
+}
+
+void
+setFlags(std::uint32_t flags_value)
+{
+    activeFlags.store(flags_value);
+}
+
+void
+enable(Flag flag)
+{
+    activeFlags.fetch_or(flag);
+}
+
+void
+disable(Flag flag)
+{
+    activeFlags.fetch_and(~static_cast<std::uint32_t>(flag));
+}
+
+std::uint32_t
+flags()
+{
+    return activeFlags.load(std::memory_order_relaxed);
+}
+
+void
+initFromEnvironment()
+{
+    const char *spec = std::getenv("VMP_DEBUG");
+    if (spec != nullptr && *spec != '\0')
+        setFlags(parseFlags(spec));
+}
+
+void
+setSink(Sink sink)
+{
+    activeSink.store(sink);
+}
+
+void
+emit(Flag flag, Tick now, const std::string &message)
+{
+    std::ostringstream line;
+    line << now << ": " << flagName(flag) << ": " << message;
+    const Sink sink = activeSink.load();
+    (sink != nullptr ? sink : defaultSink)(line.str());
+}
+
+} // namespace vmp::debug

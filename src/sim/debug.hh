@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Conditional debug tracing in the gem5 DPRINTF tradition: named flags
+ * (one per subsystem), an output stream, and a macro that prints the
+ * current simulated tick, the flag and a message — compiled in always,
+ * but a single branch when disabled. Enable programmatically or from
+ * the VMP_DEBUG environment variable ("Bus,Proto" or "all").
+ */
+
+#ifndef VMP_SIM_DEBUG_HH
+#define VMP_SIM_DEBUG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vmp::debug
+{
+
+/** Trace flags, one bit per subsystem. */
+enum Flag : std::uint32_t
+{
+    None = 0,
+    Bus = 1u << 0,      //!< bus grants, aborts, completions
+    Cache = 1u << 1,    //!< fills, invalidations, flag changes
+    Monitor = 1u << 2,  //!< interrupt words, action-table updates
+    Proto = 1u << 3,    //!< miss handling, service actions
+    Vm = 1u << 4,       //!< faults, pmap operations, pageout
+    Cpu = 1u << 5,      //!< instruction/reference stream
+    All = 0xffffffff,
+};
+
+/** Parse a comma-separated flag list ("Bus,Proto", "all"). */
+std::uint32_t parseFlags(const std::string &spec);
+
+/** Enable/disable flags for the whole process. */
+void setFlags(std::uint32_t flags);
+void enable(Flag flag);
+void disable(Flag flag);
+std::uint32_t flags();
+
+/** Initialize from the VMP_DEBUG environment variable (idempotent). */
+void initFromEnvironment();
+
+/** True if @p flag tracing is on. */
+inline bool
+enabled(Flag flag)
+{
+    return (flags() & flag) != 0;
+}
+
+/** Sink for trace lines (stderr by default); tests can capture. */
+using Sink = void (*)(const std::string &line);
+void setSink(Sink sink);
+
+/** Emit one formatted line: "<tick>: <flag>: <message>". */
+void emit(Flag flag, Tick now, const std::string &message);
+
+const char *flagName(Flag flag);
+
+} // namespace vmp::debug
+
+/**
+ * Conditional trace statement. @p flag is a vmp::debug::Flag, @p now
+ * the current tick; the remaining arguments are streamed.
+ */
+#define VMP_DTRACE(flag, now, ...)                                     \
+    do {                                                               \
+        if (vmp::debug::enabled(flag)) {                               \
+            vmp::debug::emit(flag, now,                                \
+                             vmp::detail::concat(__VA_ARGS__));        \
+        }                                                              \
+    } while (0)
+
+#endif // VMP_SIM_DEBUG_HH

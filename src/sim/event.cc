@@ -1,0 +1,71 @@
+#include "sim/event.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, std::string name)
+{
+    if (when < now_)
+        panic("scheduling event '", name, "' at ", when,
+              " in the past (now ", now_, ")");
+    if (!cb)
+        panic("scheduling empty callback '", name, "'");
+    EventId id{when, nextSeq_++};
+    events_.emplace(id, Entry{std::move(cb), std::move(name)});
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId &id)
+{
+    if (!id.valid())
+        return false;
+    const auto it = events_.find(id);
+    id.invalidate();
+    if (it == events_.end())
+        return false;
+    events_.erase(it);
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    auto it = events_.begin();
+    now_ = it->first.when;
+    // Move the callback out before erasing so the callback may freely
+    // schedule or deschedule other events (including itself).
+    Callback cb = std::move(it->second.cb);
+    events_.erase(it);
+    ++dispatched_;
+    cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!events_.empty() && events_.begin()->first.when <= limit) {
+        if (!step())
+            break;
+    }
+    if (now_ < limit && limit != maxTick)
+        now_ = limit;
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    events_.clear();
+    now_ = 0;
+    nextSeq_ = 0;
+    dispatched_ = 0;
+}
+
+} // namespace vmp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel. Components schedule callbacks
+ * at absolute ticks; the queue dispatches them in (tick, insertion-order)
+ * order, which makes simulations deterministic for a given seed.
+ */
+
+#ifndef VMP_SIM_EVENT_HH
+#define VMP_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace vmp
+{
+
+/** Handle identifying a scheduled event so it can be descheduled. */
+struct EventId
+{
+    Tick when = maxTick;
+    std::uint64_t seq = 0;
+
+    bool valid() const { return when != maxTick; }
+    void invalidate() { when = maxTick; }
+
+    bool
+    operator<(const EventId &other) const
+    {
+        return when != other.when ? when < other.when : seq < other.seq;
+    }
+};
+
+/**
+ * Discrete-event queue. Not thread-safe: the whole simulator is single
+ * threaded by design (the modelled concurrency lives in simulated time).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total number of events dispatched so far. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when (>= now). Returns a handle
+     * usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb, std::string name = {});
+
+    /** Schedule @p cb @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, Callback cb, std::string name = {})
+    {
+        return schedule(now_ + delta, std::move(cb), std::move(name));
+    }
+
+    /**
+     * Remove a previously scheduled event. Returns true if the event was
+     * still pending (and is now cancelled), false if it already ran or
+     * the id is invalid.
+     */
+    bool deschedule(EventId &id);
+
+    /**
+     * Run events until the queue is empty or @p limit is reached.
+     * @return the tick at which the run stopped.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Dispatch exactly one event if any is pending. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Callback cb;
+        std::string name;
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::map<EventId, Entry> events_;
+};
+
+} // namespace vmp
+
+#endif // VMP_SIM_EVENT_HH

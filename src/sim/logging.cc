@@ -1,0 +1,44 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace vmp
+{
+
+namespace
+{
+std::atomic<bool> informOn{true};
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informOn.store(enabled);
+}
+
+bool
+informEnabled()
+{
+    return informOn.load();
+}
+
+namespace detail
+{
+
+void
+emitWarn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (informOn.load())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace vmp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition: panic() for simulator
+ * bugs, fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef VMP_SIM_LOGGING_HH
+#define VMP_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vmp
+{
+
+/** Thrown by panic(): an internal invariant of the simulator is broken. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user configured something unusable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort the simulation by throwing.
+ * Use only for conditions that no input should be able to provoke.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat("panic: ",
+                                    std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unusable user configuration (bad parameter combination,
+ * malformed trace file, ...) and abort by throwing.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat("fatal: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but survivable conditions (stderr). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarn(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Normal operating status messages (stderr). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Enable/disable inform() output globally (benches silence it). */
+void setInformEnabled(bool enabled);
+bool informEnabled();
+
+} // namespace vmp
+
+#endif // VMP_SIM_LOGGING_HH

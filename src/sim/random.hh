@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the distributions the
+ * synthetic trace generator needs (uniform, geometric, exponential, Zipf).
+ *
+ * The simulator must be bit-reproducible across runs given a seed, so we
+ * carry our own xoshiro256** generator rather than relying on unspecified
+ * standard-library distribution implementations.
+ */
+
+#ifndef VMP_SIM_RANDOM_HH
+#define VMP_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace vmp
+{
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64. Fast, high quality, and fully
+ * specified here so results do not depend on the host library.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed, resetting the stream. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection-free scaling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** True with probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Geometric number of trials until first success (support {1,2,...})
+     * with success probability @p p. Mean 1/p. Used for sequential-run
+     * lengths in the trace generator.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Exponential variate with mean @p mean. */
+    double exponential(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf-distributed integers over [0, n): rank r is drawn with probability
+ * proportional to 1/(r+1)^theta. Sampling is by binary search over the
+ * precomputed CDF, so construction is O(n) and sampling O(log n).
+ *
+ * The trace generator uses this to model working sets with a hot core and
+ * a long cold tail, the locality structure that makes large cache pages
+ * effective (paper Section 5.2).
+ */
+class ZipfDist
+{
+  public:
+    ZipfDist(std::uint64_t n, double theta);
+
+    /** Draw one rank in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t domain() const { return cdf_.size(); }
+    double theta() const { return theta_; }
+
+  private:
+    std::vector<double> cdf_;
+    double theta_;
+};
+
+} // namespace vmp
+
+#endif // VMP_SIM_RANDOM_HH

@@ -1,0 +1,173 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace vmp
+{
+
+Histogram::Histogram(std::size_t buckets, double width)
+    : buckets_(buckets, 0), width_(width)
+{
+    if (buckets == 0 || width <= 0.0)
+        panic("Histogram needs >=1 bucket and positive width");
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    if (samples_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    samples_ += count;
+    sum_ += v * static_cast<double>(count);
+    std::size_t idx = v < 0.0
+        ? 0
+        : static_cast<std::size_t>(v / width_);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    buckets_[idx] += count;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    samples_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0 : sum_ / static_cast<double>(samples_);
+}
+
+void
+StatGroup::addCounter(const std::string &name, const std::string &desc,
+                      const Counter &counter)
+{
+    counters_.push_back({name, desc, &counter});
+}
+
+void
+StatGroup::addScalar(const std::string &name, const std::string &desc,
+                     const Scalar &scalar)
+{
+    scalars_.push_back({name, desc, &scalar});
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    char buf[64];
+    for (const auto &c : counters_) {
+        std::snprintf(buf, sizeof(buf), "%20llu",
+                      static_cast<unsigned long long>(c.counter->value()));
+        os << name_ << '.' << c.name << ' ' << buf
+           << "  # " << c.desc << '\n';
+    }
+    for (const auto &s : scalars_) {
+        std::snprintf(buf, sizeof(buf), "%20.6g", s.scalar->value());
+        os << name_ << '.' << s.name << ' ' << buf
+           << "  # " << s.desc << '\n';
+    }
+}
+
+void
+TableWriter::columns(std::vector<std::string> headers)
+{
+    headers_ = std::move(headers);
+}
+
+TableWriter &
+TableWriter::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TableWriter &
+TableWriter::cell(const std::string &text)
+{
+    if (rows_.empty())
+        panic("TableWriter::cell before row()");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+TableWriter &
+TableWriter::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+TableWriter &
+TableWriter::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+TableWriter &
+TableWriter::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+TableWriter &
+TableWriter::cell(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return cell(std::string(buf));
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &r : rows_) {
+        for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    }
+
+    const auto pad = [&os](const std::string &s, std::size_t w) {
+        os << s;
+        for (std::size_t i = s.size(); i < w; ++i)
+            os << ' ';
+    };
+
+    os << "== " << title_ << " ==\n";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        pad(headers_[i], widths[i]);
+        os << (i + 1 < headers_.size() ? "  " : "");
+    }
+    os << '\n';
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    for (std::size_t i = 0; i < total; ++i)
+        os << '-';
+    os << '\n';
+    for (const auto &r : rows_) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            pad(r[i], i < widths.size() ? widths[i] : r[i].size());
+            os << (i + 1 < r.size() ? "  " : "");
+        }
+        os << '\n';
+    }
+    os << '\n';
+}
+
+} // namespace vmp

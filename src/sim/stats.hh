@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Statistics package: named counters, scalars, ratios and histograms that
+ * components register into groups, plus a fixed-width table writer used by
+ * the benchmark harness to print paper-style tables.
+ */
+
+#ifndef VMP_SIM_STATS_HH
+#define VMP_SIM_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vmp
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulating real-valued statistic (e.g. busy time). */
+class Scalar
+{
+  public:
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, buckets*width); out-of-range samples
+ * land in the final overflow bucket. Tracks min/max/mean as well.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t buckets, double width);
+
+    void sample(double v, std::uint64_t count = 1);
+    void reset();
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double bucketWidth() const { return width_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double width_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Registry of named statistics belonging to one component. Components
+ * register references to their own members; the group never owns them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &name, const std::string &desc,
+                    const Counter &counter);
+    void addScalar(const std::string &name, const std::string &desc,
+                   const Scalar &scalar);
+
+    const std::string &name() const { return name_; }
+
+    /** Write "group.stat  value  # desc" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+  private:
+    struct CounterRef
+    {
+        std::string name;
+        std::string desc;
+        const Counter *counter;
+    };
+    struct ScalarRef
+    {
+        std::string name;
+        std::string desc;
+        const Scalar *scalar;
+    };
+
+    std::string name_;
+    std::vector<CounterRef> counters_;
+    std::vector<ScalarRef> scalars_;
+};
+
+/**
+ * Fixed-width text table with a title, column headers and typed cells.
+ * Benches use it to print rows in the same shape as the paper's tables.
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+    /** Define columns; must be called before addRow. */
+    void columns(std::vector<std::string> headers);
+
+    /** Start a new row. */
+    TableWriter &row();
+
+    /** Append cells to the current row. */
+    TableWriter &cell(const std::string &text);
+    TableWriter &cell(const char *text);
+    TableWriter &cell(std::uint64_t v);
+    TableWriter &cell(int v);
+    /** Floating cell with @p digits fraction digits. */
+    TableWriter &cell(double v, int digits = 2);
+
+    /** Render the full table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vmp
+
+#endif // VMP_SIM_STATS_HH

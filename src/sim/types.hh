@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers used throughout the VMP
+ * simulator. One simulation tick equals one nanosecond, matching the
+ * granularity of the timing figures in the paper (Section 2 and 5.1).
+ */
+
+#ifndef VMP_SIM_TYPES_HH
+#define VMP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace vmp
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Address space identifier; VMP uses an 8-bit ASID register. */
+using Asid = std::uint8_t;
+
+/** Identifier of a processor board on the bus (dense, 0-based). */
+using CpuId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Unit helpers so timing constants read like the paper. */
+constexpr Tick
+nsec(std::uint64_t n)
+{
+    return n;
+}
+
+/** Microseconds expressed in ticks. */
+constexpr Tick
+usec(std::uint64_t n)
+{
+    return n * 1000;
+}
+
+/** Milliseconds expressed in ticks. */
+constexpr Tick
+msec(std::uint64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+/** Convert a tick count to (double) microseconds for reporting. */
+constexpr double
+toUsec(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+/** Kibibytes/mebibytes for cache and memory sizes. */
+constexpr std::uint64_t
+KiB(std::uint64_t n)
+{
+    return n << 10;
+}
+
+constexpr std::uint64_t
+MiB(std::uint64_t n)
+{
+    return n << 20;
+}
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Base-2 logarithm of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace vmp
+
+#endif // VMP_SIM_TYPES_HH

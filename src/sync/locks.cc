@@ -1,0 +1,106 @@
+#include "sync/locks.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::sync
+{
+
+namespace
+{
+
+using namespace vmp::cpu;
+
+/** Append the critical-section body (counter + optional extra work). */
+void
+appendCriticalSection(Program &program, const LockWorkload &workload)
+{
+    program.push_back(opRead(workload.counterAddr, 2));
+    program.push_back(opAddImm(2, 1));
+    program.push_back(opWrite(workload.counterAddr, 2));
+    for (std::uint32_t w = 0; w < workload.extraWork; ++w) {
+        const Addr addr = workload.workBase + w * 64;
+        program.push_back(opRead(addr, 3));
+        program.push_back(opAddImm(3, 1));
+        program.push_back(opWrite(addr, 3));
+    }
+}
+
+/** Append the common epilogue: bookkeeping + loop + halt. */
+void
+appendEpilogue(Program &program, std::int32_t loop_head)
+{
+    program.push_back(opAddImm(7, 1));
+    program.push_back(opDecBranchNotZero(1, loop_head));
+    program.push_back(opHalt());
+}
+
+} // namespace
+
+const char *
+lockKindName(LockKind kind)
+{
+    switch (kind) {
+      case LockKind::CachedTas: return "cached-tas";
+      case LockKind::UncachedTas: return "uncached-tas";
+      case LockKind::Notify: return "notify";
+    }
+    return "?";
+}
+
+cpu::Program
+lockWorker(const LockWorkload &workload)
+{
+    if (workload.iterations == 0)
+        fatal("lock worker needs at least one iteration");
+
+    Program program;
+    program.push_back(opMoveImm(1, workload.iterations));
+
+    switch (workload.kind) {
+      case LockKind::CachedTas: {
+        // 1: tas; 2: spin back to 1 while held.
+        const std::int32_t acquire = 1;
+        program.push_back(opCachedTas(workload.lockAddr, 0));
+        program.push_back(opBranchIfNotZero(0, acquire));
+        appendCriticalSection(program, workload);
+        program.push_back(opWriteImm(workload.lockAddr, 0));
+        appendEpilogue(program, acquire);
+        break;
+      }
+
+      case LockKind::UncachedTas: {
+        const std::int32_t acquire = 1;
+        program.push_back(opUncachedTas(workload.lockAddr, 0));
+        program.push_back(opBranchIfNotZero(0, acquire));
+        appendCriticalSection(program, workload);
+        program.push_back(opUncachedWrite(workload.lockAddr, 0));
+        appendEpilogue(program, acquire);
+        break;
+      }
+
+      case LockKind::Notify: {
+        // Subscribe the bus-monitor entry (11) for the lock's frame
+        // once; then: tas -> taken? wait for the releaser's notify
+        // transaction (with a timeout as safety net) and retry.
+        program.push_back(
+            opSetActionEntry(workload.lockAddr, 0b11)); // 1
+        const std::int32_t acquire = 2;
+        program.push_back(opUncachedTas(workload.lockAddr, 0)); // 2
+        const std::int32_t crit = 6;
+        program.push_back(opBranchIfZero(0, crit));             // 3
+        program.push_back(
+            opWaitNotify(workload.notifyTimeoutNs));            // 4
+        program.push_back(opJump(acquire));                     // 5
+        if (static_cast<std::int32_t>(program.size()) != crit)
+            panic("notify lock program layout broken");
+        appendCriticalSection(program, workload);
+        program.push_back(opUncachedWrite(workload.lockAddr, 0));
+        program.push_back(opNotify(workload.lockAddr));
+        appendEpilogue(program, acquire);
+        break;
+      }
+    }
+    return program;
+}
+
+} // namespace vmp::sync

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synchronization primitives for the Section 5.4 study, expressed as
+ * scripted-CPU program fragments:
+ *
+ *  - cached test-and-set spin lock (the naive design whose ownership
+ *    ping-pong the paper warns about — worst when the lock shares a
+ *    cache page with the data it protects);
+ *  - uncached test-and-set lock in non-cached, globally addressable
+ *    physical memory (one of the kernel-lock options of Section 5.4);
+ *  - notification lock: a waiter subscribes its bus-monitor action-
+ *    table entry (11) to the lock's frame and suspends; the releaser
+ *    issues a notify transaction to wake it — no spinning at all.
+ *
+ * Each builder returns a program that acquires the lock, increments a
+ * shared counter (the critical section), releases, and repeats for a
+ * given iteration count, so lock overhead is directly comparable.
+ */
+
+#ifndef VMP_SYNC_LOCKS_HH
+#define VMP_SYNC_LOCKS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/program.hh"
+#include "sim/types.hh"
+
+namespace vmp::sync
+{
+
+/** Lock flavours under study. */
+enum class LockKind : std::uint8_t
+{
+    CachedTas,   //!< spin with TAS on cached memory
+    UncachedTas, //!< spin with TAS on non-cached global memory
+    Notify,      //!< uncached TAS + bus-monitor notification wakeup
+};
+
+const char *lockKindName(LockKind kind);
+
+/** Parameters of a lock-study worker program. */
+struct LockWorkload
+{
+    LockKind kind = LockKind::UncachedTas;
+    /**
+     * Lock location: a cached virtual address for CachedTas, a
+     * physical address for UncachedTas/Notify.
+     */
+    Addr lockAddr = 0;
+    /** Cached virtual address of the shared counter. */
+    Addr counterAddr = 0;
+    /** Critical-section entries per worker. */
+    std::uint32_t iterations = 100;
+    /**
+     * Extra cached "work" addresses touched inside the critical
+     * section (models real protected data beyond one counter).
+     */
+    std::uint32_t extraWork = 0;
+    Addr workBase = 0;
+    /** Notification-wait timeout (safety net), ns. */
+    std::uint32_t notifyTimeoutNs = 200'000;
+};
+
+/**
+ * Build the worker program for one CPU. On halt, register 7 holds the
+ * number of completed critical sections.
+ */
+cpu::Program lockWorker(const LockWorkload &workload);
+
+} // namespace vmp::sync
+
+#endif // VMP_SYNC_LOCKS_HH

@@ -1,0 +1,109 @@
+#include "trace/analyzer.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace vmp::trace
+{
+
+double
+TraceProfile::supervisorFrac() const
+{
+    return totalRefs == 0
+        ? 0.0
+        : static_cast<double>(supervisorRefs) /
+            static_cast<double>(totalRefs);
+}
+
+double
+TraceProfile::writeFrac() const
+{
+    const std::uint64_t data = reads + writes;
+    return data == 0
+        ? 0.0
+        : static_cast<double>(writes) / static_cast<double>(data);
+}
+
+std::uint64_t
+TraceProfile::footprintBytes(std::uint32_t page_bytes) const
+{
+    const auto it = uniquePages.find(page_bytes);
+    if (it == uniquePages.end())
+        return 0;
+    return it->second * page_bytes;
+}
+
+std::string
+TraceProfile::toString() const
+{
+    std::ostringstream os;
+    os << "refs=" << totalRefs << " fetch=" << fetches
+       << " read=" << reads << " write=" << writes
+       << " supFrac=" << supervisorFrac()
+       << " asids=" << asidsSeen;
+    for (const auto &[page, count] : uniquePages)
+        os << " fp" << page << "=" << count * page / 1024 << "K";
+    return os.str();
+}
+
+TraceAnalyzer::TraceAnalyzer(std::set<std::uint32_t> page_sizes)
+    : pageSizes_(std::move(page_sizes))
+{
+    for (const auto size : pageSizes_) {
+        if (!isPowerOf2(size))
+            fatal("trace analyzer: page size must be a power of two");
+        pages_[size] = {};
+    }
+}
+
+void
+TraceAnalyzer::observe(const MemRef &ref)
+{
+    ++prof_.totalRefs;
+    switch (ref.type) {
+      case RefType::InstrFetch:
+        ++prof_.fetches;
+        break;
+      case RefType::DataRead:
+        ++prof_.reads;
+        break;
+      case RefType::DataWrite:
+        ++prof_.writes;
+        break;
+    }
+    if (ref.supervisor)
+        ++prof_.supervisorRefs;
+    asids_.insert(ref.asid);
+    for (const auto size : pageSizes_) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(ref.asid) << 56) |
+            (ref.vaddr / size);
+        pages_[size].insert(key);
+    }
+}
+
+std::uint64_t
+TraceAnalyzer::consume(RefSource &source)
+{
+    MemRef ref;
+    std::uint64_t n = 0;
+    while (source.next(ref)) {
+        observe(ref);
+        ++n;
+    }
+    return n;
+}
+
+TraceProfile
+TraceAnalyzer::profile() const
+{
+    TraceProfile prof = prof_;
+    prof.asidsSeen = asids_.size();
+    for (const auto &[size, keys] : pages_)
+        prof.uniquePages[size] = keys.size();
+    return prof;
+}
+
+} // namespace vmp::trace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace characterization: reference mix, supervisor fraction, and memory
+ * footprint at cache-page granularities. Used to validate that synthetic
+ * workloads have the locality structure the paper describes (25% OS
+ * references, four-byte records, footprints in the right band).
+ */
+
+#ifndef VMP_TRACE_ANALYZER_HH
+#define VMP_TRACE_ANALYZER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "trace/ref.hh"
+
+namespace vmp::trace
+{
+
+/** Aggregate characteristics of a reference stream. */
+struct TraceProfile
+{
+    std::uint64_t totalRefs = 0;
+    std::uint64_t fetches = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t supervisorRefs = 0;
+    std::uint64_t asidsSeen = 0;
+
+    /** Unique <asid, page> footprint per page size in bytes. */
+    std::map<std::uint32_t, std::uint64_t> uniquePages;
+
+    double supervisorFrac() const;
+    double writeFrac() const;
+    /** Footprint in bytes at the given page granularity. */
+    std::uint64_t footprintBytes(std::uint32_t page_bytes) const;
+
+    std::string toString() const;
+};
+
+/** Streaming analyzer; feed refs then take the profile. */
+class TraceAnalyzer
+{
+  public:
+    /** @param page_sizes granularities to track footprints for. */
+    explicit TraceAnalyzer(
+        std::set<std::uint32_t> page_sizes = {128, 256, 512});
+
+    void observe(const MemRef &ref);
+
+    /** Drain @p source through the analyzer. */
+    std::uint64_t consume(RefSource &source);
+
+    TraceProfile profile() const;
+
+  private:
+    std::set<std::uint32_t> pageSizes_;
+    TraceProfile prof_;
+    std::set<Asid> asids_;
+    /** page-size -> set of <asid, page-number> keys. */
+    std::map<std::uint32_t, std::set<std::uint64_t>> pages_;
+};
+
+} // namespace vmp::trace
+
+#endif // VMP_TRACE_ANALYZER_HH

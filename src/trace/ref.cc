@@ -1,0 +1,30 @@
+#include "trace/ref.hh"
+
+#include <sstream>
+
+namespace vmp::trace
+{
+
+const char *
+refTypeName(RefType type)
+{
+    switch (type) {
+      case RefType::InstrFetch: return "ifetch";
+      case RefType::DataRead: return "read";
+      case RefType::DataWrite: return "write";
+    }
+    return "?";
+}
+
+std::string
+MemRef::toString() const
+{
+    std::ostringstream os;
+    os << refTypeName(type) << " asid=" << static_cast<unsigned>(asid)
+       << " va=0x" << std::hex << vaddr << std::dec
+       << " size=" << static_cast<unsigned>(size)
+       << (supervisor ? " sup" : " usr");
+    return os.str();
+}
+
+} // namespace vmp::trace

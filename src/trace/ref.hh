@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory-reference records: the unit of work that trace-driven CPU models
+ * consume, and the record stored in trace files. Modelled on the ATUM
+ * traces used in the paper (Section 5.2): each record is one 4-byte
+ * (default) reference with an address-space identifier and a
+ * user/supervisor flag so operating-system activity can be distinguished.
+ */
+
+#ifndef VMP_TRACE_REF_HH
+#define VMP_TRACE_REF_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace vmp::trace
+{
+
+/** What kind of access a reference is. */
+enum class RefType : std::uint8_t
+{
+    InstrFetch = 0,
+    DataRead = 1,
+    DataWrite = 2,
+};
+
+/** Human-readable name for a RefType. */
+const char *refTypeName(RefType type);
+
+/** One memory reference. */
+struct MemRef
+{
+    Addr vaddr = 0;
+    Asid asid = 0;
+    RefType type = RefType::DataRead;
+    std::uint8_t size = 4;
+    /** True for operating-system (supervisor-mode) references. */
+    bool supervisor = false;
+
+    bool isWrite() const { return type == RefType::DataWrite; }
+    bool isFetch() const { return type == RefType::InstrFetch; }
+
+    bool
+    operator==(const MemRef &other) const
+    {
+        return vaddr == other.vaddr && asid == other.asid &&
+            type == other.type && size == other.size &&
+            supervisor == other.supervisor;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * Abstract pull-source of references. Both trace-file readers and the
+ * synthetic generator implement this, so every consumer (fast cache
+ * simulator, full multiprocessor model, analyzers) is trace-agnostic.
+ */
+class RefSource
+{
+  public:
+    virtual ~RefSource() = default;
+
+    /**
+     * Produce the next reference into @p ref.
+     * @return false when the source is exhausted.
+     */
+    virtual bool next(MemRef &ref) = 0;
+};
+
+} // namespace vmp::trace
+
+#endif // VMP_TRACE_REF_HH

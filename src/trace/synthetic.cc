@@ -1,0 +1,276 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vmp::trace
+{
+
+namespace
+{
+
+/**
+ * Per-process segment base addresses inside user space. The low bits
+ * are deliberately irregular: if every segment started on a large
+ * power-of-two boundary, all of them (across all address spaces) would
+ * collide onto the same cache sets, producing pathological conflict
+ * misses no real program mix exhibits.
+ */
+constexpr Addr codeOffset = 0x0000'0000;
+constexpr Addr dataOffset = 0x0112'3400;
+constexpr Addr stackOffset = 0x0234'5680;
+/** Kernel segment offsets inside the kernel region. */
+constexpr Addr osCodeOffset = 0x0001'9E40;
+constexpr Addr osDataOffset = 0x0043'7280;
+/** Per-process stagger so same-numbered segments differ in set. */
+constexpr Addr processStride = 0x0003'7740;
+
+} // namespace
+
+void
+SyntheticConfig::check() const
+{
+    if (totalRefs == 0)
+        fatal("synthetic trace: totalRefs must be positive");
+    if (processes == 0 || processes > 200)
+        fatal("synthetic trace: processes must be in [1, 200]");
+    if (quantumRefs == 0)
+        fatal("synthetic trace: quantumRefs must be positive");
+    if (dataRefProb < 0 || dataRefProb > 1 || stackRefProb < 0 ||
+        stackRefProb > 1 || writeFrac < 0 || writeFrac > 1)
+        fatal("synthetic trace: probabilities must be in [0, 1]");
+    if (osRefFrac < 0 || osRefFrac >= 1)
+        fatal("synthetic trace: osRefFrac must be in [0, 1)");
+    if (osBurstInstrs < 1)
+        fatal("synthetic trace: osBurstInstrs must be >= 1");
+    for (const auto *code : {&userCode, &osCode}) {
+        if (code->bytes < 4096 || code->functions == 0)
+            fatal("synthetic trace: code segment too small");
+        if (code->meanRunInstrs < 1)
+            fatal("synthetic trace: meanRunInstrs must be >= 1");
+    }
+    for (const auto *data : {&userData, &osData}) {
+        if (data->objects == 0 || data->objectBytes < 4)
+            fatal("synthetic trace: data segment too small");
+        if (data->meanRunWords < 1)
+            fatal("synthetic trace: meanRunWords must be >= 1");
+    }
+    if (stackBytes < 256)
+        fatal("synthetic trace: stack too small");
+    if (kernelOffset >= (userBase - kernelBase) / 2)
+        fatal("synthetic trace: kernelOffset outside kernel region");
+}
+
+/** Generation state for one address space (plus its kernel activity). */
+struct SyntheticGen::ProcState
+{
+    Asid asid = 0;
+    Addr base = 0;
+
+    // Code state, separately for user and supervisor mode.
+    Addr pc = 0;
+    std::uint64_t runLeft = 0;
+    Addr osPc = 0;
+    std::uint64_t osRunLeft = 0;
+
+    // Data state.
+    Addr dataAddr = 0;
+    std::uint64_t dataRunLeft = 0;
+    Addr osDataAddr = 0;
+    std::uint64_t osDataRunLeft = 0;
+
+    // Stack state: byte offset of the top within the stack span.
+    Addr stackTop = 0;
+};
+
+SyntheticGen::SyntheticGen(const SyntheticConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+    cfg_.check();
+    userFuncDist_ = std::make_unique<ZipfDist>(cfg_.userCode.functions,
+                                               cfg_.userCode.theta);
+    userObjDist_ = std::make_unique<ZipfDist>(cfg_.userData.objects,
+                                              cfg_.userData.theta);
+    osFuncDist_ = std::make_unique<ZipfDist>(cfg_.osCode.functions,
+                                             cfg_.osCode.theta);
+    osObjDist_ = std::make_unique<ZipfDist>(cfg_.osData.objects,
+                                            cfg_.osData.theta);
+
+    for (std::uint32_t p = 0; p < cfg_.processes; ++p) {
+        auto proc = std::make_unique<ProcState>();
+        proc->asid = static_cast<Asid>(cfg_.asidBase + p);
+        proc->base = userBase + p * processStride;
+        proc->pc = proc->base + codeOffset;
+        proc->osPc = kernelBase + cfg_.kernelOffset + osCodeOffset;
+        proc->stackTop = cfg_.stackBytes / 2;
+        procs_.push_back(std::move(proc));
+    }
+    quantumLeft_ = cfg_.quantumRefs;
+}
+
+SyntheticGen::~SyntheticGen() = default;
+
+SyntheticGen::ProcState &
+SyntheticGen::current()
+{
+    return *procs_[activeProc_];
+}
+
+void
+SyntheticGen::emit(MemRef &ref, Addr vaddr, RefType type, bool supervisor)
+{
+    ref.vaddr = vaddr;
+    ref.asid = current().asid;
+    ref.type = type;
+    ref.size = 4;
+    ref.supervisor = supervisor;
+}
+
+void
+SyntheticGen::stepCode(ProcState &proc, const CodeSegmentConfig &cfg,
+                       bool supervisor)
+{
+    Addr &pc = supervisor ? proc.osPc : proc.pc;
+    std::uint64_t &run = supervisor ? proc.osRunLeft : proc.runLeft;
+    const Addr seg_base = supervisor
+        ? kernelBase + cfg_.kernelOffset + osCodeOffset
+        : proc.base + codeOffset;
+    const Addr seg_end = seg_base + cfg.bytes;
+
+    if (run == 0) {
+        // Take a branch.
+        if (rng_.chance(cfg.localBranchProb)) {
+            const std::int64_t disp =
+                static_cast<std::int64_t>(rng_.below(2 * cfg.localRange)) -
+                static_cast<std::int64_t>(cfg.localRange);
+            std::int64_t target = static_cast<std::int64_t>(pc) + disp;
+            target = std::clamp(
+                target, static_cast<std::int64_t>(seg_base),
+                static_cast<std::int64_t>(seg_end - 4));
+            pc = alignDown(static_cast<Addr>(target), 4);
+        } else {
+            const auto &dist = supervisor ? *osFuncDist_ : *userFuncDist_;
+            const std::uint64_t func = dist.sample(rng_);
+            const Addr stride = cfg.bytes / cfg.functions;
+            pc = seg_base + alignDown(func * stride, 4);
+        }
+        run = rng_.geometric(1.0 / cfg.meanRunInstrs);
+    }
+
+    MemRef ref;
+    emit(ref, pc, RefType::InstrFetch, supervisor);
+    queue_.push_back(ref);
+    pc += 4;
+    if (pc >= seg_end)
+        pc = seg_base;
+    --run;
+}
+
+void
+SyntheticGen::stepData(ProcState &proc, const DataSegmentConfig &cfg,
+                       bool supervisor)
+{
+    Addr &addr = supervisor ? proc.osDataAddr : proc.dataAddr;
+    std::uint64_t &run = supervisor ? proc.osDataRunLeft
+                                    : proc.dataRunLeft;
+    const Addr seg_base = supervisor
+        ? kernelBase + cfg_.kernelOffset + osDataOffset
+        : proc.base + dataOffset;
+    const Addr seg_bytes =
+        static_cast<Addr>(cfg.objects) * cfg.objectBytes;
+
+    if (run == 0) {
+        const auto &dist = supervisor ? *osObjDist_ : *userObjDist_;
+        const std::uint64_t obj = dist.sample(rng_);
+        const Addr off = alignDown(rng_.below(cfg.objectBytes), 4);
+        addr = seg_base + obj * cfg.objectBytes + off;
+        run = rng_.geometric(1.0 / cfg.meanRunWords);
+    }
+
+    const RefType type = rng_.chance(cfg_.writeFrac)
+        ? RefType::DataWrite
+        : RefType::DataRead;
+    MemRef ref;
+    emit(ref, addr, type, supervisor);
+    queue_.push_back(ref);
+    addr += 4;
+    if (addr >= seg_base + seg_bytes)
+        addr = seg_base;
+    --run;
+}
+
+void
+SyntheticGen::stepStack(ProcState &proc)
+{
+    // The stack top drifts up and down; references cluster at the top.
+    const std::int64_t drift =
+        static_cast<std::int64_t>(rng_.below(9)) - 4;
+    std::int64_t top = static_cast<std::int64_t>(proc.stackTop) +
+        drift * 4;
+    top = std::clamp(top, std::int64_t{64},
+                     static_cast<std::int64_t>(cfg_.stackBytes) - 64);
+    proc.stackTop = static_cast<Addr>(top);
+
+    const Addr off = alignDown(proc.stackTop + rng_.below(48), 4);
+    const RefType type = rng_.chance(0.5) ? RefType::DataWrite
+                                          : RefType::DataRead;
+    MemRef ref;
+    emit(ref, proc.base + stackOffset + off, type, false);
+    queue_.push_back(ref);
+}
+
+void
+SyntheticGen::stepInstruction()
+{
+    // Mode feedback: enter a supervisor burst whenever the running
+    // supervisor fraction has fallen below target.
+    if (osBurstLeft_ == 0 && cfg_.osRefFrac > 0.0) {
+        const double frac = produced_ == 0
+            ? 0.0
+            : static_cast<double>(supRefs_) /
+                static_cast<double>(produced_);
+        if (frac < cfg_.osRefFrac)
+            osBurstLeft_ = rng_.geometric(1.0 / cfg_.osBurstInstrs);
+    }
+
+    ProcState &proc = current();
+    const bool supervisor = osBurstLeft_ > 0;
+    if (supervisor)
+        --osBurstLeft_;
+
+    const auto &code = supervisor ? cfg_.osCode : cfg_.userCode;
+    const auto &data = supervisor ? cfg_.osData : cfg_.userData;
+
+    stepCode(proc, code, supervisor);
+    if (rng_.chance(cfg_.dataRefProb))
+        stepData(proc, data, supervisor);
+    if (!supervisor && rng_.chance(cfg_.stackRefProb))
+        stepStack(proc);
+}
+
+bool
+SyntheticGen::next(MemRef &ref)
+{
+    if (produced_ >= cfg_.totalRefs)
+        return false;
+
+    if (queuePos_ >= queue_.size()) {
+        queue_.clear();
+        queuePos_ = 0;
+        stepInstruction();
+    }
+
+    ref = queue_[queuePos_++];
+    ++produced_;
+    if (ref.supervisor)
+        ++supRefs_;
+
+    if (--quantumLeft_ == 0) {
+        quantumLeft_ = cfg_.quantumRefs;
+        activeProc_ = (activeProc_ + 1) % cfg_.processes;
+    }
+    return true;
+}
+
+} // namespace vmp::trace

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Trace file input/output. Two formats are supported:
+ *
+ *  - a compact binary format ("VMPT" magic, little-endian fixed-width
+ *    records) for bulk simulation input, and
+ *  - a one-record-per-line text format ("ifetch 1 0x1000 4 usr") that is
+ *    easy to produce from external tools, so real address traces can be
+ *    substituted for the synthetic ATUM-like workloads.
+ */
+
+#ifndef VMP_TRACE_TRACE_IO_HH
+#define VMP_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/ref.hh"
+
+namespace vmp::trace
+{
+
+/** Magic bytes at the start of a binary trace file. */
+constexpr char binaryMagic[4] = {'V', 'M', 'P', 'T'};
+/** Current binary format version. */
+constexpr std::uint32_t binaryVersion = 1;
+
+/** Writes references to a binary trace stream. */
+class BinaryTraceWriter
+{
+  public:
+    /** Write the header to @p os and keep the stream for records. */
+    explicit BinaryTraceWriter(std::ostream &os);
+
+    void write(const MemRef &ref);
+    std::uint64_t written() const { return written_; }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t written_ = 0;
+};
+
+/** Reads references from a binary trace stream. */
+class BinaryTraceReader : public RefSource
+{
+  public:
+    /** Validates the header; throws FatalError on mismatch. */
+    explicit BinaryTraceReader(std::istream &is);
+
+    bool next(MemRef &ref) override;
+
+  private:
+    std::istream &is_;
+};
+
+/** Writes the line-oriented text format. */
+class TextTraceWriter
+{
+  public:
+    explicit TextTraceWriter(std::ostream &os) : os_(os) {}
+
+    void write(const MemRef &ref);
+
+  private:
+    std::ostream &os_;
+};
+
+/** Reads the line-oriented text format; skips blank and '#' lines. */
+class TextTraceReader : public RefSource
+{
+  public:
+    explicit TextTraceReader(std::istream &is) : is_(is) {}
+
+    bool next(MemRef &ref) override;
+
+  private:
+    std::istream &is_;
+    std::uint64_t line_ = 0;
+};
+
+/** Replays an in-memory vector of references. */
+class VectorRefSource : public RefSource
+{
+  public:
+    explicit VectorRefSource(std::vector<MemRef> refs)
+        : refs_(std::move(refs))
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (pos_ >= refs_.size())
+            return false;
+        ref = refs_[pos_++];
+        return true;
+    }
+
+    void rewind() { pos_ = 0; }
+    std::size_t size() const { return refs_.size(); }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t pos_ = 0;
+};
+
+/** Caps another source at @p limit references. */
+class LimitedRefSource : public RefSource
+{
+  public:
+    LimitedRefSource(RefSource &inner, std::uint64_t limit)
+        : inner_(inner), remaining_(limit)
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (remaining_ == 0)
+            return false;
+        if (!inner_.next(ref))
+            return false;
+        --remaining_;
+        return true;
+    }
+
+  private:
+    RefSource &inner_;
+    std::uint64_t remaining_;
+};
+
+/** Drain @p source into a vector (up to @p limit records). */
+std::vector<MemRef> collect(RefSource &source,
+                            std::uint64_t limit = UINT64_MAX);
+
+} // namespace vmp::trace
+
+#endif // VMP_TRACE_TRACE_IO_HH

@@ -1,0 +1,111 @@
+#include "trace/workloads.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::trace
+{
+
+namespace
+{
+
+/** Shared skeleton the four mixes specialize. */
+SyntheticConfig
+baseConfig()
+{
+    SyntheticConfig cfg;
+    cfg.dataRefProb = 0.45;
+    cfg.stackRefProb = 0.12;
+    cfg.writeFrac = 0.30;
+    cfg.osRefFrac = 0.25;
+    cfg.osBurstInstrs = 120.0;
+
+    cfg.userCode.bytes = 24 * 1024;
+    cfg.userCode.functions = 48;
+    cfg.userCode.theta = 1.4;
+    cfg.userCode.meanRunInstrs = 14.0;
+    cfg.userCode.localBranchProb = 0.88;
+    cfg.userCode.localRange = 768;
+
+    cfg.userData.objects = 56;
+    cfg.userData.objectBytes = 512;
+    cfg.userData.theta = 1.8;
+    cfg.userData.meanRunWords = 20.0;
+
+    cfg.stackBytes = 6 * 1024;
+
+    cfg.osCode.bytes = 24 * 1024;
+    cfg.osCode.functions = 48;
+    cfg.osCode.theta = 1.2;
+    cfg.osCode.meanRunInstrs = 10.0;
+    cfg.osCode.localBranchProb = 0.8;
+    cfg.osCode.localRange = 512;
+
+    cfg.osData.objects = 40;
+    cfg.osData.objectBytes = 512;
+    cfg.osData.theta = 1.55;
+    cfg.osData.meanRunWords = 15.0;
+    return cfg;
+}
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"atum1", "atum2", "atum3", "atum4"};
+}
+
+SyntheticConfig
+workloadConfig(const std::string &name)
+{
+    SyntheticConfig cfg = baseConfig();
+    if (name == "atum1") {
+        // Single large compute job plus VMS background.
+        cfg.seed = 101;
+        cfg.totalRefs = 540'000;
+        cfg.processes = 1;
+        cfg.quantumRefs = 50'000;
+        cfg.userData.objects = 72;
+    } else if (name == "atum2") {
+        // Two interactive processes, modest working sets.
+        cfg.seed = 202;
+        cfg.totalRefs = 480'000;
+        cfg.processes = 2;
+        cfg.quantumRefs = 24'000;
+        cfg.userCode.bytes = 18 * 1024;
+        cfg.userCode.functions = 36;
+        cfg.userData.objects = 52;
+    } else if (name == "atum3") {
+        // Three-way multiprogramming, flatter data locality.
+        cfg.seed = 303;
+        cfg.totalRefs = 420'000;
+        cfg.processes = 3;
+        cfg.quantumRefs = 16'000;
+        cfg.userData.theta = 1.55;
+        cfg.userData.objects = 44;
+        cfg.userCode.bytes = 16 * 1024;
+        cfg.userCode.functions = 32;
+    } else if (name == "atum4") {
+        // Short trace, heavier OS share, small quanta.
+        cfg.seed = 404;
+        cfg.totalRefs = 358'000;
+        cfg.processes = 2;
+        cfg.quantumRefs = 12'000;
+        cfg.osRefFrac = 0.28;
+        cfg.osData.theta = 1.35;
+    } else {
+        fatal("unknown workload '", name, "'");
+    }
+    return cfg;
+}
+
+std::vector<SyntheticConfig>
+allWorkloads()
+{
+    std::vector<SyntheticConfig> out;
+    for (const auto &name : workloadNames())
+        out.push_back(workloadConfig(name));
+    return out;
+}
+
+} // namespace vmp::trace

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Preset synthetic workloads standing in for the four ATUM VAX traces of
+ * Section 5.2. Lengths span the paper's 358k-540k four-byte references;
+ * the mixes differ in multiprogramming degree, working-set size and
+ * OS-activity character, the way distinct traced VMS sessions would.
+ */
+
+#ifndef VMP_TRACE_WORKLOADS_HH
+#define VMP_TRACE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace vmp::trace
+{
+
+/** Names of the four preset workloads, in order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Configuration of a preset workload by name ("atum1".."atum4").
+ * Throws FatalError for unknown names.
+ */
+SyntheticConfig workloadConfig(const std::string &name);
+
+/** All four preset configurations, in order. */
+std::vector<SyntheticConfig> allWorkloads();
+
+} // namespace vmp::trace
+
+#endif // VMP_TRACE_WORKLOADS_HH

@@ -1,0 +1,40 @@
+#include "vm/backing_store.hh"
+
+#include "sim/logging.hh"
+#include "vm/page_table.hh"
+
+namespace vmp::vm
+{
+
+void
+BackingStore::store(Asid asid, std::uint64_t vpn,
+                    std::vector<std::uint8_t> data)
+{
+    if (data.size() != vmPageBytes)
+        panic("backing store: page image of ", data.size(), " bytes");
+    pages_[{asid, vpn}] = std::move(data);
+    ++stores_;
+}
+
+std::optional<std::vector<std::uint8_t>>
+BackingStore::fetch(Asid asid, std::uint64_t vpn)
+{
+    const auto it = pages_.find({asid, vpn});
+    if (it == pages_.end())
+        return std::nullopt;
+    ++fetches_;
+    return it->second;
+}
+
+void
+BackingStore::dropSpace(Asid asid)
+{
+    for (auto it = pages_.begin(); it != pages_.end();) {
+        if (it->first.first == asid)
+            it = pages_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace vmp::vm

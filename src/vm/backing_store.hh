@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulated backing store ("paging disk") for the virtual-memory
+ * system: page-sized blobs keyed by <asid, vpn>, with a configurable
+ * access latency standing in for disk + DMA time.
+ */
+
+#ifndef VMP_VM_BACKING_STORE_HH
+#define VMP_VM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp::vm
+{
+
+/** Paging store. */
+class BackingStore
+{
+  public:
+    explicit BackingStore(Tick latency_ns = usec(500))
+        : latency_(latency_ns)
+    {}
+
+    /** Simulated access latency for one page transfer. */
+    Tick latency() const { return latency_; }
+
+    /** Save a page image (page-out). */
+    void store(Asid asid, std::uint64_t vpn,
+               std::vector<std::uint8_t> data);
+
+    /** Load a page image, if this page was ever stored. */
+    std::optional<std::vector<std::uint8_t>> fetch(Asid asid,
+                                                   std::uint64_t vpn);
+
+    /** Drop all pages of an address space. */
+    void dropSpace(Asid asid);
+
+    std::size_t pagesHeld() const { return pages_.size(); }
+    const Counter &stores() const { return stores_; }
+    const Counter &fetches() const { return fetches_; }
+
+  private:
+    Tick latency_;
+    std::map<std::pair<Asid, std::uint64_t>,
+             std::vector<std::uint8_t>> pages_;
+    Counter stores_;
+    Counter fetches_;
+};
+
+} // namespace vmp::vm
+
+#endif // VMP_VM_BACKING_STORE_HH

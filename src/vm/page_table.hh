@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Page-table entry codec and virtual-memory constants. VMP stores
+ * two-level page tables in (kernel) virtual memory: the per-space root
+ * directory lives in local memory (so translation nesting is bounded),
+ * while second-level page-table pages are ordinary memory pages whose
+ * PTEs are read through the cache — which is why a cache miss can nest
+ * (Section 2) and why PTE updates need the Section 3.4 consistency
+ * dance.
+ */
+
+#ifndef VMP_VM_PAGE_TABLE_HH
+#define VMP_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+
+#include "cache/types.hh"
+#include "sim/types.hh"
+
+namespace vmp::vm
+{
+
+/** Virtual-memory page size (distinct from the cache page size). */
+constexpr std::uint32_t vmPageBytes = 4096;
+/** 32-bit PTEs per page-table page. */
+constexpr std::uint32_t ptesPerPage = vmPageBytes / 4;
+
+/** ASID used for kernel-region accesses (page tables, kernel data). */
+constexpr Asid kernelAsid = 0;
+
+/** One page-table entry. */
+struct Pte
+{
+    std::uint32_t raw = 0;
+
+    // Bit layout: [31:12] frame number, [5] modified, [4] referenced,
+    // [3] supervisor-writable, [2] user-writable, [1] user-readable,
+    // [0] valid.
+    static constexpr std::uint32_t validBit = 1u << 0;
+    static constexpr std::uint32_t userReadBit = 1u << 1;
+    static constexpr std::uint32_t userWriteBit = 1u << 2;
+    static constexpr std::uint32_t supWriteBit = 1u << 3;
+    static constexpr std::uint32_t referencedBit = 1u << 4;
+    static constexpr std::uint32_t modifiedBit = 1u << 5;
+    /** Section 5.4 non-shared hint: fetch with read-private. */
+    static constexpr std::uint32_t privateHintBit = 1u << 6;
+
+    bool valid() const { return raw & validBit; }
+    bool userReadable() const { return raw & userReadBit; }
+    bool userWritable() const { return raw & userWriteBit; }
+    bool supWritable() const { return raw & supWriteBit; }
+    bool referenced() const { return raw & referencedBit; }
+    bool modified() const { return raw & modifiedBit; }
+    bool privateHint() const { return raw & privateHintBit; }
+
+    /** VM-page frame number this entry maps. */
+    std::uint32_t frame() const { return raw >> 12; }
+
+    void setReferenced() { raw |= referencedBit; }
+    void clearReferenced() { raw &= ~referencedBit; }
+    void setModified() { raw |= modifiedBit; }
+    void setPrivateHint() { raw |= privateHintBit; }
+
+    /** Build a valid entry. */
+    static Pte
+    make(std::uint32_t frame, bool user_read, bool user_write,
+         bool sup_write)
+    {
+        Pte pte;
+        pte.raw = (frame << 12) | validBit |
+            (user_read ? userReadBit : 0) |
+            (user_write ? userWriteBit : 0) |
+            (sup_write ? supWriteBit : 0);
+        return pte;
+    }
+
+    /** Cache-slot protection flags corresponding to this entry. */
+    cache::SlotFlags
+    slotProt() const
+    {
+        std::uint8_t prot = 0;
+        if (userReadable())
+            prot |= cache::FlagUserReadable;
+        if (userWritable())
+            prot |= cache::FlagUserWritable;
+        if (supWritable())
+            prot |= cache::FlagSupWritable;
+        return static_cast<cache::SlotFlags>(prot);
+    }
+};
+
+/** Virtual page number of an address. */
+constexpr std::uint64_t
+vpnOf(Addr vaddr)
+{
+    return vaddr / vmPageBytes;
+}
+
+/** Directory (first-level) index of a virtual page number. */
+constexpr std::uint32_t
+dirIndexOf(std::uint64_t vpn)
+{
+    return static_cast<std::uint32_t>(vpn / ptesPerPage);
+}
+
+/** Index within the page-table page. */
+constexpr std::uint32_t
+pteIndexOf(std::uint64_t vpn)
+{
+    return static_cast<std::uint32_t>(vpn % ptesPerPage);
+}
+
+} // namespace vmp::vm
+
+#endif // VMP_VM_PAGE_TABLE_HH

@@ -1,0 +1,566 @@
+#include "vm/vm_system.hh"
+
+#include <memory>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace vmp::vm
+{
+
+namespace
+{
+
+/** Break a looping closure's self-reference once it terminates. */
+void
+breakLoop(EventQueue &events,
+          const std::shared_ptr<std::function<void()>> &loop)
+{
+    events.scheduleIn(0, [loop] { *loop = nullptr; }, "vm-loop-gc");
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// FrameAllocator
+// --------------------------------------------------------------------
+
+FrameAllocator::FrameAllocator(std::uint64_t mem_bytes,
+                               std::uint32_t reserved)
+{
+    const std::uint64_t frames = mem_bytes / vmPageBytes;
+    if (frames == 0 || reserved >= frames)
+        fatal("frame allocator: no allocatable frames");
+    total_ = static_cast<std::uint32_t>(frames);
+    for (std::uint32_t f = reserved; f < frames; ++f)
+        freeList_.push_back(f);
+}
+
+std::optional<std::uint32_t>
+FrameAllocator::alloc()
+{
+    if (freeList_.empty())
+        return std::nullopt;
+    const std::uint32_t frame = freeList_.front();
+    freeList_.pop_front();
+    return frame;
+}
+
+void
+FrameAllocator::free(std::uint32_t frame)
+{
+    if (frame >= total_)
+        panic("freeing frame ", frame, " out of range");
+    freeList_.push_back(frame);
+}
+
+// --------------------------------------------------------------------
+// VmTranslator
+// --------------------------------------------------------------------
+
+void
+VmTranslator::translate(const proto::TranslateRequest &req,
+                        proto::CacheController &controller,
+                        proto::TranslateDone done)
+{
+    if (system_ == nullptr)
+        fatal("VmTranslator used before bind()");
+
+    if (system_->isKernelAddr(req.vaddr)) {
+        // Kernel window: linear map resolved from local memory.
+        proto::TranslateResult result;
+        result.ok = true;
+        result.paddr = system_->paddrOfKva(req.vaddr);
+        result.prot = cache::FlagSupWritable;
+        done(result);
+        return;
+    }
+    if (req.vaddr < userBase) {
+        // Device / boot regions: not translatable memory.
+        done(proto::TranslateResult{});
+        return;
+    }
+    system_->translateUser(req, controller, std::move(done));
+}
+
+// --------------------------------------------------------------------
+// VmSystem
+// --------------------------------------------------------------------
+
+VmSystem::VmSystem(EventQueue &events, mem::PhysMem &memory,
+                   const VmConfig &config)
+    : events_(events), memory_(memory), cfg_(config),
+      allocator_(memory.size(), config.reservedFrames),
+      store_(config.diskLatencyNs)
+{
+}
+
+AddressSpace &
+VmSystem::space(Asid asid)
+{
+    auto &s = spaces_[asid];
+    s.asid = asid;
+    return s;
+}
+
+void
+VmSystem::attach(proto::CacheController &controller)
+{
+    controller.setFaultHandler(
+        [this, &controller](const proto::TranslateRequest &req,
+                            Done retry) {
+            handleFault(controller, req, std::move(retry));
+        });
+}
+
+bool
+VmSystem::isKernelAddr(Addr vaddr) const
+{
+    return vaddr >= kernelBase && vaddr < kernelBase + memory_.size();
+}
+
+Addr
+VmSystem::paddrOfKva(Addr kva) const
+{
+    if (!isKernelAddr(kva))
+        panic("not a kernel address: 0x", std::hex, kva);
+    return kva - kernelBase;
+}
+
+std::optional<Addr>
+VmSystem::pteAddr(Asid asid, Addr vaddr)
+{
+    const std::uint64_t vpn = vpnOf(vaddr);
+    const auto &root = space(asid).root;
+    const auto it = root.find(dirIndexOf(vpn));
+    if (it == root.end())
+        return std::nullopt;
+    return static_cast<Addr>(it->second) * vmPageBytes +
+        pteIndexOf(vpn) * 4;
+}
+
+std::uint32_t
+VmSystem::ensurePtPage(Asid asid, Addr vaddr)
+{
+    const std::uint32_t dir = dirIndexOf(vpnOf(vaddr));
+    auto &root = space(asid).root;
+    const auto it = root.find(dir);
+    if (it != root.end())
+        return it->second;
+    const auto frame = allocator_.alloc();
+    if (!frame)
+        fatal("out of physical memory allocating a page-table page");
+    // Fresh page tables are zero (all entries invalid); initialization
+    // is a non-architected write (OS setup / DMA).
+    memory_.zeroInit(static_cast<Addr>(*frame) * vmPageBytes,
+                     vmPageBytes);
+    root[dir] = *frame;
+    return *frame;
+}
+
+void
+VmSystem::translateUser(const proto::TranslateRequest &req,
+                        proto::CacheController &controller,
+                        proto::TranslateDone done)
+{
+    const auto pte_paddr = pteAddr(req.asid, req.vaddr);
+    if (!pte_paddr) {
+        done(proto::TranslateResult{}); // fault: no page-table page
+        return;
+    }
+    const Addr pte_kva = kvaOf(*pte_paddr);
+    controller.readWord(
+        kernelAsid, pte_kva, true,
+        [this, req, pte_kva, &controller,
+         done = std::move(done)](std::uint32_t raw) {
+            Pte pte{raw};
+            if (!pte.valid()) {
+                done(proto::TranslateResult{});
+                return;
+            }
+            proto::TranslateResult result;
+            result.ok = true;
+            result.paddr = static_cast<Addr>(pte.frame()) * vmPageBytes +
+                req.vaddr % vmPageBytes;
+            result.prot = pte.slotProt();
+            result.privateHint = pte.privateHint();
+
+            // Maintain referenced/modified bits in the PTE (the
+            // pageout daemon relies on them; Section 3.4).
+            const bool need_ref = !pte.referenced();
+            const bool need_mod = req.write && !pte.modified();
+            if (need_ref || need_mod) {
+                pte.setReferenced();
+                if (req.write)
+                    pte.setModified();
+                controller.writeWord(kernelAsid, pte_kva, pte.raw, true,
+                                     [result, done] { done(result); });
+            } else {
+                done(result);
+            }
+        });
+}
+
+void
+VmSystem::handleFault(proto::CacheController &ctl,
+                      const proto::TranslateRequest &req, Done retry)
+{
+    if (req.vaddr < userBase)
+        fatal("unresolvable fault at 0x", std::hex, req.vaddr,
+              std::dec, " (kernel/device region)");
+
+    const auto pte_paddr = pteAddr(req.asid, req.vaddr);
+    if (!pte_paddr) {
+        ++faults_;
+        pageIn(ctl, req.asid, vpnOf(req.vaddr), std::move(retry));
+        return;
+    }
+    // Read the PTE coherently (a cache may hold the page-table page
+    // dirty; main memory can be stale).
+    ctl.readWord(
+        kernelAsid, kvaOf(*pte_paddr), true,
+        [this, &ctl, req, retry = std::move(retry)](std::uint32_t raw) {
+            const Pte pte{raw};
+            if (pte.valid()) {
+                // Valid mapping but insufficient permission: a genuine
+                // protection violation (no copy-on-write here).
+                fatal("protection violation: asid ",
+                      unsigned{req.asid},
+                      (req.write ? " write" : " read"), " at 0x",
+                      std::hex, req.vaddr);
+            }
+            ++faults_;
+            VMP_DTRACE(debug::Vm, events_.now(), "fault asid=",
+                       unsigned{req.asid}, " va=0x", std::hex,
+                       req.vaddr, std::dec);
+            pageIn(ctl, req.asid, vpnOf(req.vaddr), retry);
+        });
+}
+
+void
+VmSystem::pageIn(proto::CacheController &ctl, Asid asid,
+                 std::uint64_t vpn, Done done)
+{
+    const auto go = [this, &ctl, asid, vpn,
+                     done = std::move(done)](std::uint32_t frame) {
+        // Disk transfer (or zero-fill) into the frame; this models the
+        // DMA path, so it bypasses the bus model and is bracketed by
+        // the pageout/flush protocol that guarantees no cached copies
+        // of a free frame exist.
+        const Tick latency = store_.latency();
+        events_.scheduleIn(latency, [this, &ctl, asid, vpn, frame,
+                                     done] {
+            const Addr base = static_cast<Addr>(frame) * vmPageBytes;
+            const auto image = store_.fetch(asid, vpn);
+            if (image) {
+                memory_.initBlock(base, image->data(), vmPageBytes);
+            } else {
+                memory_.zeroInit(base, vmPageBytes);
+            }
+            ++pageIns_;
+            mapPage(ctl, asid, vpn * vmPageBytes, frame, true, true,
+                    true, done);
+        }, "page-in");
+    };
+
+    const auto frame = allocator_.alloc();
+    if (frame) {
+        go(*frame);
+        return;
+    }
+    // Memory pressure: run pageout, then retry the allocation.
+    pageOutUntilTarget(ctl, [this, go] {
+        const auto frame = allocator_.alloc();
+        if (!frame)
+            fatal("out of memory: pageout reclaimed nothing");
+        go(*frame);
+    });
+}
+
+void
+VmSystem::writePte(proto::CacheController &ctl, Addr pte_paddr,
+                   Pte pte, Done done)
+{
+    // The cached supervisor write acquires exclusive ownership of the
+    // PTE's cache page — the "read-private on pt" of Section 3.4.
+    ctl.writeWord(kernelAsid, kvaOf(pte_paddr), pte.raw, true,
+                  std::move(done));
+}
+
+void
+VmSystem::flushVmFrame(proto::CacheController &ctl,
+                       std::uint32_t frame, Done done)
+{
+    const std::uint32_t cache_page = memory_.pageBytes();
+    const Addr base = static_cast<Addr>(frame) * vmPageBytes;
+    const std::uint32_t count = vmPageBytes / cache_page;
+
+    auto index = std::make_shared<std::uint32_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, &ctl, base, cache_page, count, index, step,
+             done = std::move(done)] {
+        if (*index >= count) {
+            breakLoop(events_, step);
+            done();
+            return;
+        }
+        const Addr paddr = base + (*index)++ * cache_page;
+        // assert-ownership forces every other cache to discard or
+        // write back its copy; our own copy (possibly dirty) is
+        // flushed through the cache-control interface; then the
+        // temporary Protect entry is released.
+        ctl.assertOwnership(paddr, [this, &ctl, paddr, step] {
+            ctl.flushFrame(paddr, [&ctl, paddr, step] {
+                ctl.releaseProtection(paddr, *step);
+            });
+        });
+    };
+    (*step)();
+}
+
+void
+VmSystem::mapPage(proto::CacheController &ctl, Asid asid, Addr vaddr,
+                  std::uint32_t frame, bool user_read, bool user_write,
+                  bool sup_write, Done done)
+{
+    ensurePtPage(asid, vaddr);
+    const Addr pte_paddr = *pteAddr(asid, vaddr);
+    const std::uint64_t vpn = vpnOf(vaddr);
+    const Pte new_pte = Pte::make(frame, user_read, user_write,
+                                  sup_write);
+
+    ctl.readWord(
+        kernelAsid, kvaOf(pte_paddr), true,
+        [this, &ctl, asid, vpn, pte_paddr, new_pte, frame,
+         done = std::move(done)](std::uint32_t raw) {
+            const Pte old{raw};
+            const auto finish = [this, &ctl, asid, vpn, pte_paddr,
+                                 new_pte, frame, done] {
+                writePte(ctl, pte_paddr, new_pte,
+                         [this, asid, vpn, frame, done] {
+                             resident_.push_back(
+                                 ResidentPage{asid, vpn, frame});
+                             ++mapOps_;
+                             done();
+                         });
+            };
+            if (old.valid()) {
+                // Remapping: flush the old page's cache frames from
+                // every cache before the translation changes.
+                for (auto it = resident_.begin();
+                     it != resident_.end(); ++it) {
+                    if (it->asid == asid && it->vpn == vpn) {
+                        resident_.erase(it);
+                        break;
+                    }
+                }
+                flushVmFrame(ctl, old.frame(), finish);
+            } else {
+                finish();
+            }
+        });
+}
+
+void
+VmSystem::unmapPage(
+    proto::CacheController &ctl, Asid asid, Addr vaddr,
+    std::function<void(std::optional<std::uint32_t>)> done)
+{
+    const auto pte_paddr = pteAddr(asid, vaddr);
+    if (!pte_paddr) {
+        done(std::nullopt);
+        return;
+    }
+    const std::uint64_t vpn = vpnOf(vaddr);
+    ctl.readWord(
+        kernelAsid, kvaOf(*pte_paddr), true,
+        [this, &ctl, asid, vpn, pte_paddr = *pte_paddr,
+         done = std::move(done)](std::uint32_t raw) {
+            const Pte old{raw};
+            if (!old.valid()) {
+                done(std::nullopt);
+                return;
+            }
+            for (auto it = resident_.begin(); it != resident_.end();
+                 ++it) {
+                if (it->asid == asid && it->vpn == vpn) {
+                    resident_.erase(it);
+                    break;
+                }
+            }
+            flushVmFrame(ctl, old.frame(), [this, &ctl, pte_paddr,
+                                            old, done] {
+                writePte(ctl, pte_paddr, Pte{},
+                         [old, done] { done(old.frame()); });
+            });
+        });
+}
+
+void
+VmSystem::setPrivateHint(proto::CacheController &ctl, Asid asid,
+                         Addr vaddr, Done done)
+{
+    const auto pte_paddr = pteAddr(asid, vaddr);
+    if (!pte_paddr)
+        fatal("setPrivateHint: no page-table page for 0x", std::hex,
+              vaddr);
+    ctl.readWord(
+        kernelAsid, kvaOf(*pte_paddr), true,
+        [this, &ctl, pte_paddr = *pte_paddr,
+         done = std::move(done)](std::uint32_t raw) {
+            Pte pte{raw};
+            if (!pte.valid())
+                fatal("setPrivateHint on an invalid mapping");
+            pte.setPrivateHint();
+            writePte(ctl, pte_paddr, pte, done);
+        });
+}
+
+void
+VmSystem::destroySpace(proto::CacheController &ctl, Asid asid,
+                       Done done)
+{
+    // Collect the space's resident pages up front; unmapPage edits the
+    // resident list as we go.
+    auto victims = std::make_shared<std::deque<ResidentPage>>();
+    for (const auto &page : resident_) {
+        if (page.asid == asid)
+            victims->push_back(page);
+    }
+
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, &ctl, asid, victims, step, done = std::move(done)] {
+        if (victims->empty()) {
+            // Release the page-table pages and disk images.
+            auto &root = space(asid).root;
+            for (const auto &[dir, frame] : root)
+                allocator_.free(frame);
+            root.clear();
+            spaces_.erase(asid);
+            store_.dropSpace(asid);
+            breakLoop(events_, step);
+            done();
+            return;
+        }
+        const ResidentPage page = victims->front();
+        victims->pop_front();
+        unmapPage(ctl, asid, page.vpn * vmPageBytes,
+                  [this, step](std::optional<std::uint32_t> frame) {
+                      if (frame)
+                          allocator_.free(*frame);
+                      (*step)();
+                  });
+    };
+    (*step)();
+}
+
+void
+VmSystem::pageOutOne(proto::CacheController &ctl,
+                     std::function<void(bool)> done)
+{
+    // Clock algorithm over the resident list: skip-and-clear
+    // referenced pages for at most two sweeps, then give up.
+    auto scanned = std::make_shared<std::size_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, &ctl, scanned, step, done = std::move(done)] {
+        if (resident_.empty() || *scanned >= 2 * resident_.size()) {
+            breakLoop(events_, step);
+            done(false);
+            return;
+        }
+        ++*scanned;
+        const ResidentPage page = resident_.front();
+        resident_.pop_front();
+        const auto pte_paddr =
+            pteAddr(page.asid, page.vpn * vmPageBytes);
+        if (!pte_paddr) {
+            // Should not happen; treat as already gone.
+            (*step)();
+            return;
+        }
+        ctl.readWord(
+            kernelAsid, kvaOf(*pte_paddr), true,
+            [this, &ctl, page, pte_paddr = *pte_paddr, step,
+             done](std::uint32_t raw) {
+                Pte pte{raw};
+                if (!pte.valid()) {
+                    (*step)();
+                    return;
+                }
+                if (pte.referenced()) {
+                    // Second chance: clear the bit, move to the back.
+                    pte.clearReferenced();
+                    resident_.push_back(page);
+                    writePte(ctl, pte_paddr, pte, *step);
+                    return;
+                }
+                // Evict: flush all caches, then save and invalidate.
+                flushVmFrame(ctl, page.frame, [this, &ctl, page,
+                                               pte_paddr, step, done] {
+                    const Addr base =
+                        static_cast<Addr>(page.frame) * vmPageBytes;
+                    std::vector<std::uint8_t> image(vmPageBytes);
+                    memory_.readBlock(base, image.data(), vmPageBytes);
+                    events_.scheduleIn(
+                        store_.latency(),
+                        [this, &ctl, page, pte_paddr, step, done,
+                         image = std::move(image)]() mutable {
+                            store_.store(page.asid, page.vpn,
+                                         std::move(image));
+                            writePte(ctl, pte_paddr, Pte{},
+                                     [this, page, step, done] {
+                                         allocator_.free(page.frame);
+                                         ++pageOuts_;
+                                         VMP_DTRACE(debug::Vm,
+                                                    events_.now(),
+                                                    "pageout asid=",
+                                                    unsigned{page.asid},
+                                                    " vpn=", page.vpn,
+                                                    " frame=",
+                                                    page.frame);
+                                         breakLoop(events_, step);
+                                         done(true);
+                                     });
+                        },
+                        "page-out");
+                });
+            });
+    };
+    (*step)();
+}
+
+void
+VmSystem::pageOutUntilTarget(proto::CacheController &ctl, Done done)
+{
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [this, &ctl, loop, done = std::move(done)] {
+        if (allocator_.freeFrames() >= cfg_.freeTarget) {
+            breakLoop(events_, loop);
+            done();
+            return;
+        }
+        pageOutOne(ctl, [this, loop, done](bool evicted) {
+            if (!evicted) {
+                breakLoop(events_, loop);
+                done();
+                return;
+            }
+            (*loop)();
+        });
+    };
+    (*loop)();
+}
+
+void
+VmSystem::registerStats(StatGroup &group) const
+{
+    group.addCounter("page_faults", "translation faults taken",
+                     faults_);
+    group.addCounter("page_ins", "pages brought in from the store",
+                     pageIns_);
+    group.addCounter("page_outs", "pages evicted to the store",
+                     pageOuts_);
+    group.addCounter("map_ops", "pmap map operations", mapOps_);
+}
+
+} // namespace vmp::vm

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The VMP virtual-memory system: frame allocation, per-ASID address
+ * spaces with two-level page tables stored in (simulated) physical
+ * memory and read through the cache, demand paging against a backing
+ * store, and the Section 3.4 translation-consistency operations —
+ * read-private on the PTE's cache page (implicit in the cached PTE
+ * write), assert-ownership on every cache frame of the mapped page to
+ * flush stale copies from all caches, then the PTE update.
+ *
+ * Kernel virtual addresses map linearly onto physical memory
+ * (kva = kernelBase + paddr), modelling the kernel map held in local
+ * memory: translating a kernel address never faults and never walks
+ * tables, which bounds nested-miss depth exactly as the paper requires.
+ */
+
+#ifndef VMP_VM_VM_SYSTEM_HH
+#define VMP_VM_VM_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mem/phys_mem.hh"
+#include "proto/controller.hh"
+#include "proto/translator.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "vm/backing_store.hh"
+#include "vm/page_table.hh"
+
+namespace vmp::vm
+{
+
+/** Start of the kernel window onto physical memory. */
+constexpr Addr kernelBase = 0x1800'0000;
+/** Start of user virtual space. */
+constexpr Addr userBase = 0x2000'0000;
+
+/** VM configuration knobs. */
+struct VmConfig
+{
+    /** Low frames reserved for uncached use (locks, mailboxes). */
+    std::uint32_t reservedFrames = 4;
+    /** Backing-store latency per page transfer. */
+    Tick diskLatencyNs = usec(500);
+    /** Pageout stops once this many frames are free. */
+    std::uint32_t freeTarget = 8;
+};
+
+/** Allocator of vm-page frames over physical memory. */
+class FrameAllocator
+{
+  public:
+    FrameAllocator(std::uint64_t mem_bytes, std::uint32_t reserved);
+
+    std::optional<std::uint32_t> alloc();
+    void free(std::uint32_t frame);
+
+    std::uint32_t totalFrames() const { return total_; }
+    std::uint32_t freeFrames() const
+    {
+        return static_cast<std::uint32_t>(freeList_.size());
+    }
+
+  private:
+    std::uint32_t total_;
+    std::deque<std::uint32_t> freeList_;
+};
+
+/** One address space: the root directory held in "local memory". */
+struct AddressSpace
+{
+    Asid asid = 0;
+    /** directory index -> physical frame of the page-table page. */
+    std::map<std::uint32_t, std::uint32_t> root;
+};
+
+/** A resident user page, for pageout victim scanning. */
+struct ResidentPage
+{
+    Asid asid = 0;
+    std::uint64_t vpn = 0;
+    std::uint32_t frame = 0;
+};
+
+class VmSystem;
+
+/**
+ * Translator walking the real page tables via cached PTE reads (may
+ * nest-miss), with the kernel window resolved from local memory. Bind
+ * it to a VmSystem after the machine is constructed.
+ */
+class VmTranslator : public proto::Translator
+{
+  public:
+    void bind(VmSystem &system) { system_ = &system; }
+
+    void translate(const proto::TranslateRequest &req,
+                   proto::CacheController &controller,
+                   proto::TranslateDone done) override;
+
+  private:
+    VmSystem *system_ = nullptr;
+};
+
+/** The virtual-memory manager. */
+class VmSystem
+{
+  public:
+    using Done = std::function<void()>;
+
+    VmSystem(EventQueue &events, mem::PhysMem &memory,
+             const VmConfig &config = {});
+
+    const VmConfig &config() const { return cfg_; }
+    FrameAllocator &allocator() { return allocator_; }
+    BackingStore &backingStore() { return store_; }
+    AddressSpace &space(Asid asid);
+
+    /**
+     * Install this VM system as @p controller's fault handler. The
+     * controller must already use a VmTranslator bound to this system.
+     */
+    void attach(proto::CacheController &controller);
+
+    /** Kernel virtual address of a physical address. */
+    static Addr kvaOf(Addr paddr) { return kernelBase + paddr; }
+    /** Physical address behind a kernel virtual address. */
+    Addr paddrOfKva(Addr kva) const;
+    /** True if @p vaddr lies in the kernel window. */
+    bool isKernelAddr(Addr vaddr) const;
+
+    /** Physical byte address of the PTE for <asid, vaddr>, if the
+     *  page-table page exists. */
+    std::optional<Addr> pteAddr(Asid asid, Addr vaddr);
+
+    // --- pmap operations (Section 3.4), executed via a controller ---
+
+    /**
+     * Map <asid, vaddr> to @p frame with the given user/sup
+     * permissions. Performs the full consistency sequence if the entry
+     * was previously valid.
+     */
+    void mapPage(proto::CacheController &ctl, Asid asid, Addr vaddr,
+                 std::uint32_t frame, bool user_read, bool user_write,
+                 bool sup_write, Done done);
+
+    /**
+     * Remove the mapping of <asid, vaddr>; flushes every cache frame
+     * of the old page from all caches. Yields the old frame (or
+     * nothing if the mapping was not valid).
+     */
+    void unmapPage(proto::CacheController &ctl, Asid asid, Addr vaddr,
+                   std::function<void(std::optional<std::uint32_t>)>
+                       done);
+
+    /**
+     * Mark <asid, vaddr> as non-shared (Section 5.4 hint): subsequent
+     * read misses fetch it read-private, pre-empting the write
+     * upgrade. The PTE must be valid.
+     */
+    void setPrivateHint(proto::CacheController &ctl, Asid asid,
+                        Addr vaddr, Done done);
+
+    /**
+     * Delete an address space (Section 3.4): unmap and free every
+     * resident page (flushing all caches), release its page-table
+     * pages and drop its backing-store images.
+     */
+    void destroySpace(proto::CacheController &ctl, Asid asid,
+                      Done done);
+
+    /**
+     * Page out one resident page chosen by the clock algorithm
+     * (skipping referenced pages and clearing their reference bits).
+     * Yields false if nothing was evictable.
+     */
+    void pageOutOne(proto::CacheController &ctl,
+                    std::function<void(bool)> done);
+
+    /** Run pageout until freeTarget frames are free (daemon body). */
+    void pageOutUntilTarget(proto::CacheController &ctl, Done done);
+
+    /** Resident user pages (victim scan order). */
+    const std::deque<ResidentPage> &residentPages() const
+    {
+        return resident_;
+    }
+
+    // --- statistics ---
+    const Counter &pageFaults() const { return faults_; }
+    const Counter &pageIns() const { return pageIns_; }
+    const Counter &pageOuts() const { return pageOuts_; }
+    const Counter &mapOps() const { return mapOps_; }
+    void registerStats(StatGroup &group) const;
+
+    /** Used by VmTranslator. */
+    void translateUser(const proto::TranslateRequest &req,
+                       proto::CacheController &controller,
+                       proto::TranslateDone done);
+
+  private:
+    friend class VmTranslator;
+
+    /** Handle a translation fault: demand-page or die. */
+    void handleFault(proto::CacheController &ctl,
+                     const proto::TranslateRequest &req, Done retry);
+    /** Allocate (paging out if needed), fill and map a page. */
+    void pageIn(proto::CacheController &ctl, Asid asid,
+                std::uint64_t vpn, Done done);
+    /** Ensure the page-table page for <asid, vaddr> exists. */
+    std::uint32_t ensurePtPage(Asid asid, Addr vaddr);
+    /** Flush all cache frames of vm frame @p frame from all caches. */
+    void flushVmFrame(proto::CacheController &ctl, std::uint32_t frame,
+                      Done done);
+    /** Write a PTE through the cache with ownership. */
+    void writePte(proto::CacheController &ctl, Addr pte_paddr,
+                  Pte pte, Done done);
+
+    EventQueue &events_;
+    mem::PhysMem &memory_;
+    VmConfig cfg_;
+    FrameAllocator allocator_;
+    BackingStore store_;
+    std::map<Asid, AddressSpace> spaces_;
+    std::deque<ResidentPage> resident_;
+
+    Counter faults_;
+    Counter pageIns_;
+    Counter pageOuts_;
+    Counter mapOps_;
+};
+
+} // namespace vmp::vm
+
+#endif // VMP_VM_VM_SYSTEM_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests pinning the analytic models to the numbers printed in the
+ * paper: Table 1 (elapsed/bus time per miss), Table 2 (75%-clean
+ * averages), the Figure 3 example point (256 B pages, 0.24% miss ratio
+ * -> ~87% performance), the Figure 5 example point (<0.6% miss ratio ->
+ * <10% bus), and the Section 5.3 "about 5 processors" estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analytic/models.hh"
+#include "sim/logging.hh"
+
+namespace vmp::analytic
+{
+namespace
+{
+
+// --------------------------------------------------------- Table 1
+
+struct Table1Case
+{
+    std::uint32_t page;
+    bool dirty;
+    double elapsedUs; // paper value
+    double busUs;     // paper value
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Case>
+{
+};
+
+TEST_P(Table1Test, MatchesPaperWithinRounding)
+{
+    const auto &[page, dirty, elapsed_want, bus_want] = GetParam();
+    MissCostModel model;
+    const MissCost cost = model.perMiss(page, dirty);
+    // The paper rounds to whole (elapsed) and tenth (bus)
+    // microseconds; allow 0.6 us / 0.15 us of slack.
+    EXPECT_NEAR(cost.elapsedUs, elapsed_want, 0.6) << page << dirty;
+    EXPECT_NEAR(cost.busUs, bus_want, 0.25) << page << dirty;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1Test,
+    ::testing::Values(Table1Case{128, false, 17.0, 3.5},
+                      Table1Case{256, false, 20.0, 6.6},
+                      Table1Case{512, false, 26.0, 13.0},
+                      Table1Case{128, true, 17.0, 7.0},
+                      Table1Case{256, true, 23.0, 13.2},
+                      Table1Case{512, true, 36.0, 26.0}),
+    [](const ::testing::TestParamInfo<Table1Case> &info) {
+        return "p" + std::to_string(info.param.page) +
+            (info.param.dirty ? "_dirty" : "_clean");
+    });
+
+TEST(MissCostModel, Table2Averages)
+{
+    MissCostModel model;
+    const MissCost avg128 = model.average(128);
+    EXPECT_NEAR(avg128.elapsedUs, 17.0, 0.5);
+    EXPECT_NEAR(avg128.busUs, 4.4, 0.3);
+
+    const MissCost avg256 = model.average(256);
+    EXPECT_NEAR(avg256.elapsedUs, 21.29, 0.9);
+    EXPECT_NEAR(avg256.busUs, 8.316, 0.4);
+}
+
+TEST(MissCostModel, DirtyCostsMoreAndGrowsWithPageSize)
+{
+    MissCostModel model;
+    for (std::uint32_t page : {128u, 256u, 512u}) {
+        EXPECT_GE(model.perMiss(page, true).elapsedUs,
+                  model.perMiss(page, false).elapsedUs);
+        EXPECT_DOUBLE_EQ(model.perMiss(page, true).busUs,
+                         2 * model.perMiss(page, false).busUs);
+    }
+    EXPECT_LT(model.perMiss(128, false).busUs,
+              model.perMiss(256, false).busUs);
+    EXPECT_LT(model.perMiss(256, false).busUs,
+              model.perMiss(512, false).busUs);
+}
+
+TEST(MissCostModel, CleanFractionValidation)
+{
+    MissCostModel model;
+    EXPECT_THROW(model.average(256, -0.1), FatalError);
+    EXPECT_THROW(model.average(256, 1.1), FatalError);
+    // Extremes equal the pure cases.
+    EXPECT_DOUBLE_EQ(model.average(256, 1.0).busUs,
+                     model.perMiss(256, false).busUs);
+    EXPECT_DOUBLE_EQ(model.average(256, 0.0).busUs,
+                     model.perMiss(256, true).busUs);
+}
+
+// --------------------------------------------------------- Figure 3
+
+TEST(PerfModel, PaperExamplePoint)
+{
+    // "using a 256 byte cache page size and 128 kilobyte total cache
+    // size, one would expect a miss ratio of 0.24 [percent] giving
+    // processor performance of 87%".
+    PerfModel model;
+    EXPECT_NEAR(model.performance(256, 0.0024), 0.87, 0.01);
+}
+
+TEST(PerfModel, BoundaryValues)
+{
+    PerfModel model;
+    EXPECT_DOUBLE_EQ(model.performance(256, 0.0), 1.0);
+    EXPECT_LT(model.performance(256, 1.0), 0.02);
+    EXPECT_THROW(model.performance(256, -0.1), FatalError);
+    EXPECT_THROW(model.performance(256, 1.5), FatalError);
+}
+
+TEST(PerfModel, MonotonicallyDecreasingInMissRatio)
+{
+    PerfModel model;
+    double last = 1.1;
+    for (double m = 0.0; m <= 0.02; m += 0.002) {
+        const double perf = model.performance(256, m);
+        EXPECT_LT(perf, last);
+        last = perf;
+    }
+}
+
+TEST(PerfModel, LargerPagesCostMorePerMiss)
+{
+    PerfModel model;
+    // At the *same* miss ratio, larger pages perform worse (the paper
+    // notes the curves cannot be used to compare page sizes directly
+    // because the miss ratio itself depends on page size).
+    const double m = 0.005;
+    EXPECT_GT(model.performance(128, m), model.performance(256, m));
+    EXPECT_GT(model.performance(256, m), model.performance(512, m));
+}
+
+TEST(PerfModel, MissRatioForInvertsPerformance)
+{
+    PerfModel model;
+    const double m = model.missRatioFor(256, 0.87);
+    EXPECT_NEAR(model.performance(256, m), 0.87, 1e-9);
+    EXPECT_NEAR(m, 0.0024, 0.0004);
+    EXPECT_THROW(model.missRatioFor(256, 0.0), FatalError);
+}
+
+// --------------------------------------------------------- Figure 5
+
+TEST(BusModel, PaperExamplePoint)
+{
+    // "for a 256 byte cache page size, with a miss ratio under 0.6%,
+    // the bus utilization by a single processor is under 10%".
+    BusModel model;
+    EXPECT_LT(model.utilization(256, 0.006), 0.11);
+    EXPECT_GT(model.utilization(256, 0.006), 0.08);
+}
+
+TEST(BusModel, ZeroMissesZeroUtilization)
+{
+    BusModel model;
+    EXPECT_DOUBLE_EQ(model.utilization(256, 0.0), 0.0);
+    EXPECT_THROW(model.utilization(256, -0.1), FatalError);
+}
+
+TEST(BusModel, IncreasingInMissRatio)
+{
+    BusModel model;
+    double last = -1.0;
+    for (double m = 0.0; m <= 0.02; m += 0.002) {
+        const double util = model.utilization(512, m);
+        EXPECT_GT(util, last);
+        last = util;
+    }
+    // Utilization saturates below 1.
+    EXPECT_LT(model.utilization(512, 1.0), 1.0);
+}
+
+// ------------------------------------------------------- Section 5.3
+
+TEST(QueuingModel, AboutFiveProcessorsFitOnTheBus)
+{
+    // With 256-byte pages and the paper's ~10%-bus operating point,
+    // roughly five processors fit before contention bites.
+    QueuingModel model;
+    const unsigned n = model.maxProcessors(256, 0.006, 0.9);
+    EXPECT_GE(n, 4u);
+    EXPECT_LE(n, 6u);
+}
+
+TEST(QueuingModel, PerformanceDegradesWithProcessors)
+{
+    QueuingModel model;
+    double last = 2.0;
+    for (unsigned n = 1; n <= 12; ++n) {
+        const double perf = model.perProcessorPerformance(256, 0.006, n);
+        EXPECT_LT(perf, last);
+        EXPECT_GT(perf, 0.0);
+        last = perf;
+    }
+    EXPECT_THROW(model.perProcessorPerformance(256, 0.006, 0),
+                 FatalError);
+}
+
+TEST(QueuingModel, ThroughputSaturates)
+{
+    QueuingModel model;
+    // Adding processors beyond saturation yields diminishing
+    // aggregate throughput gains.
+    const double t4 = model.systemThroughput(256, 0.01, 4);
+    const double t8 = model.systemThroughput(256, 0.01, 8);
+    const double t16 = model.systemThroughput(256, 0.01, 16);
+    EXPECT_GT(t8, t4 * 0.9);
+    EXPECT_LT(t16 - t8, t8 - t4 + 1.0);
+}
+
+TEST(QueuingModel, OfferedLoadIsLinear)
+{
+    QueuingModel model;
+    const double one = model.offeredLoad(256, 0.004, 1);
+    EXPECT_NEAR(model.offeredLoad(256, 0.004, 5), 5 * one, 1e-12);
+}
+
+TEST(QueuingModel, LowerMissRatioAllowsMoreProcessors)
+{
+    QueuingModel model;
+    EXPECT_GE(model.maxProcessors(256, 0.002, 0.9),
+              model.maxProcessors(256, 0.01, 0.9));
+}
+
+} // namespace
+} // namespace vmp::analytic

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Unit tests for the simulation base library: event queue, RNG and
+ * distributions, statistics and table rendering, logging behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "sim/debug.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp
+{
+namespace
+{
+
+// --------------------------------------------------------------- types
+
+TEST(Types, UnitHelpers)
+{
+    EXPECT_EQ(nsec(300), 300u);
+    EXPECT_EQ(usec(17), 17'000u);
+    EXPECT_EQ(msec(2), 2'000'000u);
+    EXPECT_DOUBLE_EQ(toUsec(usec(21)), 21.0);
+    EXPECT_EQ(KiB(256), 256u * 1024);
+    EXPECT_EQ(MiB(8), 8u * 1024 * 1024);
+}
+
+TEST(Types, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(256));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(384));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(512), 9u);
+    EXPECT_EQ(alignDown(0x1234, 256), 0x1200u);
+    EXPECT_EQ(alignUp(0x1201, 256), 0x1300u);
+    EXPECT_EQ(alignUp(0x1200, 256), 0x1200u);
+}
+
+// -------------------------------------------------------------- events
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.dispatched(), 3u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleFromCallback)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] {
+        eq.scheduleIn(10, [&] { fired = 1; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, Deschedule)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(id.valid());
+    EXPECT_FALSE(eq.deschedule(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvancesClock)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(100, [&] { ++count; });
+    eq.run(50);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true, any_diff_c = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        all_equal = all_equal && (va == b.next());
+        any_diff_c = any_diff_c || (va != c.next());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_LT(rng.below(37), 37u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10'000; ++i) {
+        const auto v = rng.between(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(13);
+    const double p = 0.125;
+    double sum = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    EXPECT_NEAR(sum / n, 1.0 / p, 0.15);
+    EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Zipf, RankZeroIsHottest)
+{
+    Rng rng(23);
+    ZipfDist dist(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50'000; ++i)
+        ++counts[dist.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, CoversDomainAndStaysInRange)
+{
+    Rng rng(29);
+    ZipfDist dist(16, 0.5);
+    std::vector<bool> seen(16, false);
+    for (int i = 0; i < 20'000; ++i) {
+        const auto v = dist.sample(rng);
+        ASSERT_LT(v, 16u);
+        seen[v] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    Rng rng(31);
+    ZipfDist dist(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[dist.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, HistogramBucketsAndMoments)
+{
+    Histogram h(10, 1.0);
+    h.sample(0.5);
+    h.sample(1.5);
+    h.sample(1.7);
+    h.sample(99.0); // overflow bucket
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[9], 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 99.0);
+    EXPECT_NEAR(h.mean(), (0.5 + 1.5 + 1.7 + 99.0) / 4, 1e-9);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(Stats, StatGroupDump)
+{
+    Counter c;
+    c += 7;
+    Scalar s;
+    s.set(2.5);
+    StatGroup g("cpu0");
+    g.addCounter("misses", "cache misses", c);
+    g.addScalar("busy", "busy fraction", s);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cpu0.misses"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("cpu0.busy"), std::string::npos);
+    EXPECT_NE(out.find("cache misses"), std::string::npos);
+}
+
+TEST(Stats, TableWriterRendersAlignedRows)
+{
+    TableWriter t("Table 1");
+    t.columns({"Page", "Elapsed", "Bus"});
+    t.row().cell(std::uint64_t{128}).cell(17.0, 1).cell(3.5, 1);
+    t.row().cell(std::uint64_t{256}).cell(20.0, 1).cell(6.6, 1);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== Table 1 =="), std::string::npos);
+    EXPECT_NE(out.find("Page"), std::string::npos);
+    EXPECT_NE(out.find("17.0"), std::string::npos);
+    EXPECT_NE(out.find("6.6"), std::string::npos);
+}
+
+// ------------------------------------------------------------- logging
+
+TEST(Logging, PanicAndFatalThrowTypedErrors)
+{
+    EXPECT_THROW(panic("broken ", 42), PanicError);
+    EXPECT_THROW(fatal("bad config ", 1.5), FatalError);
+    try {
+        panic("value=", 3, " end");
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: value=3 end");
+    }
+}
+
+// --------------------------------------------------------------- debug
+
+namespace debugtest
+{
+std::vector<std::string> captured;
+void
+capture(const std::string &line)
+{
+    captured.push_back(line);
+}
+} // namespace debugtest
+
+TEST(Debug, FlagParsing)
+{
+    using namespace vmp::debug;
+    EXPECT_EQ(parseFlags(""), 0u);
+    EXPECT_EQ(parseFlags("Bus"), Bus);
+    EXPECT_EQ(parseFlags("Bus,Proto"), Bus | Proto);
+    EXPECT_EQ(parseFlags("all"), All);
+    EXPECT_THROW(parseFlags("Bogus"), FatalError);
+}
+
+TEST(Debug, EnableDisableAndNames)
+{
+    using namespace vmp::debug;
+    setFlags(0);
+    EXPECT_FALSE(enabled(Vm));
+    enable(Vm);
+    EXPECT_TRUE(enabled(Vm));
+    disable(Vm);
+    EXPECT_FALSE(enabled(Vm));
+    EXPECT_STREQ(flagName(Cache), "Cache");
+    EXPECT_STREQ(flagName(Monitor), "Monitor");
+    setFlags(0);
+}
+
+TEST(Debug, EmitFormatsTickFlagMessage)
+{
+    using namespace vmp::debug;
+    debugtest::captured.clear();
+    setSink(debugtest::capture);
+    setFlags(Bus);
+    VMP_DTRACE(Bus, Tick{1234}, "hello ", 42);
+    VMP_DTRACE(Proto, Tick{99}, "suppressed");
+    setFlags(0);
+    setSink(nullptr);
+    ASSERT_EQ(debugtest::captured.size(), 1u);
+    EXPECT_EQ(debugtest::captured[0], "1234: Bus: hello 42");
+}
+
+// ------------------------------------------------ event queue stress
+
+TEST(EventQueue, RandomizedStressAgainstReferenceModel)
+{
+    // Schedule/deschedule randomly and verify dispatch order against
+    // a simple reference: events fire in (time, insertion) order.
+    Rng rng(2024);
+    EventQueue eq;
+    std::vector<std::pair<Tick, int>> fired;
+    struct Planned
+    {
+        Tick when;
+        int id;
+        EventId handle;
+        bool cancelled;
+    };
+    std::vector<Planned> planned;
+
+    int next_id = 0;
+    for (int round = 0; round < 200; ++round) {
+        const Tick when = eq.now() + rng.below(1000);
+        const int id = next_id++;
+        Planned p{when, id, {}, false};
+        p.handle = eq.schedule(when, [&fired, &eq, id] {
+            fired.emplace_back(eq.now(), id);
+        });
+        planned.push_back(p);
+        // Randomly cancel an earlier still-pending event.
+        if (rng.chance(0.25) && !planned.empty()) {
+            auto &victim = planned[rng.below(planned.size())];
+            if (!victim.cancelled &&
+                eq.deschedule(victim.handle)) {
+                victim.cancelled = true;
+            }
+        }
+        // Occasionally run a little.
+        if (rng.chance(0.3))
+            eq.run(eq.now() + rng.below(500));
+    }
+    eq.run();
+
+    // Everything not cancelled fired exactly once, at its time, in
+    // global time order.
+    std::size_t expected = 0;
+    for (const auto &p : planned)
+        expected += p.cancelled ? 0 : 1;
+    EXPECT_EQ(fired.size(), expected);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1].first, fired[i].first);
+    for (const auto &p : planned) {
+        const auto it = std::find_if(
+            fired.begin(), fired.end(),
+            [&p](const auto &f) { return f.second == p.id; });
+        if (p.cancelled) {
+            EXPECT_EQ(it, fired.end()) << p.id;
+        } else {
+            ASSERT_NE(it, fired.end()) << p.id;
+            EXPECT_EQ(it->first, p.when);
+        }
+    }
+}
+
+TEST(Logging, InformToggle)
+{
+    setInformEnabled(false);
+    EXPECT_FALSE(informEnabled());
+    setInformEnabled(true);
+    EXPECT_TRUE(informEnabled());
+}
+
+} // namespace
+} // namespace vmp

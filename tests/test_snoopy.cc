@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the snoopy-cache baseline: MSI write-invalidate and
+ * write-update protocol behaviour, bus-cost accounting, snoop-probe
+ * counting, and the qualitative properties the Section 6 comparison
+ * rests on (update protocols broadcast every shared write; invalidate
+ * protocols ping-pong Modified lines; snoop probes scale with bus
+ * traffic and processor count).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "snoopy/snoopy.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace vmp::snoopy
+{
+namespace
+{
+
+trace::MemRef
+makeRef(Addr va, bool write, Asid asid = 1)
+{
+    trace::MemRef r;
+    r.vaddr = va;
+    r.asid = asid;
+    r.type = write ? trace::RefType::DataWrite
+                   : trace::RefType::DataRead;
+    return r;
+}
+
+SnoopyConfig
+smallConfig(Protocol protocol, std::uint32_t cpus)
+{
+    SnoopyConfig cfg;
+    cfg.protocol = protocol;
+    cfg.lineBytes = 32;
+    cfg.cacheBytes = 8 * 1024;
+    cfg.ways = 2;
+    cfg.processors = cpus;
+    cfg.memBytes = 1 << 20;
+    return cfg;
+}
+
+TEST(SnoopyConfig, Validation)
+{
+    SnoopyConfig cfg = smallConfig(Protocol::WriteInvalidate, 1);
+    cfg.lineBytes = 24;
+    EXPECT_THROW(cfg.check(), FatalError);
+    cfg = smallConfig(Protocol::WriteInvalidate, 1);
+    cfg.processors = 0;
+    EXPECT_THROW(cfg.check(), FatalError);
+    cfg = smallConfig(Protocol::WriteInvalidate, 1);
+    cfg.ways = 0;
+    EXPECT_THROW(cfg.check(), FatalError);
+    EXPECT_STREQ(protocolName(Protocol::WriteUpdate), "write-update");
+}
+
+TEST(Snoopy, ColdMissThenHits)
+{
+    SnoopySystem sys(smallConfig(Protocol::WriteInvalidate, 1));
+    const Addr va = trace::userBase;
+    sys.step(0, makeRef(va, false));
+    sys.step(0, makeRef(va + 4, false));
+    sys.step(0, makeRef(va + 28, false));
+    EXPECT_EQ(sys.result().refs, 3u);
+    EXPECT_EQ(sys.result().misses, 1u);
+    // Next line misses again.
+    sys.step(0, makeRef(va + 32, false));
+    EXPECT_EQ(sys.result().misses, 2u);
+}
+
+TEST(Snoopy, WriteInvalidateInvalidatesSharers)
+{
+    SnoopySystem sys(smallConfig(Protocol::WriteInvalidate, 2));
+    const Addr va = trace::kernelBase; // shared across ASIDs
+    sys.step(0, makeRef(va, false, 1));
+    sys.step(1, makeRef(va, false, 2));
+    EXPECT_EQ(sys.result().misses, 2u);
+
+    // cpu0 writes: cpu1's copy must be invalidated.
+    sys.step(0, makeRef(va, true, 1));
+    EXPECT_EQ(sys.result().invalidations, 1u);
+    // cpu1's next read misses again (its copy was invalidated).
+    sys.step(1, makeRef(va, false, 2));
+    EXPECT_EQ(sys.result().misses, 3u);
+}
+
+TEST(Snoopy, ModifiedLineFlushedOnRemoteMiss)
+{
+    SnoopySystem sys(smallConfig(Protocol::WriteInvalidate, 2));
+    const Addr va = trace::kernelBase;
+    sys.step(0, makeRef(va, true, 1)); // cpu0: Modified
+    const auto wb_before = sys.result().writeBacks;
+    sys.step(1, makeRef(va, false, 2)); // cpu1 read miss
+    EXPECT_EQ(sys.result().writeBacks, wb_before + 1);
+}
+
+TEST(Snoopy, WriteUpdateBroadcastsEveryWrite)
+{
+    SnoopySystem sys(smallConfig(Protocol::WriteUpdate, 2));
+    const Addr va = trace::kernelBase;
+    sys.step(0, makeRef(va, false, 1));
+    sys.step(1, makeRef(va, false, 2));
+    for (int i = 0; i < 10; ++i)
+        sys.step(0, makeRef(va, true, 1));
+    EXPECT_EQ(sys.result().updatesBroadcast, 10u);
+    EXPECT_EQ(sys.result().invalidations, 0u);
+    // cpu1 still hits (its copy was updated, not invalidated).
+    const auto misses = sys.result().misses;
+    sys.step(1, makeRef(va, false, 2));
+    EXPECT_EQ(sys.result().misses, misses);
+}
+
+TEST(Snoopy, WriteOnceFirstWriteThroughSecondLocal)
+{
+    SnoopySystem sys(smallConfig(Protocol::WriteOnce, 2));
+    const Addr va = trace::kernelBase;
+    sys.step(0, makeRef(va, false, 1));
+    sys.step(1, makeRef(va, false, 2));
+
+    // First write by cpu0: one word write-through, sharer invalidated.
+    sys.step(0, makeRef(va, true, 1));
+    EXPECT_EQ(sys.result().writeThroughs, 1u);
+    EXPECT_EQ(sys.result().invalidations, 1u);
+
+    // Second and third writes: purely local (Reserved -> Modified).
+    const auto bus_before = sys.result().busTicks;
+    sys.step(0, makeRef(va, true, 1));
+    sys.step(0, makeRef(va, true, 1));
+    EXPECT_EQ(sys.result().writeThroughs, 1u);
+    EXPECT_EQ(sys.result().busTicks, bus_before);
+
+    // cpu1's re-read flushes the now-dirty line.
+    const auto wb_before = sys.result().writeBacks;
+    sys.step(1, makeRef(va, false, 2));
+    EXPECT_EQ(sys.result().writeBacks, wb_before + 1);
+}
+
+TEST(Snoopy, WriteOnceWriteMissWritesThroughOnce)
+{
+    SnoopySystem sys(smallConfig(Protocol::WriteOnce, 1));
+    sys.step(0, makeRef(trace::userBase, true, 1));
+    EXPECT_EQ(sys.result().misses, 1u);
+    EXPECT_EQ(sys.result().writeThroughs, 1u);
+    // Follow-up write is local.
+    sys.step(0, makeRef(trace::userBase + 4, true, 1));
+    EXPECT_EQ(sys.result().writeThroughs, 1u);
+    EXPECT_STREQ(protocolName(Protocol::WriteOnce), "write-once");
+}
+
+TEST(Snoopy, WriteOnceCheaperThanUpdateOnPrivateWrites)
+{
+    // Repeated private writes: write-update pays the bus every time,
+    // write-once only on the first write per line.
+    auto run = [](Protocol protocol) {
+        SnoopySystem sys(smallConfig(protocol, 2));
+        for (int i = 0; i < 50; ++i)
+            sys.step(0, makeRef(trace::userBase, true, 1));
+        return sys.result().busTicks;
+    };
+    EXPECT_LT(run(Protocol::WriteOnce), run(Protocol::WriteUpdate));
+}
+
+TEST(Snoopy, SnoopProbesScaleWithProcessors)
+{
+    // The same trace against 2 and 4 processors: more caches means
+    // more tag probes per bus transaction.
+    auto run = [](std::uint32_t cpus) {
+        SnoopySystem sys(smallConfig(Protocol::WriteInvalidate, cpus));
+        for (int i = 0; i < 100; ++i)
+            sys.step(0, makeRef(trace::userBase + i * 64, true, 1));
+        return sys.result().snoopProbes;
+    };
+    EXPECT_GT(run(4), run(2));
+}
+
+TEST(Snoopy, LruEvictionWithinSet)
+{
+    // The cache is physically indexed and physical frames are handed
+    // out in touch order, so walking (capacity + 1) distinct lines
+    // wraps the sets and evicts the LRU line of set 0 — the first one.
+    auto cfg = smallConfig(Protocol::WriteInvalidate, 1);
+    SnoopySystem sys(cfg);
+    const std::uint64_t lines = cfg.cacheBytes / cfg.lineBytes;
+    for (std::uint64_t i = 0; i <= lines; ++i)
+        sys.step(0, makeRef(trace::userBase + i * cfg.lineBytes,
+                            false));
+    EXPECT_EQ(sys.result().misses, lines + 1);
+    // The first line was evicted; re-touching it misses again.
+    sys.step(0, makeRef(trace::userBase, false));
+    EXPECT_EQ(sys.result().misses, lines + 2);
+}
+
+TEST(Snoopy, RunInterleavesSources)
+{
+    SnoopySystem sys(smallConfig(Protocol::WriteInvalidate, 2));
+    trace::VectorRefSource a({makeRef(trace::userBase, false, 1),
+                              makeRef(trace::userBase + 4, false, 1)});
+    trace::VectorRefSource b({makeRef(trace::userBase, false, 2)});
+    const auto result = sys.run({&a, &b});
+    EXPECT_EQ(result.refs, 3u);
+    EXPECT_FALSE(result.toString().empty());
+}
+
+TEST(Snoopy, DirtyEvictionWritesBack)
+{
+    auto cfg = smallConfig(Protocol::WriteInvalidate, 1);
+    SnoopySystem sys(cfg);
+    const std::uint64_t lines = cfg.cacheBytes / cfg.lineBytes;
+    sys.step(0, makeRef(trace::userBase, true)); // dirty line 0
+    // Walk the rest of the capacity plus one: evicts the dirty line.
+    for (std::uint64_t i = 1; i <= lines; ++i)
+        sys.step(0, makeRef(trace::userBase + i * cfg.lineBytes,
+                            false));
+    EXPECT_EQ(sys.result().writeBacks, 1u);
+}
+
+TEST(Snoopy, SmallerLinesMissMoreOnSequentialCode)
+{
+    auto run = [](std::uint32_t line_bytes) {
+        auto cfg = smallConfig(Protocol::WriteInvalidate, 1);
+        cfg.lineBytes = line_bytes;
+        cfg.cacheBytes = 64 * 1024;
+        SnoopySystem sys(cfg);
+        auto wl = trace::workloadConfig("atum1");
+        wl.totalRefs = 60'000;
+        trace::SyntheticGen gen(wl);
+        trace::MemRef ref;
+        while (gen.next(ref))
+            sys.step(0, ref);
+        return sys.result().missRatio();
+    };
+    EXPECT_GT(run(16), run(64));
+}
+
+} // namespace
+} // namespace vmp::snoopy
