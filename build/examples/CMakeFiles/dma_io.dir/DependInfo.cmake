@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dma_io.cpp" "examples/CMakeFiles/dma_io.dir/dma_io.cpp.o" "gcc" "examples/CMakeFiles/dma_io.dir/dma_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vmp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vmp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/vmp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/vmp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vmp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/vmp_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_io.dir/dma_io.cpp.o"
+  "CMakeFiles/dma_io.dir/dma_io.cpp.o.d"
+  "dma_io"
+  "dma_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

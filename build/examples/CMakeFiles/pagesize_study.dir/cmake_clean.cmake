@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesize_study.dir/pagesize_study.cpp.o"
+  "CMakeFiles/pagesize_study.dir/pagesize_study.cpp.o.d"
+  "pagesize_study"
+  "pagesize_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesize_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_counter.dir/parallel_counter.cpp.o"
+  "CMakeFiles/parallel_counter.dir/parallel_counter.cpp.o.d"
+  "parallel_counter"
+  "parallel_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

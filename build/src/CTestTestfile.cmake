@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("trace")
+subdirs("cache")
+subdirs("mem")
+subdirs("monitor")
+subdirs("proto")
+subdirs("vm")
+subdirs("cpu")
+subdirs("snoopy")
+subdirs("sync")
+subdirs("analytic")
+subdirs("core")

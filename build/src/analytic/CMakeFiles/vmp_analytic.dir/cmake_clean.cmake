@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_analytic.dir/models.cc.o"
+  "CMakeFiles/vmp_analytic.dir/models.cc.o.d"
+  "libvmp_analytic.a"
+  "libvmp_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_cache.dir/cache.cc.o"
+  "CMakeFiles/vmp_cache.dir/cache.cc.o.d"
+  "libvmp_cache.a"
+  "libvmp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_core.dir/fast_sim.cc.o"
+  "CMakeFiles/vmp_core.dir/fast_sim.cc.o.d"
+  "CMakeFiles/vmp_core.dir/paged_system.cc.o"
+  "CMakeFiles/vmp_core.dir/paged_system.cc.o.d"
+  "CMakeFiles/vmp_core.dir/system.cc.o"
+  "CMakeFiles/vmp_core.dir/system.cc.o.d"
+  "libvmp_core.a"
+  "libvmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_cpu.dir/program_cpu.cc.o"
+  "CMakeFiles/vmp_cpu.dir/program_cpu.cc.o.d"
+  "CMakeFiles/vmp_cpu.dir/trace_cpu.cc.o"
+  "CMakeFiles/vmp_cpu.dir/trace_cpu.cc.o.d"
+  "libvmp_cpu.a"
+  "libvmp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_mem.dir/block_copier.cc.o"
+  "CMakeFiles/vmp_mem.dir/block_copier.cc.o.d"
+  "CMakeFiles/vmp_mem.dir/dma.cc.o"
+  "CMakeFiles/vmp_mem.dir/dma.cc.o.d"
+  "CMakeFiles/vmp_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/vmp_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/vmp_mem.dir/vme_bus.cc.o"
+  "CMakeFiles/vmp_mem.dir/vme_bus.cc.o.d"
+  "libvmp_mem.a"
+  "libvmp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/action_table.cc" "src/monitor/CMakeFiles/vmp_monitor.dir/action_table.cc.o" "gcc" "src/monitor/CMakeFiles/vmp_monitor.dir/action_table.cc.o.d"
+  "/root/repo/src/monitor/bus_monitor.cc" "src/monitor/CMakeFiles/vmp_monitor.dir/bus_monitor.cc.o" "gcc" "src/monitor/CMakeFiles/vmp_monitor.dir/bus_monitor.cc.o.d"
+  "/root/repo/src/monitor/interrupt_fifo.cc" "src/monitor/CMakeFiles/vmp_monitor.dir/interrupt_fifo.cc.o" "gcc" "src/monitor/CMakeFiles/vmp_monitor.dir/interrupt_fifo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/vmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_monitor.dir/action_table.cc.o"
+  "CMakeFiles/vmp_monitor.dir/action_table.cc.o.d"
+  "CMakeFiles/vmp_monitor.dir/bus_monitor.cc.o"
+  "CMakeFiles/vmp_monitor.dir/bus_monitor.cc.o.d"
+  "CMakeFiles/vmp_monitor.dir/interrupt_fifo.cc.o"
+  "CMakeFiles/vmp_monitor.dir/interrupt_fifo.cc.o.d"
+  "libvmp_monitor.a"
+  "libvmp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

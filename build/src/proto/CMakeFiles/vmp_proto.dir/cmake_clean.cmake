@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_proto.dir/controller.cc.o"
+  "CMakeFiles/vmp_proto.dir/controller.cc.o.d"
+  "CMakeFiles/vmp_proto.dir/translator.cc.o"
+  "CMakeFiles/vmp_proto.dir/translator.cc.o.d"
+  "libvmp_proto.a"
+  "libvmp_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_sim.dir/debug.cc.o"
+  "CMakeFiles/vmp_sim.dir/debug.cc.o.d"
+  "CMakeFiles/vmp_sim.dir/event.cc.o"
+  "CMakeFiles/vmp_sim.dir/event.cc.o.d"
+  "CMakeFiles/vmp_sim.dir/logging.cc.o"
+  "CMakeFiles/vmp_sim.dir/logging.cc.o.d"
+  "CMakeFiles/vmp_sim.dir/random.cc.o"
+  "CMakeFiles/vmp_sim.dir/random.cc.o.d"
+  "CMakeFiles/vmp_sim.dir/stats.cc.o"
+  "CMakeFiles/vmp_sim.dir/stats.cc.o.d"
+  "libvmp_sim.a"
+  "libvmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

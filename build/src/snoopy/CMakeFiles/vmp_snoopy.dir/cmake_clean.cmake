@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_snoopy.dir/snoopy.cc.o"
+  "CMakeFiles/vmp_snoopy.dir/snoopy.cc.o.d"
+  "libvmp_snoopy.a"
+  "libvmp_snoopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_snoopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

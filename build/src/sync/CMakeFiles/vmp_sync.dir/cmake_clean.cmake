@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_sync.dir/locks.cc.o"
+  "CMakeFiles/vmp_sync.dir/locks.cc.o.d"
+  "CMakeFiles/vmp_sync.dir/mailbox.cc.o"
+  "CMakeFiles/vmp_sync.dir/mailbox.cc.o.d"
+  "libvmp_sync.a"
+  "libvmp_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

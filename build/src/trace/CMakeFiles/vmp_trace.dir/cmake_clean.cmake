@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_trace.dir/analyzer.cc.o"
+  "CMakeFiles/vmp_trace.dir/analyzer.cc.o.d"
+  "CMakeFiles/vmp_trace.dir/ref.cc.o"
+  "CMakeFiles/vmp_trace.dir/ref.cc.o.d"
+  "CMakeFiles/vmp_trace.dir/synthetic.cc.o"
+  "CMakeFiles/vmp_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/vmp_trace.dir/trace_io.cc.o"
+  "CMakeFiles/vmp_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/vmp_trace.dir/workloads.cc.o"
+  "CMakeFiles/vmp_trace.dir/workloads.cc.o.d"
+  "libvmp_trace.a"
+  "libvmp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/backing_store.cc" "src/vm/CMakeFiles/vmp_vm.dir/backing_store.cc.o" "gcc" "src/vm/CMakeFiles/vmp_vm.dir/backing_store.cc.o.d"
+  "/root/repo/src/vm/vm_system.cc" "src/vm/CMakeFiles/vmp_vm.dir/vm_system.cc.o" "gcc" "src/vm/CMakeFiles/vmp_vm.dir/vm_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/vmp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/vmp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/vmp_monitor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

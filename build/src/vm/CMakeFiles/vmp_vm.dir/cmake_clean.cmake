@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_vm.dir/backing_store.cc.o"
+  "CMakeFiles/vmp_vm.dir/backing_store.cc.o.d"
+  "CMakeFiles/vmp_vm.dir/vm_system.cc.o"
+  "CMakeFiles/vmp_vm.dir/vm_system.cc.o.d"
+  "libvmp_vm.a"
+  "libvmp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

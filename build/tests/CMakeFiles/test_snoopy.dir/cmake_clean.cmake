@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snoopy.dir/test_snoopy.cc.o"
+  "CMakeFiles/test_snoopy.dir/test_snoopy.cc.o.d"
+  "test_snoopy"
+  "test_snoopy.pdb"
+  "test_snoopy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snoopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
