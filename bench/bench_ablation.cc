@@ -76,44 +76,82 @@ runSharedAsid(std::uint64_t cache_bytes, std::uint32_t page_bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vmp;
+    const auto opts = bench::parseBenchOptions("ablation", argc,
+                                               argv);
+    bench::Artifact artifact("ablation", opts);
 
     bench::banner("Ablation", "Associativity, victim policy and ASID "
                               "tagging (Fig. 4 methodology, 256B "
                               "pages)");
 
+    const std::vector<std::uint64_t> sizes = {KiB(64), KiB(128),
+                                              KiB(256)};
     TableWriter assoc("Associativity sweep, miss ratio (%)");
     assoc.columns({"Cache size", "1-way", "2-way", "4-way", "8-way"});
-    for (const std::uint64_t size : {KiB(64), KiB(128), KiB(256)}) {
-        auto &row = assoc.row().cell(std::to_string(size / 1024) + "K");
+    {
+        // One parallel sweep per associativity (each is a full
+        // {size} x {workload} grid of independent cells).
+        std::vector<bench::Fig4Grid> grids;
         for (const std::uint32_t ways : {1u, 2u, 4u, 8u})
-            row.cell(
-                bench::runFig4Point(size, 256, ways).missRatio() * 100,
-                3);
+            grids.emplace_back(sizes, std::vector<std::uint32_t>{256},
+                               ways, opts.threads);
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            auto &row = assoc.row().cell(
+                std::to_string(sizes[s] / 1024) + "K");
+            const std::uint32_t ways_list[] = {1, 2, 4, 8};
+            for (std::size_t w = 0; w < grids.size(); ++w) {
+                const auto &point = grids[w].point(s, 0);
+                row.cell(point.missRatio() * 100, 3);
+                artifact.add(
+                    "assoc/" + std::to_string(sizes[s] / 1024) +
+                        "K/" + std::to_string(ways_list[w]) + "w",
+                    bench::cacheConfigJson(sizes[s], 256,
+                                           ways_list[w]),
+                    bench::fastResultJson(point));
+            }
+        }
     }
     assoc.print(std::cout);
 
     TableWriter victim("Victim policy at 4 ways, miss ratio (%)");
     victim.columns({"Cache size", "LRU (hardware suggestion)",
                     "Random"});
-    for (const std::uint64_t size : {KiB(64), KiB(128), KiB(256)}) {
+    for (const std::uint64_t size : sizes) {
+        const auto lru = bench::runFig4Point(size, 256);
+        const auto random = runRandomVictim(size, 256);
         victim.row()
             .cell(std::to_string(size / 1024) + "K")
-            .cell(bench::runFig4Point(size, 256).missRatio() * 100, 3)
-            .cell(runRandomVictim(size, 256).missRatio() * 100, 3);
+            .cell(lru.missRatio() * 100, 3)
+            .cell(random.missRatio() * 100, 3);
+        Json metrics = Json::object();
+        metrics["miss_ratio_lru"] = Json(lru.missRatio());
+        metrics["miss_ratio_random"] = Json(random.missRatio());
+        artifact.add("victim/" + std::to_string(size / 1024) + "K",
+                     bench::cacheConfigJson(size, 256, 4),
+                     std::move(metrics));
     }
     victim.print(std::cout);
 
     TableWriter asid("ASID tag ablation, miss ratio (%)");
     asid.columns({"Cache size", "Per-ASID tags (VMP)",
                   "Single tag space"});
-    for (const std::uint64_t size : {KiB(64), KiB(128), KiB(256)}) {
+    for (const std::uint64_t size : sizes) {
+        const auto tagged = bench::runFig4Point(size, 256);
+        const auto shared = runSharedAsid(size, 256);
         asid.row()
             .cell(std::to_string(size / 1024) + "K")
-            .cell(bench::runFig4Point(size, 256).missRatio() * 100, 3)
-            .cell(runSharedAsid(size, 256).missRatio() * 100, 3);
+            .cell(tagged.missRatio() * 100, 3)
+            .cell(shared.missRatio() * 100, 3);
+        Json metrics = Json::object();
+        metrics["miss_ratio_per_asid"] = Json(tagged.missRatio());
+        metrics["miss_ratio_single_tag_space"] =
+            Json(shared.missRatio());
+        artifact.add("asid/" + std::to_string(size / 1024) + "K",
+                     bench::cacheConfigJson(size, 256, 4),
+                     std::move(metrics));
     }
     asid.print(std::cout);
     std::cout
@@ -147,6 +185,20 @@ main()
                       .value())
             .cell(system.controller(0).hintedPrivateFills().value())
             .cell(result.performance, 3);
+
+        Json config = bench::cacheConfigJson(KiB(64), 256, 4);
+        config["user_private_hint"] = Json(enabled);
+        Json metrics = bench::runResultJson(result);
+        metrics["ownership_misses"] =
+            Json(system.controller(0).ownershipMisses().value());
+        metrics["assert_ownership_tx"] =
+            Json(system.bus()
+                     .countOf(mem::TxType::AssertOwnership)
+                     .value());
+        metrics["hinted_private_fills"] =
+            Json(system.controller(0).hintedPrivateFills().value());
+        artifact.add(std::string("hint/") + (enabled ? "on" : "off"),
+                     std::move(config), std::move(metrics));
     }
     hint.print(std::cout);
     std::cout
@@ -154,5 +206,10 @@ main()
            "the write upgrade (an extra trap\nplus bus transaction "
            "per first-write) disappears — the Section 5.4 "
            "optimization.\n";
+
+    artifact.note("ablations over associativity, victim policy, ASID "
+                  "tagging and the Section 5.4 non-shared hint "
+                  "(Fig. 4 methodology, 256B pages)");
+    artifact.write();
     return 0;
 }

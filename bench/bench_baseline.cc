@@ -72,9 +72,12 @@ snoopyPoint(snoopy::Protocol protocol, std::uint32_t line_bytes,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vmp;
+    const auto opts = bench::parseBenchOptions("baseline", argc,
+                                               argv);
+    bench::Artifact artifact("baseline", opts);
 
     bench::banner("Section 6", "VMP vs snoopy baselines (same traces, "
                                "128K caches, uniprocessor bus "
@@ -92,6 +95,16 @@ main()
             .cell(point.busNsPerRef, 1)
             .cell("~1 per miss")
             .cell("0 (bus monitor, no tag sharing)");
+
+        Json config = Json::object();
+        config["scheme"] = Json("vmp");
+        config["page_bytes"] = Json(std::uint64_t{page});
+        config["cache_bytes"] = Json(KiB(128));
+        Json metrics = Json::object();
+        metrics["miss_ratio"] = Json(point.missPct / 100.0);
+        metrics["bus_ns_per_ref"] = Json(point.busNsPerRef);
+        artifact.add("vmp/" + std::to_string(page) + "B",
+                     std::move(config), std::move(metrics));
     }
     for (const std::uint32_t line : {16u, 32u, 64u}) {
         const auto result = snoopyPoint(
@@ -102,6 +115,19 @@ main()
             .cell(result.busNsPerRef(), 1)
             .cell(result.misses + result.invalidations)
             .cell("every bus tx probes every cache");
+
+        Json config = Json::object();
+        config["scheme"] = Json("snoopy-write-invalidate");
+        config["line_bytes"] = Json(std::uint64_t{line});
+        config["cache_bytes"] = Json(KiB(128));
+        Json metrics = Json::object();
+        metrics["miss_ratio"] = Json(result.missRatio());
+        metrics["bus_ns_per_ref"] = Json(result.busNsPerRef());
+        metrics["bus_events"] =
+            Json(result.misses + result.invalidations);
+        metrics["snoop_probes"] = Json(result.snoopProbes);
+        artifact.add("snoopy-wi/" + std::to_string(line) + "B",
+                     std::move(config), std::move(metrics));
     }
     {
         const auto result = snoopyPoint(snoopy::Protocol::WriteUpdate,
@@ -112,6 +138,19 @@ main()
             .cell(result.busNsPerRef(), 1)
             .cell(result.misses + result.updatesBroadcast)
             .cell("every bus tx probes every cache");
+
+        Json config = Json::object();
+        config["scheme"] = Json("snoopy-write-update");
+        config["line_bytes"] = Json(std::uint64_t{32});
+        config["cache_bytes"] = Json(KiB(128));
+        Json metrics = Json::object();
+        metrics["miss_ratio"] = Json(result.missRatio());
+        metrics["bus_ns_per_ref"] = Json(result.busNsPerRef());
+        metrics["bus_events"] =
+            Json(result.misses + result.updatesBroadcast);
+        metrics["snoop_probes"] = Json(result.snoopProbes);
+        artifact.add("snoopy-wu/32B", std::move(config),
+                     std::move(metrics));
     }
     {
         const auto result = snoopyPoint(snoopy::Protocol::WriteOnce,
@@ -122,6 +161,19 @@ main()
             .cell(result.busNsPerRef(), 1)
             .cell(result.misses + result.writeThroughs)
             .cell("every bus tx probes every cache");
+
+        Json config = Json::object();
+        config["scheme"] = Json("snoopy-write-once");
+        config["line_bytes"] = Json(std::uint64_t{32});
+        config["cache_bytes"] = Json(KiB(128));
+        Json metrics = Json::object();
+        metrics["miss_ratio"] = Json(result.missRatio());
+        metrics["bus_ns_per_ref"] = Json(result.busNsPerRef());
+        metrics["bus_events"] =
+            Json(result.misses + result.writeThroughs);
+        metrics["snoop_probes"] = Json(result.snoopProbes);
+        artifact.add("snoopy-wo/32B", std::move(config),
+                     std::move(metrics));
     }
     table.print(std::cout);
 
@@ -155,6 +207,20 @@ main()
             .cell(static_cast<double>(result.snoopProbes) /
                       static_cast<double>(result.refs),
                   3);
+
+        Json config = Json::object();
+        config["scheme"] = Json("snoopy-write-invalidate");
+        config["line_bytes"] = Json(std::uint64_t{32});
+        config["cache_bytes"] = Json(KiB(128));
+        config["processors"] = Json(std::uint64_t{n});
+        Json metrics = Json::object();
+        metrics["bus_ns_per_ref"] = Json(result.busNsPerRef());
+        metrics["snoop_probes"] = Json(result.snoopProbes);
+        metrics["snoop_probes_per_ref"] =
+            Json(static_cast<double>(result.snoopProbes) /
+                 static_cast<double>(result.refs));
+        artifact.add("pressure/" + std::to_string(n) + "cpu",
+                     std::move(config), std::move(metrics));
     }
     pressure.print(std::cout);
 
@@ -165,5 +231,10 @@ main()
            "word per shared write.\nVMP pays a longer per-miss latency "
            "instead, with zero snoop pressure on the processor/cache "
            "path.\n";
+
+    artifact.note("Section 6: VMP big-page ownership caches vs snoopy "
+                  "write-invalidate / write-update / write-once "
+                  "baselines on the same traces");
+    artifact.write();
     return 0;
 }

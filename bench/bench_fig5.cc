@@ -4,7 +4,7 @@
  * single-processor bus utilization as a function of the miss ratio for
  * the three page sizes, using the Table 2 average bus cost per miss.
  * Measured bus-utilization points from the event-driven simulator are
- * printed alongside.
+ * printed alongside, and a BENCH_fig5.json artifact is written.
  */
 
 #include <iostream>
@@ -14,10 +14,12 @@
 #include "sim/stats.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vmp;
     setInformEnabled(false);
+    const auto opts = bench::parseBenchOptions("fig5", argc, argv);
+    bench::Artifact artifact("fig5", opts);
 
     bench::banner("Figure 5",
                   "Bus Utilization vs Cache Miss Ratio (one CPU)");
@@ -34,6 +36,19 @@ main()
             .cell(model.utilization(128, m) * 100, 2)
             .cell(model.utilization(256, m) * 100, 2)
             .cell(model.utilization(512, m) * 100, 2);
+        for (const std::uint32_t page : {128u, 256u, 512u}) {
+            Json config = Json::object();
+            config["page_bytes"] = Json(std::uint64_t{page});
+            config["miss_ratio"] = Json(m);
+            Json metrics = Json::object();
+            metrics["bus_utilization_model"] =
+                Json(model.utilization(page, m));
+            char label[48];
+            std::snprintf(label, sizeof(label), "model/%uB/m=%.3f",
+                          page, m);
+            artifact.add(label, std::move(config),
+                         std::move(metrics));
+        }
     }
     table.print(std::cout);
     std::cout << "Paper anchor: 256B pages, miss ratio under 0.6% -> "
@@ -47,13 +62,27 @@ main()
     for (const std::uint64_t size : {KiB(32), KiB(64), KiB(128)}) {
         const auto cfg =
             cache::CacheConfig::forSize(size, 256, 4, true);
-        const auto result = bench::runVmpSystem(1, 120'000, cfg);
+        Json stats;
+        const auto result =
+            bench::runVmpSystem(1, 120'000, cfg, 1000, false, &stats);
         validation.row()
             .cell(std::to_string(size / 1024) + "K")
             .cell(result.missRatio * 100, 3)
             .cell(result.busUtilization * 100, 2)
             .cell(model.utilization(256, result.missRatio) * 100, 2);
+        Json metrics = bench::runResultJson(result);
+        metrics["bus_utilization_model"] =
+            Json(model.utilization(256, result.missRatio));
+        metrics["stats"] = std::move(stats);
+        artifact.add("measured/" + std::to_string(size / 1024) + "K",
+                     bench::cacheConfigJson(size, 256, 4),
+                     std::move(metrics));
     }
     validation.print(std::cout);
+
+    artifact.note("bus utilization per Table 2 average miss cost; "
+                  "measured points from the event-driven simulator "
+                  "(atum2, 120k refs)");
+    artifact.write();
     return 0;
 }

@@ -86,7 +86,8 @@ runStudy(sync::LockKind kind, bool same_page, std::uint32_t cpus,
 }
 
 void
-printStudy(std::uint32_t cpus, std::uint32_t iters)
+printStudy(bench::Artifact &artifact, std::uint32_t cpus,
+           std::uint32_t iters)
 {
     TableWriter table("Lock study: " + std::to_string(cpus) +
                       " CPUs x " + std::to_string(iters) +
@@ -121,6 +122,25 @@ printStudy(std::uint32_t cpus, std::uint32_t iters)
             .cell(result.writeBacks)
             .cell(result.notifies)
             .cell(result.correct ? "yes" : "NO");
+
+        Json config = Json::object();
+        config["lock"] = Json(c.name);
+        config["same_page"] = Json(c.samePage);
+        config["processors"] = Json(std::uint64_t{cpus});
+        config["iterations"] = Json(std::uint64_t{iters});
+        Json metrics = Json::object();
+        metrics["elapsed_us"] = Json(toUsec(result.elapsed));
+        metrics["us_per_critical_section"] =
+            Json(toUsec(result.elapsed) /
+                 static_cast<double>(cpus * iters));
+        metrics["bus_transactions"] = Json(result.busTx);
+        metrics["ownership_transactions"] = Json(result.ownershipTx);
+        metrics["write_backs"] = Json(result.writeBacks);
+        metrics["notifies"] = Json(result.notifies);
+        metrics["correct"] = Json(result.correct);
+        artifact.add(std::to_string(cpus) + "cpu/" +
+                         std::string(c.name),
+                     std::move(config), std::move(metrics));
     }
     table.print(std::cout);
 }
@@ -128,16 +148,18 @@ printStudy(std::uint32_t cpus, std::uint32_t iters)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vmp;
     setInformEnabled(false);
+    const auto opts = bench::parseBenchOptions("locks", argc, argv);
+    bench::Artifact artifact("locks", opts);
 
     bench::banner("Section 5.4", "Consistency Overhead of "
                                  "Synchronization (lock comparison)");
 
-    printStudy(2, 40);
-    printStudy(4, 25);
+    printStudy(artifact, 2, 40);
+    printStudy(artifact, 4, 25);
 
     std::cout
         << "Expected shape (paper): test-and-set on the data's own "

@@ -14,10 +14,13 @@
 #include "sim/stats.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vmp;
     setInformEnabled(false);
+    const auto opts = bench::parseBenchOptions("processors", argc,
+                                               argv);
+    bench::Artifact artifact("processors", opts);
 
     bench::banner("Section 5.3",
                   "Bus Utilization and Number of Processors");
@@ -39,6 +42,20 @@ main()
             .cell(perf / solo, 3)
             .cell(model.systemThroughput(256, m, n), 2)
             .cell(model.offeredLoad(256, m, n) * 100, 1);
+
+        Json config = Json::object();
+        config["processors"] = Json(std::uint64_t{n});
+        config["page_bytes"] = Json(std::uint64_t{256});
+        config["miss_ratio"] = Json(m);
+        Json metrics = Json::object();
+        metrics["per_cpu_performance"] = Json(perf);
+        metrics["relative_to_one_cpu"] = Json(perf / solo);
+        metrics["system_throughput"] =
+            Json(model.systemThroughput(256, m, n));
+        metrics["offered_bus_load"] =
+            Json(model.offeredLoad(256, m, n));
+        artifact.add("model/" + std::to_string(n),
+                     std::move(config), std::move(metrics));
     }
     analytic_table.print(std::cout);
 
@@ -74,8 +91,24 @@ main()
                 .cell(result.performance / measured_solo, 3)
                 .cell(result.busUtilization * 100, 1)
                 .cell(result.busAborts);
+
+            Json config = bench::cacheConfigJson(KiB(64), 256, 4);
+            config["processors"] = Json(std::uint64_t{n});
+            config["share_kernel"] = Json(share_kernel);
+            Json metrics = bench::runResultJson(result);
+            metrics["relative_to_one_cpu"] =
+                Json(result.performance / measured_solo);
+            artifact.add(std::string("measured/") +
+                             (share_kernel ? "shared/" : "private/") +
+                             std::to_string(n),
+                         std::move(config), std::move(metrics));
         }
         measured.print(std::cout);
     }
+
+    artifact.note("Section 5.3: queuing model vs event-driven "
+                  "measurement, private workloads and shared kernel "
+                  "image (60k refs/cpu)");
+    artifact.write();
     return 0;
 }

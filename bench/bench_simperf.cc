@@ -67,6 +67,68 @@ BM_EventDrivenSystem(benchmark::State &state)
 }
 BENCHMARK(BM_EventDrivenSystem)->Arg(1)->Arg(4);
 
+/**
+ * Console reporter that additionally captures every run so the
+ * results can be serialized into the BENCH_simperf.json artifact.
+ * (These metrics are wall-clock measurements, so unlike the
+ * simulation artifacts they are not expected to be bit-identical
+ * across runs — diff them with generous tolerances.)
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const auto &run : runs)
+            captured_.push_back(run);
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<Run> &captured() const { return captured_; }
+
+  private:
+    std::vector<Run> captured_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace vmp;
+    // Strip our shared flags first; the rest goes to google-benchmark.
+    const auto opts = bench::parseBenchOptions("simperf", argc, argv);
+    bench::Artifact artifact("simperf", opts);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    for (const auto &run : reporter.captured()) {
+        if (run.error_occurred)
+            continue;
+        Json config = Json::object();
+        config["benchmark"] = Json(run.benchmark_name());
+        config["iterations"] =
+            Json(static_cast<std::uint64_t>(run.iterations));
+        Json metrics = Json::object();
+        metrics["real_time_ns"] = Json(run.GetAdjustedRealTime());
+        metrics["cpu_time_ns"] = Json(run.GetAdjustedCPUTime());
+        const auto items = run.counters.find("items_per_second");
+        if (items != run.counters.end())
+            metrics["items_per_second"] =
+                Json(static_cast<double>(items->second));
+        artifact.add(run.benchmark_name(), std::move(config),
+                     std::move(metrics));
+    }
+
+    artifact.note("simulator microbenchmarks (google-benchmark); "
+                  "metrics are host wall-clock measurements and vary "
+                  "run to run");
+    artifact.write();
+    return 0;
+}

@@ -71,9 +71,11 @@ measureMissElapsedUs(std::uint32_t page_bytes, bool dirty_victim)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vmp;
+    const auto opts = bench::parseBenchOptions("table1", argc, argv);
+    bench::Artifact artifact("table1", opts);
 
     bench::banner("Table 1",
                   "Elapsed Time and Bus Time per Cache Miss");
@@ -103,6 +105,21 @@ main()
                 .cell(sim, 1)
                 .cell(paper_elapsed[dirty][p], 1)
                 .cell(paper_bus[dirty][p], 1);
+
+            Json config = Json::object();
+            config["page_bytes"] = Json(std::uint64_t{pages[p]});
+            config["victim"] =
+                Json(dirty ? "modified" : "not-modified");
+            Json metrics = Json::object();
+            metrics["elapsed_us_per_miss"] = Json(cost.elapsedUs);
+            metrics["bus_us_per_miss"] = Json(cost.busUs);
+            metrics["sim_elapsed_us_per_miss"] = Json(sim);
+            metrics["paper_elapsed_us"] =
+                Json(paper_elapsed[dirty][p]);
+            metrics["paper_bus_us"] = Json(paper_bus[dirty][p]);
+            artifact.add(std::to_string(pages[p]) + "B/" +
+                             (dirty ? "dirty" : "clean"),
+                         std::move(config), std::move(metrics));
         }
     }
     table.print(std::cout);
@@ -111,5 +128,10 @@ main()
               << "3.4 us of bookkeeping overlaps the victim\n"
               << "write-back; transfers at 300 ns first word + 100 ns "
               << "per subsequent 32-bit word.\n";
+
+    artifact.note("per-miss cost: analytic model cross-checked by "
+                  "provoking one miss of each kind on the "
+                  "event-driven model");
+    artifact.write();
     return 0;
 }

@@ -3,25 +3,236 @@
  * Shared helpers for the benchmark binaries. Each bench regenerates one
  * table or figure from the paper and prints the same rows/series the
  * paper reports, alongside the paper's published values where they are
- * stated in the text.
+ * stated in the text — and additionally emits a machine-readable
+ * BENCH_<name>.json artifact (see Artifact below) so the numbers can
+ * be diffed across commits.
  */
 
 #ifndef VMP_BENCH_BENCH_UTIL_HH
 #define VMP_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/fast_sim.hh"
+#include "core/sweep.hh"
 #include "core/system.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 #include "trace/synthetic.hh"
 #include "trace/workloads.hh"
 
 namespace vmp::bench
 {
+
+/** Schema identifier/version shared by every artifact. */
+inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
+inline constexpr std::uint64_t kArtifactSchemaVersion = 1;
+
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    /** Artifact path; defaults to BENCH_<name>.json in the CWD. */
+    std::string jsonOut;
+    /** Skip the artifact entirely (--no-json). */
+    bool writeJson = true;
+    /** Worker threads for parallel sweeps (--threads N; 0 = auto). */
+    unsigned threads = 0;
+};
+
+/**
+ * Parse (and consume) the shared bench flags:
+ *   --json-out PATH | --json-out=PATH   artifact destination
+ *   --no-json                           suppress the artifact
+ *   --threads N | --threads=N           sweep worker threads
+ * Unrecognized arguments are left in argv (bench_simperf forwards
+ * them to google-benchmark); @p argc is adjusted accordingly.
+ */
+inline BenchOptions
+parseBenchOptions(const std::string &bench_name, int &argc, char **argv)
+{
+    BenchOptions opts;
+    opts.jsonOut = "BENCH_" + bench_name + ".json";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto valueOf = [&](const std::string &flag,
+                                 std::string &value) {
+            if (arg == flag) {
+                if (i + 1 >= argc)
+                    fatal(flag, " requires a value");
+                value = argv[++i];
+                return true;
+            }
+            if (arg.rfind(flag + "=", 0) == 0) {
+                value = arg.substr(flag.size() + 1);
+                return true;
+            }
+            return false;
+        };
+        std::string value;
+        if (valueOf("--json-out", value)) {
+            opts.jsonOut = value;
+        } else if (arg == "--no-json") {
+            opts.writeJson = false;
+        } else if (valueOf("--threads", value)) {
+            opts.threads =
+                static_cast<unsigned>(std::stoul(value));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+/**
+ * Machine-readable benchmark artifact, one per bench binary. The
+ * deterministic sections ("bench", "results", "notes") are identical
+ * across runs with the same seeds; the "host" section carries
+ * volatile data (wall-clock, thread count) and should be excluded
+ * when diffing artifacts across commits.
+ *
+ * Schema (version 1):
+ *   {
+ *     "schema": "vmp-bench-artifact",
+ *     "schema_version": 1,
+ *     "bench": "<name>",
+ *     "results": [
+ *       {"label": "...", "config": {...}, "metrics": {...}}, ...
+ *     ],
+ *     "notes": ["..."],
+ *     "host": {"wall_clock_s": 1.23, "threads": 4}
+ *   }
+ * Every metrics value is a number (or a histogram object as emitted
+ * by StatRegistry); config values are numbers, strings or bools.
+ */
+class Artifact
+{
+  public:
+    Artifact(std::string bench_name, BenchOptions options)
+        : bench_(std::move(bench_name)), opts_(std::move(options)),
+          start_(std::chrono::steady_clock::now())
+    {
+        results_ = Json::array();
+        notes_ = Json::array();
+        host_ = Json::object();
+    }
+
+    /**
+     * Append one result row. @p config describes the swept
+     * configuration, @p metrics the measured values.
+     */
+    void
+    add(const std::string &label, Json config, Json metrics)
+    {
+        Json row = Json::object();
+        row["label"] = Json(label);
+        row["config"] = std::move(config);
+        row["metrics"] = std::move(metrics);
+        results_.push(std::move(row));
+    }
+
+    /** Attach a free-form provenance note. */
+    void note(const std::string &text) { notes_.push(Json(text)); }
+
+    /** Record a volatile host-side datum (excluded from diffs). */
+    void
+    hostInfo(const std::string &key, Json value)
+    {
+        host_[key] = std::move(value);
+    }
+
+    /** The full artifact document, including the volatile section. */
+    Json
+    toJson() const
+    {
+        Json doc = Json::object();
+        doc["schema"] = Json(kArtifactSchema);
+        doc["schema_version"] = Json(kArtifactSchemaVersion);
+        doc["bench"] = Json(bench_);
+        doc["results"] = results_;
+        doc["notes"] = notes_;
+        Json host = host_;
+        const auto elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        host["wall_clock_s"] = Json(elapsed);
+        doc["host"] = std::move(host);
+        return doc;
+    }
+
+    /** Write the artifact (unless --no-json) and report the path. */
+    void
+    write() const
+    {
+        if (!opts_.writeJson)
+            return;
+        std::ofstream os(opts_.jsonOut);
+        if (!os)
+            fatal("cannot open artifact file ", opts_.jsonOut);
+        toJson().write(os, 2);
+        os << '\n';
+        std::cout << "[artifact] wrote " << opts_.jsonOut << "\n";
+    }
+
+    const BenchOptions &options() const { return opts_; }
+
+  private:
+    std::string bench_;
+    BenchOptions opts_;
+    std::chrono::steady_clock::time_point start_;
+    Json results_;
+    Json notes_;
+    Json host_;
+};
+
+/** config sub-object for a Figure-4 style cache geometry. */
+inline Json
+cacheConfigJson(std::uint64_t cache_bytes, std::uint32_t page_bytes,
+                std::uint32_t ways)
+{
+    Json j = Json::object();
+    j["cache_bytes"] = Json(cache_bytes);
+    j["page_bytes"] = Json(std::uint64_t{page_bytes});
+    j["ways"] = Json(std::uint64_t{ways});
+    return j;
+}
+
+/** metrics sub-object for one FastSimResult. */
+inline Json
+fastResultJson(const core::FastSimResult &result)
+{
+    Json j = Json::object();
+    j["refs"] = Json(result.refs);
+    j["misses"] = Json(result.misses);
+    j["miss_ratio"] = Json(result.missRatio());
+    j["supervisor_refs"] = Json(result.supervisorRefs);
+    j["supervisor_misses"] = Json(result.supervisorMisses);
+    return j;
+}
+
+/** metrics sub-object for one full-system RunResult. */
+inline Json
+runResultJson(const core::RunResult &result)
+{
+    Json j = Json::object();
+    j["elapsed_us"] = Json(toUsec(result.elapsed));
+    j["refs"] = Json(result.totalRefs);
+    j["misses"] = Json(result.totalMisses);
+    j["miss_ratio"] = Json(result.missRatio);
+    j["performance"] = Json(result.performance);
+    j["bus_utilization"] = Json(result.busUtilization);
+    j["bus_aborts"] = Json(result.busAborts);
+    j["write_backs"] = Json(result.writeBacks);
+    return j;
+}
 
 /** Banner naming the artifact being regenerated. */
 inline void
@@ -41,15 +252,50 @@ inline core::FastSimResult
 runFig4Point(std::uint64_t cache_bytes, std::uint32_t page_bytes,
              std::uint32_t ways = 4)
 {
-    core::FastSimResult total;
-    for (const auto &workload : trace::allWorkloads()) {
-        trace::SyntheticGen gen(workload);
-        core::FastCacheSim sim(cache::CacheConfig::forSize(
-            cache_bytes, page_bytes, ways, false));
-        total += sim.run(gen);
-    }
-    return total;
+    const auto cells =
+        core::fig4Cells({cache_bytes}, {page_bytes}, ways);
+    const auto merged = core::mergeWorkloadGroups(
+        core::runSweepSerial(cells), cells.size());
+    return merged.front();
 }
+
+/**
+ * A whole Figure-4 style {cache size x page size} grid, evaluated in
+ * one parallel sweep (one worker task per {size, page, workload}
+ * cell). Results are bitwise-identical to calling runFig4Point per
+ * point, for any thread count.
+ */
+class Fig4Grid
+{
+  public:
+    Fig4Grid(std::vector<std::uint64_t> cache_sizes,
+             std::vector<std::uint32_t> page_sizes,
+             std::uint32_t ways = 4, unsigned threads = 0)
+        : sizes_(std::move(cache_sizes)), pages_(std::move(page_sizes))
+    {
+        const auto cells = core::fig4Cells(sizes_, pages_, ways);
+        const std::size_t per_point = cells.size() /
+            (sizes_.size() * pages_.size());
+        core::SweepOptions options;
+        options.threads = threads;
+        points_ = core::mergeWorkloadGroups(
+            core::runSweep(cells, options), per_point);
+    }
+
+    const core::FastSimResult &
+    point(std::size_t size_index, std::size_t page_index) const
+    {
+        return points_.at(size_index * pages_.size() + page_index);
+    }
+
+    const std::vector<std::uint64_t> &sizes() const { return sizes_; }
+    const std::vector<std::uint32_t> &pages() const { return pages_; }
+
+  private:
+    std::vector<std::uint64_t> sizes_;
+    std::vector<std::uint32_t> pages_;
+    std::vector<core::FastSimResult> points_;
+};
 
 /**
  * Run @p processors trace CPUs on a full event-driven system, each
@@ -59,7 +305,8 @@ runFig4Point(std::uint64_t cache_bytes, std::uint32_t page_bytes,
 inline core::RunResult
 runVmpSystem(std::uint32_t processors, std::uint64_t refs_per_cpu,
              const cache::CacheConfig &cache_cfg,
-             std::uint64_t seed_base = 1000, bool share_kernel = false)
+             std::uint64_t seed_base = 1000, bool share_kernel = false,
+             Json *stats_out = nullptr)
 {
     core::VmpConfig cfg;
     cfg.processors = processors;
@@ -82,7 +329,10 @@ runVmpSystem(std::uint32_t processors, std::uint64_t refs_per_cpu,
             std::make_unique<trace::SyntheticGen>(workload));
         sources.push_back(gens.back().get());
     }
-    return system.runTraces(sources);
+    const auto result = system.runTraces(sources);
+    if (stats_out != nullptr)
+        *stats_out = system.statsJson();
+    return result;
 }
 
 } // namespace vmp::bench

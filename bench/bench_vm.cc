@@ -79,10 +79,12 @@ struct VmRig
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vmp;
     setInformEnabled(false);
+    const auto opts = bench::parseBenchOptions("vm", argc, argv);
+    bench::Artifact artifact("vm", opts);
 
     bench::banner("Section 3.4",
                   "Virtual Address Translation Consistency costs");
@@ -122,6 +124,20 @@ main()
             .cell(rig.bus.countOf(mem::TxType::AssertOwnership)
                       .value() -
                   ao_before);
+
+        Json config = Json::object();
+        config["page_bytes"] = Json(std::uint64_t{page});
+        Json metrics = Json::object();
+        metrics["remap_elapsed_us"] =
+            Json(toUsec(rig.events.now() - start));
+        metrics["bus_transactions"] =
+            Json(rig.bus.transactions().value() - tx_before);
+        metrics["assert_ownership_tx"] =
+            Json(rig.bus.countOf(mem::TxType::AssertOwnership)
+                     .value() -
+                 ao_before);
+        artifact.add("remap/" + std::to_string(page) + "B",
+                     std::move(config), std::move(metrics));
     }
     remap.print(std::cout);
     std::cout << "A 4K virtual page spans 4096/pageBytes cache "
@@ -149,6 +165,19 @@ main()
             .cell(elapsed_us /
                       static_cast<double>(rig.vm.pageFaults().value()),
                   1);
+
+        Json config = Json::object();
+        config["page_bytes"] = Json(std::uint64_t{256});
+        config["pages_touched"] = Json(std::uint64_t{pages});
+        Json metrics = Json::object();
+        metrics["page_faults"] = Json(rig.vm.pageFaults().value());
+        metrics["page_outs"] = Json(rig.vm.pageOuts().value());
+        metrics["elapsed_us"] = Json(elapsed_us);
+        metrics["us_per_fault"] =
+            Json(elapsed_us /
+                 static_cast<double>(rig.vm.pageFaults().value()));
+        artifact.add("paging/" + std::to_string(pages) + "pages",
+                     std::move(config), std::move(metrics));
     }
     paging.print(std::cout);
     std::cout << "(2 MiB of memory holds ~500 4K pages; beyond that "

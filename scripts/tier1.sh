@@ -1,0 +1,32 @@
+#!/bin/sh
+# Tier-1 verification: build everything, run the full unit-test suite,
+# then rebuild the base simulation library with AddressSanitizer +
+# UndefinedBehaviorSanitizer (cmake -DVMP_SANITIZE=address,undefined)
+# and rerun the core tests under it. Fails on the first error.
+#
+# Usage: scripts/tier1.sh [build-dir] [sanitize-build-dir]
+set -e
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+sanitize=${2:-"$repo/build-sanitize"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== tier1: configure + build ($build) =="
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$jobs"
+
+echo "== tier1: full test suite =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== tier1: sanitizer build ($sanitize) =="
+cmake -B "$sanitize" -S "$repo" -DVMP_SANITIZE=address,undefined
+cmake --build "$sanitize" -j "$jobs" \
+    --target test_sim test_mem test_artifact bench_table1
+
+echo "== tier1: sanitized core tests =="
+"$sanitize/tests/test_sim"
+"$sanitize/tests/test_mem"
+"$sanitize/tests/test_artifact"
+
+echo "== tier1: OK =="

@@ -1,0 +1,137 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "trace/workloads.hh"
+
+namespace vmp::core
+{
+
+namespace
+{
+
+FastSimResult
+runCell(const SweepCell &cell)
+{
+    trace::SyntheticGen gen(cell.workload);
+    FastCacheSim sim(cell.config);
+    return sim.run(gen);
+}
+
+} // namespace
+
+unsigned
+sweepThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::vector<FastSimResult>
+runSweepSerial(const std::vector<SweepCell> &cells)
+{
+    std::vector<FastSimResult> results(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        results[i] = runCell(cells[i]);
+    return results;
+}
+
+std::vector<FastSimResult>
+runSweep(const std::vector<SweepCell> &cells,
+         const SweepOptions &options)
+{
+    unsigned threads = sweepThreads(options.threads);
+    if (cells.size() < threads)
+        threads = static_cast<unsigned>(cells.size());
+    if (threads <= 1 || cells.size() <= 1)
+        return runSweepSerial(cells);
+
+    std::vector<FastSimResult> results(cells.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cells.size() ||
+                failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                results[i] = runCell(cells[i]);
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+std::vector<SweepCell>
+fig4Cells(const std::vector<std::uint64_t> &cache_sizes,
+          const std::vector<std::uint32_t> &page_sizes,
+          std::uint32_t ways)
+{
+    const auto workloads = trace::allWorkloads();
+    const auto names = trace::workloadNames();
+    std::vector<SweepCell> cells;
+    cells.reserve(cache_sizes.size() * page_sizes.size() *
+                  workloads.size());
+    for (const auto size : cache_sizes) {
+        for (const auto page : page_sizes) {
+            for (std::size_t w = 0; w < workloads.size(); ++w) {
+                SweepCell cell;
+                cell.label = std::to_string(size / 1024) + "K/" +
+                    std::to_string(page) + "B/" +
+                    std::to_string(ways) + "w/" + names[w];
+                cell.config = cache::CacheConfig::forSize(
+                    size, page, ways, false);
+                cell.workload = workloads[w];
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+std::vector<FastSimResult>
+mergeWorkloadGroups(const std::vector<FastSimResult> &results,
+                    std::size_t group_size)
+{
+    if (group_size == 0 || results.size() % group_size != 0)
+        panic("mergeWorkloadGroups: ", results.size(),
+              " results do not divide into groups of ", group_size);
+    std::vector<FastSimResult> merged(results.size() / group_size);
+    for (std::size_t g = 0; g < merged.size(); ++g) {
+        for (std::size_t i = 0; i < group_size; ++i)
+            merged[g] += results[g * group_size + i];
+    }
+    return merged;
+}
+
+} // namespace vmp::core

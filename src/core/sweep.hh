@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Multi-threaded driver for the embarrassingly parallel Figure-4/5
+ * parameter sweeps. FastCacheSim is timeless and every sweep cell
+ * ({cache size x page size x ways x workload}) is independent, so the
+ * grid is fanned out across worker threads, one cell per task, with
+ * deterministic per-cell RNG seeding: each cell's generator is
+ * constructed from its own SyntheticConfig (which carries the seed),
+ * and results land in a pre-sized vector indexed by cell. The merge
+ * order therefore never depends on thread scheduling and the parallel
+ * run is bitwise-identical to the serial one.
+ */
+
+#ifndef VMP_CORE_SWEEP_HH
+#define VMP_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/config.hh"
+#include "core/fast_sim.hh"
+#include "trace/synthetic.hh"
+
+namespace vmp::core
+{
+
+/** One independent cell of a functional-simulation sweep. */
+struct SweepCell
+{
+    /** Free-form identifier carried through to reporting. */
+    std::string label;
+    /** Cache geometry for this cell (storeData is forced off). */
+    cache::CacheConfig config;
+    /**
+     * Workload for this cell, including its RNG seed. Determinism of
+     * the whole sweep reduces to determinism of this one field set.
+     */
+    trace::SyntheticConfig workload;
+};
+
+/** Sweep execution knobs. */
+struct SweepOptions
+{
+    /**
+     * Worker threads; 0 means one per hardware thread. The thread
+     * count never changes the results, only the wall-clock time.
+     */
+    unsigned threads = 0;
+};
+
+/** Resolve a requested thread count (0 -> hardware concurrency). */
+unsigned sweepThreads(unsigned requested);
+
+/**
+ * Run every cell and return the per-cell results, in cell order. With
+ * options.threads != 1 the cells execute on a worker pool; results are
+ * bitwise-identical to runSweepSerial for any thread count.
+ */
+std::vector<FastSimResult> runSweep(const std::vector<SweepCell> &cells,
+                                    const SweepOptions &options = {});
+
+/** Single-threaded reference implementation of the same sweep. */
+std::vector<FastSimResult>
+runSweepSerial(const std::vector<SweepCell> &cells);
+
+/**
+ * Build the {cache size x page size} x four-ATUM-workloads grid used
+ * by the Figure 4 style sweeps. Cells are ordered workload-major
+ * within each (size, page) pair: cell index =
+ * (sizeIdx * pages.size() + pageIdx) * workloads + workloadIdx.
+ */
+std::vector<SweepCell>
+fig4Cells(const std::vector<std::uint64_t> &cache_sizes,
+          const std::vector<std::uint32_t> &page_sizes,
+          std::uint32_t ways = 4);
+
+/**
+ * Sum a workload-major result vector (as produced from fig4Cells)
+ * into one aggregate per (size, page) point, in cell-group order.
+ */
+std::vector<FastSimResult>
+mergeWorkloadGroups(const std::vector<FastSimResult> &results,
+                    std::size_t group_size);
+
+} // namespace vmp::core
+
+#endif // VMP_CORE_SWEEP_HH

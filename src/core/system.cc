@@ -171,6 +171,27 @@ VmpSystem::dumpStats(std::ostream &os) const
     }
 }
 
+Json
+VmpSystem::statsJson() const
+{
+    // The groups reference component members directly, so they only
+    // need to stay alive until the registry is serialized.
+    std::vector<std::unique_ptr<StatGroup>> groups;
+    StatRegistry registry;
+
+    groups.push_back(std::make_unique<StatGroup>("bus"));
+    bus_.registerStats(*groups.back());
+    registry.add(*groups.back());
+    for (std::size_t i = 0; i < boards_.size(); ++i) {
+        groups.push_back(std::make_unique<StatGroup>(
+            "cpu" + std::to_string(i)));
+        boards_[i]->controller.registerStats(*groups.back());
+        boards_[i]->cache.registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    return registry.toJson();
+}
+
 RunResult
 VmpSystem::collect(const std::vector<cpu::TraceCpu *> &cpus) const
 {

@@ -26,6 +26,8 @@
 #include "proto/controller.hh"
 #include "proto/translator.hh"
 #include "sim/event.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
 #include "trace/ref.hh"
 
 namespace vmp::core
@@ -137,6 +139,14 @@ class VmpSystem
 
     /** gem5-style dump of every component's statistics. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Aggregate every component's StatGroup into a StatRegistry and
+     * serialize it: {"bus": {...}, "cpu0": {...}, ...}. Histograms
+     * (e.g. the bus arbitration queue-delay distribution) serialize
+     * as objects with samples/mean/min/max/underflow/buckets.
+     */
+    Json statsJson() const;
 
   private:
     VmpConfig cfg_;

@@ -1,5 +1,6 @@
 #include "mem/vme_bus.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/debug.hh"
@@ -131,7 +132,12 @@ VmeBus::grant()
         ++aborts_;
         ++typeAborts_[static_cast<std::uint8_t>(tx.type)];
     }
-    busyTicks_ += bus_time;
+    // Busy time is charged at *completion* (see complete()); while the
+    // transaction is in flight utilization() pro-rates it from these
+    // two fields. Charging the full occupancy at issue time used to
+    // let mid-run utilization samples exceed 1.0.
+    txStartTick_ = events_.now();
+    txBusTime_ = bus_time;
 
     events_.scheduleIn(bus_time,
                        [this, p = std::move(pending), aborted,
@@ -179,6 +185,12 @@ VmeBus::complete(Pending pending, bool aborted, Tick queue_delay,
     result.queueDelay = queue_delay;
     result.busTime = bus_time;
 
+    // The transaction has now actually occupied the bus for bus_time
+    // ticks; account it. (grant() below either starts the next
+    // transaction — resetting the in-flight fields at the current
+    // tick — or clears busy_.)
+    busyTicks_ += bus_time;
+
     // Grant the next queued transaction before running the completion
     // so a retry issued from the callback queues behind existing work.
     Completion done = std::move(pending.done);
@@ -191,9 +203,16 @@ double
 VmeBus::utilization() const
 {
     const Tick now = events_.now();
-    return now == 0
-        ? 0.0
-        : static_cast<double>(busyTicks_) / static_cast<double>(now);
+    if (now == 0)
+        return 0.0;
+    // Completed occupancy plus the elapsed share of the transaction
+    // currently holding the bus, so a sample taken mid-transfer never
+    // counts bus time that has not yet been spent (and can therefore
+    // never exceed 1.0).
+    Tick busy = busyTicks_;
+    if (busy_)
+        busy += std::min(now - txStartTick_, txBusTime_);
+    return static_cast<double>(busy) / static_cast<double>(now);
 }
 
 const Counter &
@@ -225,6 +244,9 @@ VmeBus::registerStats(StatGroup &group) const
                      countOf(TxType::WriteBack));
     group.addCounter("notify", "notify transactions",
                      countOf(TxType::Notify));
+    group.addHistogram("queue_delay_us",
+                       "arbitration queueing delay distribution (us)",
+                       queueDelays_);
 }
 
 } // namespace vmp::mem

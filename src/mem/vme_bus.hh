@@ -116,8 +116,15 @@ class VmeBus
     // --- statistics ---
     const Counter &transactions() const { return transactions_; }
     const Counter &aborts() const { return aborts_; }
+    /** Occupancy of *completed* transactions; the in-flight one is
+     *  charged when it leaves the bus. */
     Tick busyTicks() const { return busyTicks_; }
-    /** Bus utilization over [0, now]. */
+    /**
+     * Bus utilization over [0, now]. The transaction currently on the
+     * bus (if any) contributes only its already-elapsed share, so the
+     * value is correct — and never above 1.0 — at any sampling point,
+     * not just at quiescence.
+     */
     double utilization() const;
     const Counter &countOf(TxType type) const;
     /** Aborted transactions of a given type. */
@@ -152,6 +159,10 @@ class VmeBus
     /** Queue delay in microseconds, 1 us buckets up to 64 us. */
     Histogram queueDelays_{64, 1.0};
     Tick busyTicks_ = 0;
+    /** Issue tick of the transaction on the bus (valid while busy_). */
+    Tick txStartTick_ = 0;
+    /** Occupancy of the transaction on the bus (valid while busy_). */
+    Tick txBusTime_ = 0;
 };
 
 } // namespace vmp::mem

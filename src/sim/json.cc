@@ -1,0 +1,542 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace vmp
+{
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        panic("Json::asBool on non-bool value");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    if (type_ != Type::Number)
+        panic("Json::asNumber on non-number value");
+    return num_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    const double v = asNumber();
+    if (v < 0.0 || std::floor(v) != v)
+        panic("Json::asUint on non-integral number ", v);
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        panic("Json::asString on non-string value");
+    return str_;
+}
+
+std::size_t
+Json::size() const
+{
+    switch (type_) {
+      case Type::Array: return arr_.size();
+      case Type::Object: return obj_.size();
+      default: return 0;
+    }
+}
+
+Json &
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        panic("Json::push on non-array value");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    if (type_ != Type::Array)
+        panic("Json::at on non-array value");
+    if (index >= arr_.size())
+        panic("Json::at index ", index, " out of range ", arr_.size());
+    return arr_[index];
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        panic("Json::operator[] on non-object value");
+    for (auto &[k, v] : obj_) {
+        if (k == key)
+            return v;
+    }
+    obj_.emplace_back(key, Json{});
+    return obj_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (v == nullptr)
+        panic("Json::get: missing member \"", key, "\"");
+    return *v;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    if (type_ != Type::Object)
+        panic("Json::members on non-object value");
+    return obj_;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    if (type_ != Type::Array)
+        panic("Json::items on non-array value");
+    return arr_;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null: return true;
+      case Type::Bool: return bool_ == other.bool_;
+      case Type::Number: return num_ == other.num_;
+      case Type::String: return str_ == other.str_;
+      case Type::Array: return arr_ == other.arr_;
+      case Type::Object: return obj_ == other.obj_;
+    }
+    return false;
+}
+
+// ------------------------------------------------------------- writing
+
+namespace
+{
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char ch : s) {
+        const auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+newline(std::ostream &os, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+std::string
+Json::numberToString(double v)
+{
+    if (std::isnan(v))
+        panic("Json cannot represent NaN");
+    if (std::isinf(v))
+        panic("Json cannot represent infinity");
+    // Exact integers (the common case: counters, byte sizes) print
+    // without a fractional part.
+    if (std::floor(v) == v && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    // Shortest representation that round-trips.
+    char buf[40];
+    for (const int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf;
+}
+
+void
+Json::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Number:
+        os << numberToString(num_);
+        break;
+      case Type::String:
+        writeEscaped(os, str_);
+        break;
+      case Type::Array:
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            newline(os, indent, depth + 1);
+            arr_[i].writeIndented(os, indent, depth + 1);
+        }
+        newline(os, indent, depth);
+        os << ']';
+        break;
+      case Type::Object:
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            newline(os, indent, depth + 1);
+            writeEscaped(os, obj_[i].first);
+            os << (indent > 0 ? ": " : ":");
+            obj_[i].second.writeIndented(os, indent, depth + 1);
+        }
+        newline(os, indent, depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+// ------------------------------------------------------------- parsing
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        Json value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("JSON parse error at offset ", pos_, ": ", why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Json(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Json(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Json();
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the code point (BMP only; surrogate
+                // pairs are not produced by our writer).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        double value = 0.0;
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (std::sscanf(tok.c_str(), "%lf", &value) != 1)
+            fail("malformed number \"" + tok + "\"");
+        return Json(value);
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            const std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace vmp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dependency-free JSON document model, writer and parser used for the
+ * machine-readable benchmark artifacts (BENCH_<name>.json) and the
+ * StatRegistry serialization. The writer is deterministic: objects
+ * preserve insertion order and numbers render identically across runs,
+ * so two artifacts produced from the same seed are byte-identical and
+ * can be diffed directly.
+ */
+
+#ifndef VMP_SIM_JSON_HH
+#define VMP_SIM_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vmp
+{
+
+/**
+ * A JSON value: null, bool, number, string, array or object. Objects
+ * keep keys in insertion order (no sorting, no hashing) so serialized
+ * output is stable and human-diffable.
+ *
+ * Numbers are stored as doubles; unsigned integers up to 2^53 (far
+ * beyond any counter in the simulator's workloads) round-trip exactly
+ * and print without a fractional part.
+ */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Json() = default;
+    Json(bool v) : type_(Type::Bool), bool_(v) {}
+    Json(double v) : type_(Type::Number), num_(v) {}
+    Json(int v) : type_(Type::Number), num_(v) {}
+    Json(unsigned v) : type_(Type::Number), num_(v) {}
+    Json(std::int64_t v)
+        : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(std::uint64_t v)
+        : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(const char *v) : type_(Type::String), str_(v) {}
+    Json(std::string v) : type_(Type::String), str_(std::move(v)) {}
+
+    /** Empty array / object factories (a default Json is null). */
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; panic on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+
+    /** Array element count / object member count (0 otherwise). */
+    std::size_t size() const;
+
+    /** Append to an array (converts a null value into an array). */
+    Json &push(Json v);
+    /** Array element access; panics when out of range. */
+    const Json &at(std::size_t index) const;
+
+    /**
+     * Object member access, creating the member (null) when absent; a
+     * null value converts into an object on first use.
+     */
+    Json &operator[](const std::string &key);
+    /** Lookup without insertion; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    /** find() that panics when the member is absent. */
+    const Json &get(const std::string &key) const;
+    bool contains(const std::string &key) const;
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+    /** Array items. */
+    const std::vector<Json> &items() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 2) const;
+    void write(std::ostream &os, int indent = 2) const;
+
+    /** Deterministic number rendering shared with TableWriter users. */
+    static std::string numberToString(double v);
+
+    /**
+     * Parse a complete JSON document (trailing junk is an error).
+     * Throws FatalError with position information on malformed input.
+     */
+    static Json parse(const std::string &text);
+
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace vmp
+
+#endif // VMP_SIM_JSON_HH

@@ -1,6 +1,7 @@
 #include "sim/random.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -106,6 +107,11 @@ Rng::geometric(double p)
     if (u <= 0.0)
         u = 0x1.0p-53;
     const double trials = std::floor(std::log(u) / std::log1p(-p)) + 1.0;
+    // For tiny p the trial count can exceed 2^64 - 1; converting such
+    // a double to uint64_t is undefined behaviour, so saturate first.
+    // 0x1p64 is the smallest power of two above the uint64_t range.
+    if (trials >= 0x1.0p64)
+        return std::numeric_limits<std::uint64_t>::max();
     return static_cast<std::uint64_t>(trials);
 }
 

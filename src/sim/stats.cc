@@ -28,9 +28,16 @@ Histogram::sample(double v, std::uint64_t count)
     }
     samples_ += count;
     sum_ += v * static_cast<double>(count);
-    std::size_t idx = v < 0.0
-        ? 0
-        : static_cast<std::size_t>(v / width_);
+    if (v < 0.0) {
+        // A negative sample is almost always an accounting bug in the
+        // caller (e.g. a time delta computed backwards). Keep it out
+        // of the distribution — folding it into bucket 0 used to
+        // corrupt the histogram silently — but preserve it in the
+        // moments, which remain negative-aware.
+        underflow_ += count;
+        return;
+    }
+    std::size_t idx = static_cast<std::size_t>(v / width_);
     if (idx >= buckets_.size())
         idx = buckets_.size() - 1;
     buckets_[idx] += count;
@@ -41,6 +48,7 @@ Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     samples_ = 0;
+    underflow_ = 0;
     sum_ = 0.0;
     min_ = 0.0;
     max_ = 0.0;
@@ -67,6 +75,14 @@ StatGroup::addScalar(const std::string &name, const std::string &desc,
 }
 
 void
+StatGroup::addHistogram(const std::string &name,
+                        const std::string &desc,
+                        const Histogram &histogram)
+{
+    histograms_.push_back({name, desc, &histogram});
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     char buf[64];
@@ -81,6 +97,71 @@ StatGroup::dump(std::ostream &os) const
         os << name_ << '.' << s.name << ' ' << buf
            << "  # " << s.desc << '\n';
     }
+    for (const auto &h : histograms_) {
+        std::snprintf(buf, sizeof(buf),
+                      "n=%llu mean=%.6g min=%.6g max=%.6g under=%llu",
+                      static_cast<unsigned long long>(
+                          h.histogram->samples()),
+                      h.histogram->mean(), h.histogram->min(),
+                      h.histogram->max(),
+                      static_cast<unsigned long long>(
+                          h.histogram->underflow()));
+        os << name_ << '.' << h.name << ' ' << buf
+           << "  # " << h.desc << '\n';
+    }
+}
+
+Json
+StatGroup::toJson() const
+{
+    Json group = Json::object();
+    for (const auto &c : counters_)
+        group[c.name] = Json(c.counter->value());
+    for (const auto &s : scalars_)
+        group[s.name] = Json(s.scalar->value());
+    for (const auto &h : histograms_) {
+        const Histogram &hist = *h.histogram;
+        Json j = Json::object();
+        j["samples"] = Json(hist.samples());
+        j["mean"] = Json(hist.mean());
+        j["min"] = Json(hist.min());
+        j["max"] = Json(hist.max());
+        j["underflow"] = Json(hist.underflow());
+        j["bucket_width"] = Json(hist.bucketWidth());
+        Json buckets = Json::array();
+        for (const auto count : hist.buckets())
+            buckets.push(Json(count));
+        j["buckets"] = std::move(buckets);
+        group[h.name] = std::move(j);
+    }
+    return group;
+}
+
+void
+StatRegistry::add(const StatGroup &group)
+{
+    for (const auto *g : groups_) {
+        if (g->name() == group.name())
+            panic("StatRegistry: duplicate group \"", group.name(),
+                  "\"");
+    }
+    groups_.push_back(&group);
+}
+
+Json
+StatRegistry::toJson() const
+{
+    Json all = Json::object();
+    for (const auto *g : groups_)
+        all[g->name()] = g->toJson();
+    return all;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto *g : groups_)
+        g->dump(os);
 }
 
 void

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/json.hh"
+
 namespace vmp
 {
 
@@ -43,8 +45,11 @@ class Scalar
 };
 
 /**
- * Fixed-bucket histogram over [0, buckets*width); out-of-range samples
- * land in the final overflow bucket. Tracks min/max/mean as well.
+ * Fixed-bucket histogram over [0, buckets*width); samples past the top
+ * land in the final overflow bucket, and negative samples are tallied
+ * in a dedicated underflow counter rather than silently folded into
+ * bucket 0 (they still contribute to samples/min/max/mean, which are
+ * negative-aware).
  */
 class Histogram
 {
@@ -60,11 +65,14 @@ class Histogram
     double max() const { return max_; }
     double bucketWidth() const { return width_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    /** Samples below 0 (kept out of the bucket array). */
+    std::uint64_t underflow() const { return underflow_; }
 
   private:
     std::vector<std::uint64_t> buckets_;
     double width_;
     std::uint64_t samples_ = 0;
+    std::uint64_t underflow_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
@@ -83,13 +91,17 @@ class StatGroup
                     const Counter &counter);
     void addScalar(const std::string &name, const std::string &desc,
                    const Scalar &scalar);
+    void addHistogram(const std::string &name, const std::string &desc,
+                      const Histogram &histogram);
 
     const std::string &name() const { return name_; }
 
     /** Write "group.stat  value  # desc" lines to @p os. */
     void dump(std::ostream &os) const;
 
-  private:
+    /** Serialize every registered statistic into one JSON object. */
+    Json toJson() const;
+
     struct CounterRef
     {
         std::string name;
@@ -102,10 +114,55 @@ class StatGroup
         std::string desc;
         const Scalar *scalar;
     };
+    struct HistogramRef
+    {
+        std::string name;
+        std::string desc;
+        const Histogram *histogram;
+    };
 
+    const std::vector<CounterRef> &counterRefs() const
+    {
+        return counters_;
+    }
+    const std::vector<ScalarRef> &scalarRefs() const
+    {
+        return scalars_;
+    }
+    const std::vector<HistogramRef> &histogramRefs() const
+    {
+        return histograms_;
+    }
+
+  private:
     std::string name_;
     std::vector<CounterRef> counters_;
     std::vector<ScalarRef> scalars_;
+    std::vector<HistogramRef> histograms_;
+};
+
+/**
+ * Aggregates the StatGroups of every component in a run and serializes
+ * them as one JSON object, keyed by group name. Groups are referenced,
+ * never owned: keep them alive until after serialization. This is what
+ * turns a simulator run into a machine-readable benchmark artifact.
+ */
+class StatRegistry
+{
+  public:
+    /** Register a group; its name must be unique within the registry. */
+    void add(const StatGroup &group);
+
+    std::size_t size() const { return groups_.size(); }
+
+    /** {"group": {"stat": value|histogram-object, ...}, ...} */
+    Json toJson() const;
+
+    /** Text dump of every group, in registration order. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::vector<const StatGroup *> groups_;
 };
 
 /**

@@ -201,6 +201,65 @@ TEST_F(BusFixture, FifoArbitrationQueuesSecondMaster)
     EXPECT_DOUBLE_EQ(bus.utilization(), 1.0);
 }
 
+TEST_F(BusFixture, UtilizationNeverExceedsOneMidTransfer)
+{
+    // Regression: busy ticks used to be charged in full at grant time,
+    // so sampling utilization() halfway through a transfer returned
+    // busyTicks / now = 6600 / 3300 = 2.0. The in-flight transaction
+    // must be pro-rated to the elapsed portion instead.
+    std::vector<std::uint8_t> buf(256, 0);
+    BusTransaction tx;
+    tx.type = TxType::ReadShared;
+    tx.paddr = 0;
+    tx.bytes = 256;
+    tx.data = buf.data();
+    bus.request(tx, nullptr); // occupies [0, 6600)
+
+    events.run(3300); // stop mid-transfer
+    EXPECT_EQ(events.now(), 3300u);
+    EXPECT_TRUE(bus.busy());
+    EXPECT_DOUBLE_EQ(bus.utilization(), 1.0);
+    EXPECT_LE(bus.utilization(), 1.0);
+
+    events.run();
+    EXPECT_DOUBLE_EQ(bus.utilization(), 1.0);
+}
+
+TEST_F(BusFixture, UtilizationProRatesAcrossIdleGaps)
+{
+    // First transfer [0, 6600), bus idle until a second request at
+    // t = 13200 that occupies [13200, 19800). Sampled mid-second-
+    // transfer at t = 16500 the bus has been busy 6600 + 3300 ticks
+    // out of 16500: utilization 0.6 exactly — and <= 1.0 at every
+    // sampling point along the way.
+    std::vector<std::uint8_t> buf(256, 0);
+    BusTransaction tx;
+    tx.type = TxType::ReadShared;
+    tx.paddr = 0;
+    tx.bytes = 256;
+    tx.data = buf.data();
+    bus.request(tx, nullptr);
+    events.run();
+    EXPECT_EQ(events.now(), 6600u);
+    EXPECT_DOUBLE_EQ(bus.utilization(), 1.0);
+
+    // Idle gap: advance the clock with no transaction in flight.
+    events.schedule(
+        events.now() + 6600, [&] { bus.request(tx, nullptr); },
+        "second-request");
+    events.run(9900); // idle sample point
+    EXPECT_DOUBLE_EQ(bus.utilization(), 6600.0 / 9900.0);
+
+    events.run(16500); // mid-second-transfer sample point
+    EXPECT_TRUE(bus.busy());
+    EXPECT_DOUBLE_EQ(bus.utilization(), 9900.0 / 16500.0);
+    EXPECT_LE(bus.utilization(), 1.0);
+
+    events.run();
+    EXPECT_EQ(events.now(), 19800u);
+    EXPECT_DOUBLE_EQ(bus.utilization(), 13200.0 / 19800.0);
+}
+
 TEST_F(BusFixture, WatcherAbortStopsDataAndShortensOccupancy)
 {
     FakeWatcher watcher;

@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include "sim/debug.hh"
 #include "sim/event.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -434,6 +436,208 @@ TEST(Logging, InformToggle)
     EXPECT_FALSE(informEnabled());
     setInformEnabled(true);
     EXPECT_TRUE(informEnabled());
+}
+
+// ------------------------------------------------------ rng boundaries
+
+TEST(Rng, GeometricTinyProbabilityStaysBounded)
+{
+    // With p = 1e-12 the inverse-CDF value can be astronomically
+    // large; the result must be clamped before the double -> uint64_t
+    // cast (which is UB when the value exceeds 2^64 - 1) and every
+    // draw must still be at least one trial.
+    Rng rng(101);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.geometric(1e-12);
+        EXPECT_GE(v, 1u);
+    }
+}
+
+TEST(Rng, GeometricExtremeProbabilityClampsToMax)
+{
+    // p small enough that essentially every draw exceeds the uint64_t
+    // range: the clamp must return max() rather than invoking UB.
+    Rng rng(103);
+    bool saw_clamp = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto v = rng.geometric(1e-21);
+        EXPECT_GE(v, 1u);
+        if (v == std::numeric_limits<std::uint64_t>::max())
+            saw_clamp = true;
+    }
+    EXPECT_TRUE(saw_clamp);
+}
+
+// ------------------------------------------------- histogram underflow
+
+TEST(Stats, HistogramUnderflowCounterKeepsBucketsClean)
+{
+    Histogram h(4, 1.0);
+    h.sample(-0.5);
+    h.sample(-3.0, 2);
+    h.sample(0.25);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.underflow(), 3u);
+    // Negative samples must not be folded into bucket 0.
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 0u);
+    // Moments remain negative-aware.
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.25);
+    EXPECT_NEAR(h.mean(), (-0.5 - 3.0 - 3.0 + 0.25) / 4.0, 1e-12);
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(Stats, HistogramPositivePathUnaffectedByUnderflowCounter)
+{
+    Histogram h(4, 2.0);
+    h.sample(0.0);
+    h.sample(1.99);
+    h.sample(2.0);
+    h.sample(100.0); // overflow -> top bucket
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+// ------------------------------------------------------ json documents
+
+TEST(Json, ScalarsAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_DOUBLE_EQ(Json(2.5).asNumber(), 2.5);
+    EXPECT_EQ(Json(std::uint64_t{42}).asUint(), 42u);
+    EXPECT_EQ(Json("hello").asString(), "hello");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json obj = Json::object();
+    obj["zebra"] = Json(1);
+    obj["alpha"] = Json(2);
+    obj["mid"] = Json(3);
+    const auto &members = obj.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "zebra");
+    EXPECT_EQ(members[1].first, "alpha");
+    EXPECT_EQ(members[2].first, "mid");
+    EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, NumberRenderingIsDeterministic)
+{
+    // Exact integers print without fraction; non-integers round-trip.
+    EXPECT_EQ(Json::numberToString(0.0), "0");
+    EXPECT_EQ(Json::numberToString(42.0), "42");
+    EXPECT_EQ(Json::numberToString(-7.0), "-7");
+    EXPECT_EQ(Json(std::uint64_t{1} << 40).dump(0), "1099511627776");
+    const std::string third = Json::numberToString(1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(std::stod(third), 1.0 / 3.0);
+    const std::string tenth = Json::numberToString(0.1);
+    EXPECT_DOUBLE_EQ(std::stod(tenth), 0.1);
+}
+
+TEST(Json, DumpParseRoundTrip)
+{
+    Json doc = Json::object();
+    doc["name"] = Json("fig4 \"sweep\"\n");
+    doc["count"] = Json(std::uint64_t{123456789});
+    doc["ratio"] = Json(0.0024);
+    doc["ok"] = Json(true);
+    doc["none"] = Json();
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json("two"));
+    arr.push(Json(false));
+    doc["mixed"] = std::move(arr);
+
+    for (const int indent : {0, 2, 4}) {
+        const Json parsed = Json::parse(doc.dump(indent));
+        EXPECT_EQ(parsed, doc) << "indent=" << indent;
+    }
+    // Round-tripping the dump again is byte-identical (stable writer).
+    EXPECT_EQ(Json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Json, ParseHandlesEscapesAndNesting)
+{
+    const Json v = Json::parse(
+        "{\"s\": \"a\\\"b\\\\c\\n\\t\\u0041\", \"a\": [[1, 2], "
+        "{\"x\": -3.5e2}]}");
+    EXPECT_EQ(v.get("s").asString(), "a\"b\\c\n\tA");
+    EXPECT_DOUBLE_EQ(
+        v.get("a").at(1).get("x").asNumber(), -350.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse(""), FatalError);
+    EXPECT_THROW(Json::parse("{\"a\": 1,}"), FatalError);
+    EXPECT_THROW(Json::parse("[1, 2] trailing"), FatalError);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(Json::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(Json::parse("nul"), FatalError);
+}
+
+TEST(Json, TypeMismatchPanics)
+{
+    EXPECT_THROW(Json("str").asNumber(), PanicError);
+    EXPECT_THROW(Json(1.0).asString(), PanicError);
+    EXPECT_THROW(Json::object().get("missing"), PanicError);
+    EXPECT_THROW(Json::array().at(0), PanicError);
+}
+
+// --------------------------------------------------- stats -> registry
+
+TEST(Stats, StatGroupSerializesHistograms)
+{
+    Counter c;
+    c += 11;
+    Histogram h(4, 1.0);
+    h.sample(0.5);
+    h.sample(2.5);
+    h.sample(-1.0);
+    StatGroup g("bus");
+    g.addCounter("transactions", "bus transactions", c);
+    g.addHistogram("queue_delay_us", "queueing delay", h);
+
+    const Json j = g.toJson();
+    EXPECT_EQ(j.get("transactions").asUint(), 11u);
+    const Json &hist = j.get("queue_delay_us");
+    EXPECT_EQ(hist.get("samples").asUint(), 3u);
+    EXPECT_EQ(hist.get("underflow").asUint(), 1u);
+    EXPECT_DOUBLE_EQ(hist.get("bucket_width").asNumber(), 1.0);
+    ASSERT_EQ(hist.get("buckets").size(), 4u);
+    EXPECT_EQ(hist.get("buckets").at(0).asUint(), 1u);
+    EXPECT_EQ(hist.get("buckets").at(2).asUint(), 1u);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("bus.queue_delay_us"), std::string::npos);
+}
+
+TEST(Stats, StatRegistryAggregatesGroups)
+{
+    Counter c0, c1;
+    c0 += 1;
+    c1 += 2;
+    StatGroup g0("cpu0"), g1("cpu1");
+    g0.addCounter("misses", "m", c0);
+    g1.addCounter("misses", "m", c1);
+    StatRegistry registry;
+    registry.add(g0);
+    registry.add(g1);
+    EXPECT_EQ(registry.size(), 2u);
+    const Json j = registry.toJson();
+    EXPECT_EQ(j.get("cpu0").get("misses").asUint(), 1u);
+    EXPECT_EQ(j.get("cpu1").get("misses").asUint(), 2u);
+
+    StatGroup dup("cpu0");
+    EXPECT_THROW(registry.add(dup), PanicError);
 }
 
 } // namespace
