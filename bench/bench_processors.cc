@@ -8,6 +8,7 @@
  */
 
 #include <iostream>
+#include <sstream>
 
 #include "analytic/models.hh"
 #include "bench/bench_util.hh"
@@ -63,6 +64,52 @@ main(int argc, char **argv)
               << model.maxProcessors(256, m, 0.9)
               << " (paper estimates \"up to 5 processors\").\n\n";
 
+    // Overlay: what the same processor count would sustain arranged as
+    // a two-level hierarchy (4 CPUs per cluster — the bus-loading rule
+    // with the inter-bus board occupying the fifth slot), for two
+    // cluster-miss fractions g. See bench_hier for the simulated curve.
+    const analytic::HierQueuingModel hier_model;
+    TableWriter hier_table(
+        "Hierarchical overlay (4 CPUs/cluster, 256B pages, "
+        "0.6% miss ratio)");
+    hier_table.columns({"CPUs", "Clusters", "g", "Flat throughput",
+                        "Hier throughput", "Speedup"});
+    for (const unsigned n : {4u, 8u, 16u, 32u}) {
+        const unsigned k = n / 4;
+        for (const double g : {0.05, 0.2}) {
+            const double flat_tput = model.systemThroughput(256, m, n);
+            const double hier_tput =
+                hier_model.systemThroughput(256, m, g, k, 4);
+            hier_table.row()
+                .cell(std::uint64_t{n})
+                .cell(std::uint64_t{k})
+                .cell(g, 2)
+                .cell(flat_tput, 2)
+                .cell(hier_tput, 2)
+                .cell(hier_tput / flat_tput, 2);
+
+            Json config = Json::object();
+            config["processors"] = Json(std::uint64_t{n});
+            config["clusters"] = Json(std::uint64_t{k});
+            config["page_bytes"] = Json(std::uint64_t{256});
+            config["miss_ratio"] = Json(m);
+            config["global_per_miss"] = Json(g);
+            Json metrics = Json::object();
+            metrics["flat_throughput"] = Json(flat_tput);
+            metrics["hier_throughput"] = Json(hier_tput);
+            metrics["speedup"] = Json(hier_tput / flat_tput);
+            metrics["hier_per_cpu_performance"] = Json(
+                hier_model.perProcessorPerformance(256, m, g, k, 4));
+            metrics["global_utilization"] = Json(
+                hier_model.globalUtilization(256, m, g, k, 4));
+            std::ostringstream label;
+            label << "model_hier/" << n << "/g" << g;
+            artifact.add(label.str(), std::move(config),
+                         std::move(metrics));
+        }
+    }
+    hier_table.print(std::cout);
+
     // Event-driven cross-check, first with fully private workloads
     // (pure bus queueing — the regime the paper's model describes),
     // then with a shared kernel image (adds the consistency contention
@@ -109,6 +156,9 @@ main(int argc, char **argv)
     artifact.note("Section 5.3: queuing model vs event-driven "
                   "measurement, private workloads and shared kernel "
                   "image (60k refs/cpu)");
+    artifact.note("model_hier rows overlay the flat-bus curve with the "
+                  "two-level HierQueuingModel prediction (4 CPUs per "
+                  "cluster) at cluster-miss fractions g = 0.05, 0.2");
     artifact.write();
     return 0;
 }

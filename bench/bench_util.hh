@@ -32,7 +32,15 @@ namespace vmp::bench
 
 /** Schema identifier/version shared by every artifact. */
 inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
-inline constexpr std::uint64_t kArtifactSchemaVersion = 1;
+/** v1.1 added the "meta" provenance section (git sha, compiler,
+ *  sweep thread count). */
+inline constexpr double kArtifactSchemaVersion = 1.1;
+
+/** Build-time git revision (configure-time snapshot; "unknown" when
+ *  the build tree was configured outside a git checkout). */
+#ifndef VMP_GIT_SHA
+#define VMP_GIT_SHA "unknown"
+#endif
 
 /** Command-line options shared by every bench binary. */
 struct BenchOptions
@@ -98,19 +106,28 @@ parseBenchOptions(const std::string &bench_name, int &argc, char **argv)
  * volatile data (wall-clock, thread count) and should be excluded
  * when diffing artifacts across commits.
  *
- * Schema (version 1):
+ * Schema (version 1.1):
  *   {
  *     "schema": "vmp-bench-artifact",
- *     "schema_version": 1,
+ *     "schema_version": 1.1,
  *     "bench": "<name>",
+ *     "meta": {
+ *       "git_sha": "<12-hex or 'unknown'>",
+ *       "compiler": "<__VERSION__ string>",
+ *       "threads": 4
+ *     },
  *     "results": [
  *       {"label": "...", "config": {...}, "metrics": {...}}, ...
  *     ],
  *     "notes": ["..."],
- *     "host": {"wall_clock_s": 1.23, "threads": 4}
+ *     "host": {"wall_clock_s": 1.23}
  *   }
  * Every metrics value is a number (or a histogram object as emitted
- * by StatRegistry); config values are numbers, strings or bools.
+ * by StatRegistry); config values are numbers, strings or bools. The
+ * "meta" section (new in v1.1) carries build/run provenance: the git
+ * revision the binary was configured from, the compiler identification
+ * string, and the resolved sweep worker-thread count. Like "host", it
+ * should be excluded when diffing artifacts across commits.
  */
 class Artifact
 {
@@ -122,6 +139,11 @@ class Artifact
         results_ = Json::array();
         notes_ = Json::array();
         host_ = Json::object();
+        meta_ = Json::object();
+        meta_["git_sha"] = Json(std::string(VMP_GIT_SHA));
+        meta_["compiler"] = Json(std::string(__VERSION__));
+        meta_["threads"] =
+            Json(std::uint64_t{core::sweepThreads(opts_.threads)});
     }
 
     /**
@@ -156,6 +178,7 @@ class Artifact
         doc["schema"] = Json(kArtifactSchema);
         doc["schema_version"] = Json(kArtifactSchemaVersion);
         doc["bench"] = Json(bench_);
+        doc["meta"] = meta_;
         doc["results"] = results_;
         doc["notes"] = notes_;
         Json host = host_;
@@ -191,6 +214,7 @@ class Artifact
     Json results_;
     Json notes_;
     Json host_;
+    Json meta_;
 };
 
 /** config sub-object for a Figure-4 style cache geometry. */

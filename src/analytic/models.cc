@@ -174,4 +174,117 @@ QueuingModel::maxProcessors(std::uint32_t page_bytes, double m,
     return best;
 }
 
+HierQueuingModel::HierQueuingModel(const MissCostModel &costs,
+                                   const cpu::M68020Timing &timing,
+                                   const IbcCostModel &ibc)
+    : costs_(costs), timing_(timing), ibc_(ibc)
+{
+}
+
+HierQueuingModel::Equilibrium
+HierQueuingModel::solve(std::uint32_t page_bytes, double m, double g,
+                        unsigned clusters,
+                        unsigned cpus_per_cluster) const
+{
+    if (clusters == 0 || cpus_per_cluster == 0)
+        fatal("hier queuing model needs at least one cluster and CPU");
+    if (g < 0.0 || g > 1.0)
+        fatal("hier queuing model: g must be in [0, 1]");
+
+    const MissCost avg = costs_.average(page_bytes);
+    const double ref_us =
+        1.0 / (timing_.mips() * timing_.refsPerInstr);
+    const double n = static_cast<double>(cpus_per_cluster);
+    const double kn = static_cast<double>(clusters) * n;
+    /** Local/global bus occupancy per (thinned) miss. */
+    const double s_l = avg.busUs;
+    const double s_g = avg.busUs;
+    /** Extra elapsed time of a cluster-level miss: the board's
+     *  dispatch + global transfer + install, plus half a mean back-off
+     *  for the local retry the aborted first attempt costs. */
+    const double x_g = ibc_.serviceUs + s_g + ibc_.installUs +
+        0.5 * ibc_.retryMeanUs;
+
+    double wait_l = 0.0;
+    double wait_g = 0.0;
+    double rho_l = 0.0;
+    double rho_g = 0.0;
+    double per_ref = ref_us;
+    for (int iter = 0; iter < 300; ++iter) {
+        per_ref = ref_us + m * (avg.elapsedUs + wait_l) +
+            m * g * (x_g + wait_g);
+        const double lambda = m / per_ref; // local misses/us, per CPU
+        rho_l = std::min(n * lambda * s_l, 0.999);
+        rho_g = std::min(kn * lambda * g * s_g, 0.999);
+        const double new_wait_l = rho_l * s_l / (1.0 - rho_l);
+        const double new_wait_g = rho_g * s_g / (1.0 - rho_g);
+        if (std::abs(new_wait_l - wait_l) < 1e-9 &&
+            std::abs(new_wait_g - wait_g) < 1e-9) {
+            wait_l = new_wait_l;
+            wait_g = new_wait_g;
+            break;
+        }
+        wait_l = 0.5 * (wait_l + new_wait_l);
+        wait_g = 0.5 * (wait_g + new_wait_g);
+    }
+
+    Equilibrium eq;
+    eq.perRefUs = ref_us + m * (avg.elapsedUs + wait_l) +
+        m * g * (x_g + wait_g);
+    eq.rhoLocal = rho_l;
+    eq.rhoGlobal = rho_g;
+    return eq;
+}
+
+double
+HierQueuingModel::perProcessorPerformance(
+    std::uint32_t page_bytes, double m, double g, unsigned clusters,
+    unsigned cpus_per_cluster) const
+{
+    const double ref_us =
+        1.0 / (timing_.mips() * timing_.refsPerInstr);
+    return ref_us /
+        solve(page_bytes, m, g, clusters, cpus_per_cluster).perRefUs;
+}
+
+double
+HierQueuingModel::systemThroughput(std::uint32_t page_bytes, double m,
+                                   double g, unsigned clusters,
+                                   unsigned cpus_per_cluster) const
+{
+    return static_cast<double>(clusters) *
+        static_cast<double>(cpus_per_cluster) *
+        perProcessorPerformance(page_bytes, m, g, clusters,
+                                cpus_per_cluster);
+}
+
+double
+HierQueuingModel::refsPerSecond(std::uint32_t page_bytes, double m,
+                                double g, unsigned clusters,
+                                unsigned cpus_per_cluster) const
+{
+    const double refs_per_us_full =
+        timing_.mips() * timing_.refsPerInstr;
+    return systemThroughput(page_bytes, m, g, clusters,
+                            cpus_per_cluster) *
+        refs_per_us_full * 1e6;
+}
+
+double
+HierQueuingModel::localUtilization(std::uint32_t page_bytes, double m,
+                                   double g, unsigned clusters,
+                                   unsigned cpus_per_cluster) const
+{
+    return solve(page_bytes, m, g, clusters, cpus_per_cluster).rhoLocal;
+}
+
+double
+HierQueuingModel::globalUtilization(std::uint32_t page_bytes, double m,
+                                    double g, unsigned clusters,
+                                    unsigned cpus_per_cluster) const
+{
+    return solve(page_bytes, m, g, clusters, cpus_per_cluster)
+        .rhoGlobal;
+}
+
 } // namespace vmp::analytic

@@ -149,6 +149,86 @@ class QueuingModel
     cpu::M68020Timing timing_;
 };
 
+/** Instruction-time budget of the inter-bus board software, in
+ *  microseconds (mirrors hier::IbcTiming's defaults). */
+struct IbcCostModel
+{
+    /** Dispatch + bookkeeping per serviced request word. */
+    double serviceUs = 3.0;
+    /** Image install + table update after a global fetch. */
+    double installUs = 2.0;
+    /** Mean back-off before retrying an aborted global transfer. */
+    double retryMeanUs = 7.0;
+};
+
+/**
+ * Two-level extension of the Section 5.3 queueing estimate for the
+ * cluster hierarchy (HierVmpSystem): k clusters of n processors each.
+ * Every local cache miss queues on the *local* bus (M/M/1 with n
+ * clients); a fraction g of those misses also miss cluster-wide and
+ * additionally queue on the *global* bus (M/M/1 with k*n clients
+ * offering the g-thinned rate) plus the inter-bus board's software
+ * budget. The two waiting times are coupled through the per-reference
+ * time, so the model iterates both to a joint fixed point.
+ *
+ * The model is load-based, like its flat parent: it captures fetch
+ * traffic but not data contention (ownership ping-pong), so it tracks
+ * simulation best for partitioned or mostly-read-shared workloads —
+ * the paper's own "providing data contention is not excessive" caveat.
+ */
+class HierQueuingModel
+{
+  public:
+    HierQueuingModel(const MissCostModel &costs = MissCostModel{},
+                     const cpu::M68020Timing &timing = {},
+                     const IbcCostModel &ibc = {});
+
+    /**
+     * Expected per-processor performance, normalized to 1 at zero
+     * misses. @p m is the per-CPU cache miss ratio and @p g the
+     * fraction of those misses that miss cluster-wide (global fetches
+     * per local miss).
+     */
+    double perProcessorPerformance(std::uint32_t page_bytes, double m,
+                                   double g, unsigned clusters,
+                                   unsigned cpus_per_cluster) const;
+
+    /** Aggregate throughput in units of single-processor full speed. */
+    double systemThroughput(std::uint32_t page_bytes, double m,
+                            double g, unsigned clusters,
+                            unsigned cpus_per_cluster) const;
+
+    /** Aggregate simulated references per second. */
+    double refsPerSecond(std::uint32_t page_bytes, double m, double g,
+                         unsigned clusters,
+                         unsigned cpus_per_cluster) const;
+
+    /** Equilibrium local-bus utilization (one cluster). */
+    double localUtilization(std::uint32_t page_bytes, double m,
+                            double g, unsigned clusters,
+                            unsigned cpus_per_cluster) const;
+
+    /** Equilibrium global-bus utilization. */
+    double globalUtilization(std::uint32_t page_bytes, double m,
+                             double g, unsigned clusters,
+                             unsigned cpus_per_cluster) const;
+
+  private:
+    struct Equilibrium
+    {
+        double perRefUs = 0.0;
+        double rhoLocal = 0.0;
+        double rhoGlobal = 0.0;
+    };
+    Equilibrium solve(std::uint32_t page_bytes, double m, double g,
+                      unsigned clusters,
+                      unsigned cpus_per_cluster) const;
+
+    MissCostModel costs_;
+    cpu::M68020Timing timing_;
+    IbcCostModel ibc_;
+};
+
 } // namespace vmp::analytic
 
 #endif // VMP_ANALYTIC_MODELS_HH

@@ -1,0 +1,301 @@
+#include "core/hier_system.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "trace/synthetic.hh"
+
+namespace vmp::core
+{
+
+VmpConfig
+HierConfig::clusterConfig() const
+{
+    VmpConfig cfg;
+    cfg.processors = cpusPerCluster;
+    cfg.cache = cache;
+    cfg.memBytes = memBytes;
+    cfg.busTiming = localBusTiming;
+    cfg.swTiming = swTiming;
+    cfg.cpuTiming = cpuTiming;
+    cfg.fifoCapacity = fifoCapacity;
+    return cfg;
+}
+
+void
+HierConfig::check() const
+{
+    cache.check();
+    if (clusters == 0 || clusters > 16)
+        fatal("hier: clusters must be in [1, 16]");
+    if (cpusPerCluster == 0 || cpusPerCluster > 8)
+        fatal("hier: cpusPerCluster must be in [1, 8]");
+    if (memBytes == 0 || memBytes % cache.pageBytes != 0)
+        fatal("hier: memory must be a positive multiple of the cache "
+              "page size");
+    if (fifoCapacity == 0 || ibcFifoCapacity == 0)
+        fatal("hier: FIFO capacities must be positive");
+}
+
+std::string
+HierRunResult::toString() const
+{
+    std::ostringstream os;
+    os << RunResult::toString()
+       << " localUtil(mean/peak)=" << meanLocalBusUtilization * 100
+       << "/" << peakLocalBusUtilization * 100 << "%"
+       << " globalFetches=" << globalFetches
+       << " globalWriteBacks=" << globalWriteBacks
+       << " refs/s=" << refsPerSec;
+    return os.str();
+}
+
+/** One cluster: image memory, local bus, inter-bus board, CPUs. */
+struct HierVmpSystem::Cluster
+{
+    Cluster(std::uint32_t index, const HierConfig &cfg,
+            EventQueue &events, mem::VmeBus &global_bus,
+            proto::Translator &translator)
+        : image(cfg.memBytes, cfg.cache.pageBytes),
+          bus(events, image, cfg.localBusTiming),
+          ibc(index, cfg.totalCpus() + index, events, bus, global_bus,
+              image, cfg.ibcTiming, cfg.ibcFifoCapacity)
+    {
+        const VmpConfig cluster_cfg = cfg.clusterConfig();
+        for (std::uint32_t i = 0; i < cfg.cpusPerCluster; ++i) {
+            const CpuId id = index * cfg.cpusPerCluster + i;
+            boards.push_back(std::make_unique<ProcessorBoard>(
+                id, events, bus, translator, cluster_cfg));
+        }
+    }
+
+    mem::PhysMem image;
+    mem::VmeBus bus;
+    hier::InterBusBoard ibc;
+    std::vector<std::unique_ptr<ProcessorBoard>> boards;
+};
+
+HierVmpSystem::HierVmpSystem(const HierConfig &config,
+                             proto::Translator *translator)
+    : cfg_(config), memory_(config.memBytes, config.cache.pageBytes),
+      globalBus_(events_, memory_, config.globalBusTiming)
+{
+    cfg_.check();
+    if (translator == nullptr) {
+        ownedTranslator_ = std::make_unique<proto::DemandTranslator>(
+            cfg_.memBytes, cfg_.cache.pageBytes, trace::kernelBase,
+            trace::userBase);
+        translator_ = ownedTranslator_.get();
+    } else {
+        translator_ = translator;
+    }
+    for (std::uint32_t k = 0; k < cfg_.clusters; ++k) {
+        clusters_.push_back(std::make_unique<Cluster>(
+            k, cfg_, events_, globalBus_, *translator_));
+    }
+}
+
+HierVmpSystem::~HierVmpSystem() = default;
+
+mem::VmeBus &
+HierVmpSystem::localBus(std::size_t cluster)
+{
+    if (cluster >= clusters_.size())
+        panic("cluster index ", cluster, " out of range");
+    return clusters_[cluster]->bus;
+}
+
+mem::PhysMem &
+HierVmpSystem::image(std::size_t cluster)
+{
+    if (cluster >= clusters_.size())
+        panic("cluster index ", cluster, " out of range");
+    return clusters_[cluster]->image;
+}
+
+hier::InterBusBoard &
+HierVmpSystem::interBusBoard(std::size_t cluster)
+{
+    if (cluster >= clusters_.size())
+        panic("cluster index ", cluster, " out of range");
+    return clusters_[cluster]->ibc;
+}
+
+ProcessorBoard &
+HierVmpSystem::board(std::size_t cpu)
+{
+    if (cpu >= cfg_.totalCpus())
+        panic("cpu index ", cpu, " out of range");
+    return *clusters_[cpu / cfg_.cpusPerCluster]
+                ->boards[cpu % cfg_.cpusPerCluster];
+}
+
+proto::CacheController &
+HierVmpSystem::controller(std::size_t cpu)
+{
+    return board(cpu).controller;
+}
+
+HierRunResult
+HierVmpSystem::runTraces(const std::vector<trace::RefSource *> &sources)
+{
+    if (sources.size() > cfg_.totalCpus())
+        fatal("hier: ", sources.size(), " traces for ",
+              cfg_.totalCpus(), " processors");
+
+    std::vector<std::unique_ptr<cpu::TraceCpu>> cpus;
+    std::vector<cpu::TraceCpu *> raw;
+    std::size_t remaining = sources.size();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        cpus.push_back(std::make_unique<cpu::TraceCpu>(
+            static_cast<CpuId>(i), events_, controller(i),
+            *sources[i], cfg_.cpuTiming));
+        raw.push_back(cpus.back().get());
+    }
+    for (auto &c : cpus)
+        c->run([&remaining] { --remaining; });
+    events_.run();
+    if (remaining != 0)
+        panic("hier: ", remaining, " trace CPUs did not finish");
+    return collect(raw);
+}
+
+std::vector<std::unique_ptr<cpu::ProgramCpu>>
+HierVmpSystem::runPrograms(const std::vector<cpu::Program> &programs)
+{
+    if (programs.size() > cfg_.totalCpus())
+        fatal("hier: ", programs.size(), " programs for ",
+              cfg_.totalCpus(), " processors");
+
+    std::vector<std::unique_ptr<cpu::ProgramCpu>> cpus;
+    std::size_t remaining = programs.size();
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        cpus.push_back(std::make_unique<cpu::ProgramCpu>(
+            static_cast<CpuId>(i), events_, controller(i),
+            static_cast<Asid>(i + 1), programs[i], cfg_.cpuTiming));
+    }
+    for (auto &c : cpus)
+        c->run([&remaining] { --remaining; });
+    events_.run();
+    if (remaining != 0)
+        panic("hier: ", remaining, " program CPUs did not halt");
+    return cpus;
+}
+
+void
+HierVmpSystem::attachIdleServicers()
+{
+    for (auto &cluster : clusters_) {
+        for (auto &board : cluster->boards) {
+            auto *controller = &board->controller;
+            controller->busMonitor().setInterruptLine(
+                [this, controller] {
+                    events_.scheduleIn(1, [controller] {
+                        controller->serviceInterrupts([] {});
+                    }, "idle-service");
+                });
+        }
+    }
+}
+
+HierRunResult
+HierVmpSystem::collect(const std::vector<cpu::TraceCpu *> &cpus) const
+{
+    HierRunResult result;
+    result.elapsed = events_.now();
+    double perf_sum = 0.0;
+    for (const auto *c : cpus) {
+        result.totalRefs += c->refsRetired().value();
+        perf_sum += c->performance();
+    }
+    double local_util_sum = 0.0;
+    for (const auto &cluster : clusters_) {
+        for (const auto &b : cluster->boards) {
+            result.totalMisses += b->controller.misses().value();
+            result.writeBacks += b->controller.writeBacks().value();
+        }
+        const double util = cluster->bus.utilization();
+        local_util_sum += util;
+        result.peakLocalBusUtilization =
+            std::max(result.peakLocalBusUtilization, util);
+        result.globalFetches += cluster->ibc.globalFetches();
+        result.globalWriteBacks +=
+            cluster->ibc.globalWriteBacks().value();
+    }
+    result.missRatio = result.totalRefs == 0
+        ? 0.0
+        : static_cast<double>(result.totalMisses) /
+            static_cast<double>(result.totalRefs);
+    result.performance =
+        cpus.empty() ? 0.0 : perf_sum / static_cast<double>(cpus.size());
+    result.busUtilization = globalBus_.utilization();
+    result.meanLocalBusUtilization = clusters_.empty()
+        ? 0.0
+        : local_util_sum / static_cast<double>(clusters_.size());
+    result.busAborts = globalBus_.aborts().value();
+    result.refsPerSec = result.elapsed == 0
+        ? 0.0
+        : static_cast<double>(result.totalRefs) /
+            (static_cast<double>(result.elapsed) * 1e-9);
+    return result;
+}
+
+void
+HierVmpSystem::dumpStats(std::ostream &os) const
+{
+    StatGroup global_group("global_bus");
+    globalBus_.registerStats(global_group);
+    global_group.dump(os);
+    for (std::size_t k = 0; k < clusters_.size(); ++k) {
+        StatGroup bus_group("c" + std::to_string(k) + ".bus");
+        clusters_[k]->bus.registerStats(bus_group);
+        bus_group.dump(os);
+        StatGroup ibc_group("c" + std::to_string(k) + ".ibc");
+        clusters_[k]->ibc.registerStats(ibc_group);
+        ibc_group.dump(os);
+        for (std::size_t i = 0; i < clusters_[k]->boards.size(); ++i) {
+            const auto id = k * cfg_.cpusPerCluster + i;
+            StatGroup cpu_group("cpu" + std::to_string(id));
+            clusters_[k]->boards[i]->controller.registerStats(
+                cpu_group);
+            clusters_[k]->boards[i]->cache.registerStats(cpu_group);
+            cpu_group.dump(os);
+        }
+    }
+}
+
+Json
+HierVmpSystem::statsJson() const
+{
+    std::vector<std::unique_ptr<StatGroup>> groups;
+    StatRegistry registry;
+
+    groups.push_back(std::make_unique<StatGroup>("global_bus"));
+    globalBus_.registerStats(*groups.back());
+    registry.add(*groups.back());
+    for (std::size_t k = 0; k < clusters_.size(); ++k) {
+        groups.push_back(std::make_unique<StatGroup>(
+            "c" + std::to_string(k) + ".bus"));
+        clusters_[k]->bus.registerStats(*groups.back());
+        registry.add(*groups.back());
+        groups.push_back(std::make_unique<StatGroup>(
+            "c" + std::to_string(k) + ".ibc"));
+        clusters_[k]->ibc.registerStats(*groups.back());
+        registry.add(*groups.back());
+        for (std::size_t i = 0; i < clusters_[k]->boards.size(); ++i) {
+            const auto id = k * cfg_.cpusPerCluster + i;
+            groups.push_back(std::make_unique<StatGroup>(
+                "cpu" + std::to_string(id)));
+            clusters_[k]->boards[i]->controller.registerStats(
+                *groups.back());
+            clusters_[k]->boards[i]->cache.registerStats(
+                *groups.back());
+            registry.add(*groups.back());
+        }
+    }
+    return registry.toJson();
+}
+
+} // namespace vmp::core

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * HierVmpSystem: the two-level bus hierarchy that scales past the
+ * single-VMEbus ceiling of Section 5.3 ("up to 5 processors"). K
+ * clusters, each a local VMEbus carrying up to ~5 processor boards
+ * plus one inter-bus cache board (src/hier), are bridged onto a global
+ * bus with main memory. Each cluster's image of physical memory acts
+ * as a very large shared cache: local misses that hit the image stay
+ * on the local bus, and only cluster-level misses and cross-cluster
+ * consistency traffic reach the global bus.
+ *
+ * The seven DESIGN.md invariants hold per level: within a cluster the
+ * flat two-state protocol runs unmodified against the cluster image,
+ * and across clusters the inter-bus boards run the same protocol
+ * against main memory, each board the single owner proxy for its
+ * cluster.
+ */
+
+#ifndef VMP_CORE_HIER_SYSTEM_HH
+#define VMP_CORE_HIER_SYSTEM_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "hier/inter_bus_board.hh"
+
+namespace vmp::core
+{
+
+/** Two-level machine configuration. */
+struct HierConfig
+{
+    /** Number of clusters (local buses) on the global bus. */
+    std::uint32_t clusters = 2;
+    /** Processor boards per cluster (the paper's bus supports ~5). */
+    std::uint32_t cpusPerCluster = 4;
+    /** Per-processor cache geometry. */
+    cache::CacheConfig cache{256, 4, 256, true};
+    /** Main-memory size; every cluster image is the same size. */
+    std::uint64_t memBytes = MiB(8);
+    /** Local (cluster) bus timing. */
+    mem::BusTiming localBusTiming{};
+    /** Global bus timing. */
+    mem::BusTiming globalBusTiming{};
+    proto::SoftwareTiming swTiming{};
+    cpu::M68020Timing cpuTiming{};
+    /** Processor bus-monitor FIFO depth. */
+    std::size_t fifoCapacity = 128;
+    /** Inter-bus board software budget. */
+    hier::IbcTiming ibcTiming{};
+    /** Inter-bus board FIFO depth (both FIFOs). */
+    std::size_t ibcFifoCapacity = 128;
+
+    std::uint32_t totalCpus() const { return clusters * cpusPerCluster; }
+    /** The per-cluster flat configuration the boards are built from. */
+    VmpConfig clusterConfig() const;
+    void check() const;
+};
+
+/** Aggregate results of a hierarchical run. */
+struct HierRunResult : RunResult
+{
+    /** busUtilization (inherited) is the *global* bus utilization. */
+    double meanLocalBusUtilization = 0.0;
+    double peakLocalBusUtilization = 0.0;
+    /** Page fetches the inter-bus boards made over the global bus. */
+    std::uint64_t globalFetches = 0;
+    /** Image pages written back to main memory. */
+    std::uint64_t globalWriteBacks = 0;
+    /** Aggregate simulated references per simulated second. */
+    double refsPerSec = 0.0;
+
+    std::string toString() const;
+};
+
+/** The two-level machine. */
+class HierVmpSystem
+{
+  public:
+    /**
+     * Build a system. If @p translator is null one internal
+     * DemandTranslator is shared machine-wide (a single physical
+     * address space, as with one main memory).
+     */
+    explicit HierVmpSystem(const HierConfig &config,
+                           proto::Translator *translator = nullptr);
+    ~HierVmpSystem(); // out of line: Cluster is incomplete here
+
+    const HierConfig &config() const { return cfg_; }
+    EventQueue &events() { return events_; }
+    /** Main (global) memory. */
+    mem::PhysMem &memory() { return memory_; }
+    mem::VmeBus &globalBus() { return globalBus_; }
+    std::uint32_t clusters() const { return cfg_.clusters; }
+    std::uint32_t cpusPerCluster() const { return cfg_.cpusPerCluster; }
+    std::uint32_t totalCpus() const { return cfg_.totalCpus(); }
+
+    mem::VmeBus &localBus(std::size_t cluster);
+    mem::PhysMem &image(std::size_t cluster);
+    hier::InterBusBoard &interBusBoard(std::size_t cluster);
+
+    /** Board/controller for the flat CPU index
+     *  (cluster = index / cpusPerCluster). */
+    ProcessorBoard &board(std::size_t cpu);
+    proto::CacheController &controller(std::size_t cpu);
+
+    /** One trace CPU per source, filled cluster-major; runs all to
+     *  completion. */
+    HierRunResult runTraces(
+        const std::vector<trace::RefSource *> &sources);
+
+    /** One scripted CPU per program (CPU i uses ASID i+1). */
+    std::vector<std::unique_ptr<cpu::ProgramCpu>>
+    runPrograms(const std::vector<cpu::Program> &programs);
+
+    HierRunResult collect(
+        const std::vector<cpu::TraceCpu *> &cpus) const;
+
+    /** Idle-processor interrupt service on every board. */
+    void attachIdleServicers();
+
+    /** gem5-style dump of every component's statistics. */
+    void dumpStats(std::ostream &os) const;
+    /** {"global_bus": {...}, "c0.bus": {...}, "c0.ibc": {...},
+     *   "cpu0": {...}, ...} */
+    Json statsJson() const;
+
+  private:
+    struct Cluster;
+
+    HierConfig cfg_;
+    EventQueue events_;
+    mem::PhysMem memory_;
+    mem::VmeBus globalBus_;
+    std::unique_ptr<proto::DemandTranslator> ownedTranslator_;
+    proto::Translator *translator_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+};
+
+} // namespace vmp::core
+
+#endif // VMP_CORE_HIER_SYSTEM_HH

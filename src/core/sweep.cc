@@ -1,10 +1,6 @@
 #include "core/sweep.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
 
 #include "sim/logging.hh"
 #include "trace/workloads.hh"
@@ -47,49 +43,9 @@ std::vector<FastSimResult>
 runSweep(const std::vector<SweepCell> &cells,
          const SweepOptions &options)
 {
-    unsigned threads = sweepThreads(options.threads);
-    if (cells.size() < threads)
-        threads = static_cast<unsigned>(cells.size());
-    if (threads <= 1 || cells.size() <= 1)
-        return runSweepSerial(cells);
-
-    std::vector<FastSimResult> results(cells.size());
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    const auto worker = [&] {
-        while (true) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= cells.size() ||
-                failed.load(std::memory_order_relaxed))
-                return;
-            try {
-                results[i] = runCell(cells[i]);
-            } catch (...) {
-                {
-                    const std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!first_error)
-                        first_error = std::current_exception();
-                }
-                failed.store(true, std::memory_order_relaxed);
-                return;
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
-
-    if (first_error)
-        std::rethrow_exception(first_error);
-    return results;
+    return parallelMap(
+        cells.size(), [&](std::size_t i) { return runCell(cells[i]); },
+        options);
 }
 
 std::vector<SweepCell>

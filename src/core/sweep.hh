@@ -14,8 +14,13 @@
 #ifndef VMP_CORE_SWEEP_HH
 #define VMP_CORE_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "cache/config.hh"
@@ -52,10 +57,100 @@ struct SweepOptions
 /** Resolve a requested thread count (0 -> hardware concurrency). */
 unsigned sweepThreads(unsigned requested);
 
+/** Result of one parallelMapOutcomes cell: a value or an error. */
+template <typename T>
+struct MapOutcome
+{
+    T value{};
+    /** Set iff this cell threw; value is then default-constructed. */
+    std::exception_ptr error;
+};
+
+/**
+ * Evaluate fn(0) .. fn(count-1) on a worker pool and return every
+ * outcome, in index order. A throwing cell never escapes a worker
+ * thread (which would std::terminate the process): its exception is
+ * captured into the cell's outcome and every *other* cell still runs
+ * to completion, so one bad configuration cannot poison the rest of a
+ * sweep. The thread count never changes the outcomes, only wall-clock.
+ */
+template <typename Fn>
+auto
+parallelMapOutcomes(std::size_t count, Fn &&fn,
+                    const SweepOptions &options = {})
+    -> std::vector<
+        MapOutcome<std::decay_t<decltype(fn(std::size_t{}))>>>
+{
+    using T = std::decay_t<decltype(fn(std::size_t{}))>;
+    std::vector<MapOutcome<T>> outcomes(count);
+    const auto cell = [&](std::size_t i) {
+        try {
+            outcomes[i].value = fn(i);
+        } catch (...) {
+            outcomes[i].error = std::current_exception();
+        }
+    };
+
+    unsigned threads = sweepThreads(options.threads);
+    if (count < threads)
+        threads = static_cast<unsigned>(count);
+    if (threads <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            cell(i);
+        return outcomes;
+    }
+
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            cell(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return outcomes;
+}
+
+/**
+ * parallelMapOutcomes, with errors re-raised: returns the values in
+ * index order, or rethrows the *lowest-index* captured exception on
+ * the calling thread. The error choice is deterministic (independent
+ * of thread scheduling), matching the exception a serial loop would
+ * have surfaced first.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t count, Fn &&fn, const SweepOptions &options = {})
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>>
+{
+    auto outcomes =
+        parallelMapOutcomes(count, std::forward<Fn>(fn), options);
+    for (auto &outcome : outcomes) {
+        if (outcome.error)
+            std::rethrow_exception(outcome.error);
+    }
+    std::vector<std::decay_t<decltype(fn(std::size_t{}))>> values;
+    values.reserve(count);
+    for (auto &outcome : outcomes)
+        values.push_back(std::move(outcome.value));
+    return values;
+}
+
 /**
  * Run every cell and return the per-cell results, in cell order. With
  * options.threads != 1 the cells execute on a worker pool; results are
- * bitwise-identical to runSweepSerial for any thread count.
+ * bitwise-identical to runSweepSerial for any thread count. A cell
+ * whose workload or cache configuration throws surfaces its exception
+ * here, on the calling thread (lowest-index first), after every other
+ * cell has completed.
  */
 std::vector<FastSimResult> runSweep(const std::vector<SweepCell> &cells,
                                     const SweepOptions &options = {});

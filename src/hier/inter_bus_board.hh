@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The inter-bus cache board of the two-level VMP hierarchy (the
+ * VMP-MC direction sketched in the paper's conclusion): one board per
+ * cluster bridges that cluster's local VMEbus onto the global bus.
+ *
+ * Towards its local bus the board behaves like a very large cache that
+ * participates in the cluster's two-state ownership protocol: a full
+ * *cluster image* of physical memory backs every local block transfer,
+ * and a cluster-level action table decides, for every local
+ * consistency transaction, whether the cluster may satisfy it
+ * (Ignore = absent, Shared = cluster holds a shared copy, Protect =
+ * cluster owns the frame). Local transactions the cluster cannot
+ * satisfy are aborted exactly like the flat protocol aborts a CPU —
+ * the requesting processor retries while the board's software fetches
+ * or upgrades the frame over the global bus.
+ *
+ * Towards the global bus the board is an ordinary protocol client: it
+ * reuses the stock bus monitor (action table + interrupt FIFO) and
+ * block copier, so the global level *is* the paper's flat two-state
+ * protocol with inter-bus boards in place of processors. Two-state
+ * legality therefore holds per level, with the board acting as the
+ * single owner proxy for its whole cluster.
+ *
+ * Like everything else in VMP, the board's consistency engine is
+ * software: a single service loop with an instruction-time budget
+ * drains the two interrupt FIFOs (global first — releasing frames
+ * other clusters wait for breaks any cross-cluster wait cycle),
+ * recalls local copies before giving up frames, and recovers
+ * conservatively from FIFO overflow.
+ */
+
+#ifndef VMP_HIER_INTER_BUS_BOARD_HH
+#define VMP_HIER_INTER_BUS_BOARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/block_copier.hh"
+#include "mem/bus_types.hh"
+#include "mem/phys_mem.hh"
+#include "mem/vme_bus.hh"
+#include "monitor/action_table.hh"
+#include "monitor/bus_monitor.hh"
+#include "monitor/interrupt_fifo.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp::hier
+{
+
+/** Instruction-time budget of the board's service software. */
+struct IbcTiming
+{
+    /** Dispatch + bookkeeping for one interrupt word. */
+    Tick serviceNs = 3000;
+    /** Install a fetched page in the image and update tables. */
+    Tick installNs = 2000;
+    /** Base retry back-off after an aborted global transaction. */
+    Tick retryNs = 1000;
+    /** Desynchronizing jitter added to every retry. */
+    Tick retryJitterNs = 12000;
+};
+
+/**
+ * One cluster's inter-bus cache board. Implements mem::BusWatcher on
+ * the *local* bus directly (its pass/abort rule differs from a
+ * processor monitor's: a cluster-level Shared entry must still block
+ * local ownership upgrades until the global upgrade completes) and
+ * owns a stock monitor::BusMonitor on the *global* bus.
+ */
+class InterBusBoard : public mem::BusWatcher
+{
+  public:
+    using Done = std::function<void()>;
+
+    /**
+     * @param cluster_index this cluster's master id on the global bus
+     * @param local_master_id the board's master id on the local bus
+     *        (must not collide with the cluster's CPU ids)
+     * @param image the cluster image (local bus memory); same size and
+     *        page geometry as main memory
+     */
+    InterBusBoard(std::uint32_t cluster_index,
+                  std::uint32_t local_master_id, EventQueue &events,
+                  mem::VmeBus &local_bus, mem::VmeBus &global_bus,
+                  mem::PhysMem &image, const IbcTiming &timing = {},
+                  std::size_t fifo_capacity = 128);
+
+    std::uint32_t clusterIndex() const { return globalId_; }
+    std::uint32_t localMasterId() const { return localId_; }
+
+    // --- BusWatcher interface (local bus) ---
+    mem::WatchVerdict observe(const mem::BusTransaction &tx) override;
+    void sideEffectUpdate(const mem::BusTransaction &tx) override;
+
+    // --- introspection for tests ---
+    /** Cluster-level state of the frame at @p paddr: Ignore = absent,
+     *  Shared = shared copy, Protect = cluster owns the frame. */
+    mem::ActionEntry clusterState(Addr paddr) const;
+    /** True if the image holds data newer than main memory. */
+    bool isDirty(Addr paddr) const;
+    /** Software's shadow of the global monitor's action-table entry. */
+    mem::ActionEntry globalShadowEntry(Addr paddr) const;
+    monitor::BusMonitor &globalMonitor() { return globalMonitor_; }
+    const monitor::BusMonitor &globalMonitor() const
+    {
+        return globalMonitor_;
+    }
+    /** True when no service work is pending or in flight. */
+    bool idle() const;
+
+    // --- statistics ---
+    const Counter &sharedFetches() const { return sharedFetches_; }
+    const Counter &exclusiveFetches() const { return exclusiveFetches_; }
+    /** Total global page fetches (shared + exclusive). */
+    std::uint64_t globalFetches() const
+    {
+        return sharedFetches_.value() + exclusiveFetches_.value();
+    }
+    const Counter &upgrades() const { return upgrades_; }
+    const Counter &downgrades() const { return downgrades_; }
+    const Counter &invalidates() const { return invalidates_; }
+    const Counter &recalls() const { return recalls_; }
+    const Counter &globalWriteBacks() const { return globalWriteBacks_; }
+    const Counter &retries() const { return retries_; }
+    const Counter &spuriousWords() const { return spurious_; }
+    const Counter &protocolViolations() const { return violations_; }
+    const Counter &overflowRecoveries() const { return recoveries_; }
+    void registerStats(StatGroup &group) const;
+
+  private:
+    std::uint64_t frameOf(Addr paddr) const;
+    Addr frameBase(Addr paddr) const;
+
+    /** Schedule a service pass (no-op if one is running/scheduled). */
+    void kick();
+    /** Take the next work item, priority: overflow, global, local. */
+    void pump();
+    void finishWork();
+    void afterSoftware(Tick delay, Done fn);
+    Tick retryDelay();
+
+    void serviceLocalWord(monitor::InterruptWord word, Done done);
+    /** State-dependent dispatch of a local fetch/upgrade request;
+     *  also the retry entry point (cluster state may have changed). */
+    void dispatchLocalWord(monitor::InterruptWord word, Done done);
+    void fetchFrame(monitor::InterruptWord word, bool exclusive,
+                    Done done);
+    void upgradeFrame(monitor::InterruptWord word, Done done);
+
+    void serviceGlobalWord(monitor::InterruptWord word, Done done);
+    /** Service every queued global word, then @p done (deadlock
+     *  avoidance before retrying an aborted global transaction). */
+    void drainGlobalWords(Done done);
+    void downgradeCluster(Addr base, Done done);
+    void invalidateCluster(Addr base, Done done);
+    /** Clear a stale global action-table entry, if any. */
+    void clearGlobalEntryIfStale(Addr base, Done done);
+
+    /** Force every local cache to give up the frame (local
+     *  assert-ownership, retried until unaborted). */
+    void recallLocal(Addr base, Done done);
+    /** Write the image copy of @p base back to main memory; the global
+     *  entry becomes @p after. Retries on abort. */
+    void writeBackGlobal(Addr base, mem::ActionEntry after, Done done);
+    /** Set this board's global action-table entry via the bus. */
+    void setGlobalEntry(Addr base, mem::ActionEntry entry, Done done);
+
+    void recoverGlobalOverflow(Done done);
+    void dropSharedFrames(
+        std::shared_ptr<std::vector<std::uint64_t>> frames,
+        std::size_t index, Done done);
+
+    std::uint32_t globalId_;
+    std::uint32_t localId_;
+    EventQueue &events_;
+    mem::VmeBus &localBus_;
+    mem::VmeBus &globalBus_;
+    mem::PhysMem &image_;
+    IbcTiming timing_;
+    std::uint32_t pageBytes_;
+
+    /** Cluster-level state table (local side). */
+    monitor::ActionTable localTable_;
+    /** Aborted local requests awaiting a global fetch/upgrade. */
+    monitor::InterruptFifo localFifo_;
+    /** Stock monitor watching the global bus for this board. */
+    monitor::BusMonitor globalMonitor_;
+    mem::BlockCopier globalCopier_;
+    Rng rng_;
+
+    /** Page staging buffer for global transfers. */
+    std::vector<std::uint8_t> staging_;
+    /** Frames whose image copy is newer than main memory. */
+    std::unordered_set<std::uint64_t> dirty_;
+    /** Software shadow of the global monitor's action table. */
+    std::unordered_map<std::uint64_t, mem::ActionEntry> globalShadow_;
+
+    bool busy_ = false;
+    bool kickScheduled_ = false;
+
+    Counter sharedFetches_;
+    Counter exclusiveFetches_;
+    Counter upgrades_;
+    Counter downgrades_;
+    Counter invalidates_;
+    Counter recalls_;
+    Counter globalWriteBacks_;
+    Counter retries_;
+    Counter wordsLocal_;
+    Counter wordsGlobal_;
+    Counter spurious_;
+    Counter violations_;
+    Counter recoveries_;
+    Counter localOverflowClears_;
+    Counter localAborts_;
+};
+
+} // namespace vmp::hier
+
+#endif // VMP_HIER_INTER_BUS_BOARD_HH

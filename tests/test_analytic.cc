@@ -230,5 +230,85 @@ TEST(QueuingModel, LowerMissRatioAllowsMoreProcessors)
               model.maxProcessors(256, 0.01, 0.9));
 }
 
+// ------------------------------------------------- Hierarchy (2-level)
+
+TEST(HierQueuingModel, OneClusterNoGlobalTrafficMatchesFlatModel)
+{
+    // With one cluster and g = 0 the global-bus terms vanish and the
+    // fixed-point equations reduce to the flat Section 5.3 model.
+    QueuingModel flat;
+    HierQueuingModel hier;
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        EXPECT_NEAR(hier.perProcessorPerformance(256, 0.006, 0.0, 1, n),
+                    flat.perProcessorPerformance(256, 0.006, n), 1e-6)
+            << "n=" << n;
+    }
+}
+
+TEST(HierQueuingModel, HierarchyBeatsFlatBusAtSixteenCpus)
+{
+    // The whole point of the cluster hierarchy: 16 CPUs on one bus
+    // saturate; 4 clusters of 4 with mostly-local misses do not. At
+    // m = 1% the single VMEbus is deep into its M/M/1 knee.
+    QueuingModel flat;
+    HierQueuingModel hier;
+    const double m = 0.01;
+    const double flat16 = flat.systemThroughput(256, m, 16);
+    const double hier16 = hier.systemThroughput(256, m, 0.05, 4, 4);
+    EXPECT_GT(hier16, 2.0 * flat16);
+}
+
+TEST(HierQueuingModel, MoreGlobalTrafficHurts)
+{
+    HierQueuingModel hier;
+    double last = 2.0;
+    for (double g : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+        const double perf =
+            hier.perProcessorPerformance(256, 0.006, g, 4, 4);
+        EXPECT_LT(perf, last) << "g=" << g;
+        EXPECT_GT(perf, 0.0);
+        last = perf;
+    }
+}
+
+TEST(HierQueuingModel, UtilizationsAreSaneAndGrowWithLoad)
+{
+    HierQueuingModel hier;
+    const double rho_g_lo = hier.globalUtilization(256, 0.004, 0.05, 4, 4);
+    const double rho_g_hi = hier.globalUtilization(256, 0.004, 0.5, 4, 4);
+    EXPECT_GE(rho_g_lo, 0.0);
+    EXPECT_LT(rho_g_hi, 1.0);
+    EXPECT_GT(rho_g_hi, rho_g_lo);
+
+    const double rho_l = hier.localUtilization(256, 0.006, 0.05, 4, 4);
+    EXPECT_GT(rho_l, 0.0);
+    EXPECT_LT(rho_l, 1.0);
+    // g = 0 keeps the global bus idle.
+    EXPECT_NEAR(hier.globalUtilization(256, 0.006, 0.0, 4, 4), 0.0,
+                1e-12);
+}
+
+TEST(HierQueuingModel, RejectsBadShapes)
+{
+    HierQueuingModel hier;
+    EXPECT_THROW(hier.perProcessorPerformance(256, 0.006, 0.1, 0, 4),
+                 FatalError);
+    EXPECT_THROW(hier.perProcessorPerformance(256, 0.006, 0.1, 4, 0),
+                 FatalError);
+    EXPECT_THROW(hier.perProcessorPerformance(256, 0.006, 1.5, 4, 4),
+                 FatalError);
+}
+
+TEST(HierQueuingModel, RefsPerSecondScalesWithThroughput)
+{
+    HierQueuingModel hier;
+    const double tput = hier.systemThroughput(256, 0.006, 0.05, 4, 4);
+    const cpu::M68020Timing timing;
+    const double full_refs_per_s =
+        timing.mips() * timing.refsPerInstr * 1e6;
+    EXPECT_NEAR(hier.refsPerSecond(256, 0.006, 0.05, 4, 4),
+                tput * full_refs_per_s, 1.0);
+}
+
 } // namespace
 } // namespace vmp::analytic

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,85 @@ TEST(Sweep, RepeatedRunsAreDeterministic)
     expectSameResults(first, second);
 }
 
+// -------------------------------------------------- error propagation
+
+TEST(Sweep, ThrowingCellSurfacesOnCallingThread)
+{
+    // A cell whose workload config is invalid throws FatalError from
+    // its generator. The sweep must deliver that exception to the
+    // caller — an exception escaping a worker thread would
+    // std::terminate the whole process instead.
+    auto cells = core::fig4Cells({KiB(64)}, {256}, 4);
+    ASSERT_GE(cells.size(), 3u);
+    cells[2].workload.totalRefs = 0; // invalid: generator throws
+    for (const unsigned threads : {1u, 4u}) {
+        core::SweepOptions options;
+        options.threads = threads;
+        EXPECT_THROW(core::runSweep(cells, options), FatalError)
+            << "threads=" << threads;
+    }
+}
+
+TEST(Sweep, OtherCellsSurviveAFailingCell)
+{
+    // parallelMapOutcomes isolates the failure: every healthy cell
+    // still produces its (deterministic) result, only the bad cell
+    // carries an exception.
+    auto cells = core::fig4Cells({KiB(64)}, {256}, 4);
+    const auto reference = core::runSweepSerial(cells);
+    cells[1].workload.totalRefs = 0;
+
+    core::SweepOptions options;
+    options.threads = 4;
+    const auto outcomes = core::parallelMapOutcomes(
+        cells.size(),
+        [&](std::size_t i) {
+            trace::SyntheticGen gen(cells[i].workload);
+            core::FastCacheSim sim(cells[i].config);
+            return sim.run(gen);
+        },
+        options);
+
+    ASSERT_EQ(outcomes.size(), cells.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i == 1) {
+            EXPECT_TRUE(outcomes[i].error);
+            continue;
+        }
+        ASSERT_FALSE(outcomes[i].error) << "cell " << i;
+        EXPECT_EQ(outcomes[i].value.refs, reference[i].refs)
+            << "cell " << i;
+        EXPECT_EQ(outcomes[i].value.misses, reference[i].misses)
+            << "cell " << i;
+    }
+}
+
+TEST(Sweep, LowestIndexErrorWinsDeterministically)
+{
+    // With several failing cells, parallelMap rethrows the lowest
+    // index regardless of scheduling — the same error a serial loop
+    // would have hit first.
+    const std::size_t count = 16;
+    core::SweepOptions options;
+    options.threads = 4;
+    for (int round = 0; round < 4; ++round) {
+        try {
+            core::parallelMap(
+                count,
+                [](std::size_t i) -> int {
+                    if (i == 3 || i == 11)
+                        throw std::runtime_error(
+                            "cell " + std::to_string(i));
+                    return static_cast<int>(i);
+                },
+                options);
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "cell 3");
+        }
+    }
+}
+
 // ---------------------------------------------------------- artifacts
 
 bench::Artifact
@@ -121,17 +201,26 @@ makeArtifact()
     return artifact;
 }
 
-/** Validate the fixed artifact schema (version 1). */
+/** Validate the fixed artifact schema (version 1.1). */
 void
 expectValidArtifact(const Json &doc)
 {
     EXPECT_EQ(doc.get("schema").asString(), bench::kArtifactSchema);
-    EXPECT_EQ(doc.get("schema_version").asUint(),
-              bench::kArtifactSchemaVersion);
+    EXPECT_DOUBLE_EQ(doc.get("schema_version").asNumber(),
+                     bench::kArtifactSchemaVersion);
     EXPECT_TRUE(doc.get("bench").isString());
     EXPECT_TRUE(doc.get("notes").isArray());
     EXPECT_TRUE(doc.get("host").isObject());
     EXPECT_TRUE(doc.get("host").get("wall_clock_s").isNumber());
+
+    // v1.1 provenance section.
+    const Json &meta = doc.get("meta");
+    ASSERT_TRUE(meta.isObject());
+    EXPECT_TRUE(meta.get("git_sha").isString());
+    EXPECT_FALSE(meta.get("git_sha").asString().empty());
+    EXPECT_TRUE(meta.get("compiler").isString());
+    EXPECT_FALSE(meta.get("compiler").asString().empty());
+    EXPECT_GE(meta.get("threads").asUint(), 1u);
 
     const Json &results = doc.get("results");
     ASSERT_TRUE(results.isArray());

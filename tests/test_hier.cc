@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Property tests for the two-level bus hierarchy (HierVmpSystem +
+ * InterBusBoard): two-state legality must hold *per level* — within a
+ * cluster at most one processor holds a frame Private and only while
+ * its cluster owns the frame, and across clusters at most one
+ * inter-bus board holds the cluster-level Protect entry. Memory
+ * mutations at both levels must be exactly the successful write-backs
+ * on the corresponding bus, cross-cluster word-level sharing must stay
+ * exact under frame migration, and heavily shared workloads must run
+ * to completion (deadlock freedom) even under adversarial FIFO sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/hier_system.hh"
+#include "sim/logging.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace vmp
+{
+namespace
+{
+
+/** Drain every processor FIFO and let the inter-bus boards settle. */
+void
+quiesce(core::HierVmpSystem &system)
+{
+    for (int round = 0; round < 6; ++round) {
+        for (std::uint32_t cpu = 0; cpu < system.totalCpus(); ++cpu) {
+            bool done = false;
+            system.controller(cpu).serviceInterrupts(
+                [&] { done = true; });
+            system.events().run();
+            ASSERT_TRUE(done);
+        }
+    }
+    for (std::uint32_t k = 0; k < system.clusters(); ++k)
+        EXPECT_TRUE(system.interBusBoard(k).idle())
+            << "cluster " << k << " board not idle at quiescence";
+}
+
+/**
+ * Two-state legality per level, checked frame by frame:
+ *  - within each cluster, at most one processor Private;
+ *  - a processor Private copy implies its cluster holds Protect;
+ *  - a processor Shared copy implies its cluster holds the frame;
+ *  - across clusters, at most one cluster-level Protect.
+ */
+void
+expectTwoLevelInvariant(core::HierVmpSystem &system)
+{
+    const auto &cfg = system.config();
+    const std::uint64_t frames = cfg.memBytes / cfg.cache.pageBytes;
+    for (std::uint64_t frame = 0; frame < frames; ++frame) {
+        const Addr pa = frame * cfg.cache.pageBytes;
+        unsigned cluster_owners = 0;
+        for (std::uint32_t k = 0; k < cfg.clusters; ++k) {
+            const auto state = system.interBusBoard(k).clusterState(pa);
+            if (state == mem::ActionEntry::Protect)
+                ++cluster_owners;
+            unsigned local_owners = 0;
+            for (std::uint32_t i = 0; i < cfg.cpusPerCluster; ++i) {
+                const auto cpu = k * cfg.cpusPerCluster + i;
+                const auto *info = system.controller(cpu).frameInfo(pa);
+                if (info == nullptr)
+                    continue;
+                if (info->state == proto::FrameState::Private) {
+                    ++local_owners;
+                    EXPECT_EQ(state, mem::ActionEntry::Protect)
+                        << "cpu " << cpu << " holds frame " << frame
+                        << " Private but cluster " << k
+                        << " does not own it";
+                } else {
+                    EXPECT_NE(state, mem::ActionEntry::Ignore)
+                        << "cpu " << cpu << " caches frame " << frame
+                        << " but cluster " << k << " is absent";
+                }
+            }
+            ASSERT_LE(local_owners, 1u)
+                << "cluster " << k << " frame " << frame;
+        }
+        ASSERT_LE(cluster_owners, 1u) << "frame " << frame;
+    }
+}
+
+/**
+ * Mutation accounting per level: main memory changes only via
+ * successful global-bus write-backs, each cluster image only via
+ * successful local-bus write-backs (global fetches install through
+ * initBlock, which is counted separately).
+ */
+void
+expectTwoLevelWriteInvariant(core::HierVmpSystem &system)
+{
+    const auto &gbus = system.globalBus();
+    const std::uint64_t global_expected =
+        gbus.countOf(mem::TxType::WriteBack).value() -
+        gbus.abortsOf(mem::TxType::WriteBack).value() +
+        gbus.countOf(mem::TxType::DmaWrite).value();
+    EXPECT_EQ(system.memory().writes().value(), global_expected);
+
+    for (std::uint32_t k = 0; k < system.clusters(); ++k) {
+        const auto &bus = system.localBus(k);
+        const std::uint64_t local_expected =
+            bus.countOf(mem::TxType::WriteBack).value() -
+            bus.abortsOf(mem::TxType::WriteBack).value() +
+            bus.countOf(mem::TxType::DmaWrite).value();
+        EXPECT_EQ(system.image(k).writes().value(), local_expected)
+            << "cluster " << k;
+    }
+}
+
+trace::SyntheticConfig
+sharedKernelWorkload(std::uint64_t refs, std::uint64_t seed)
+{
+    auto workload = trace::workloadConfig("atum3");
+    workload.totalRefs = refs;
+    workload.seed = seed;
+    return workload;
+}
+
+// ------------------------------------------------------- configuration
+
+TEST(HierConfig, RejectsBadShapes)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 0;
+    EXPECT_THROW(core::HierVmpSystem{cfg}, FatalError);
+    cfg = {};
+    cfg.cpusPerCluster = 9;
+    EXPECT_THROW(core::HierVmpSystem{cfg}, FatalError);
+    cfg = {};
+    cfg.memBytes = cfg.cache.pageBytes * 3 + 1;
+    EXPECT_THROW(core::HierVmpSystem{cfg}, FatalError);
+    cfg = {};
+    cfg.ibcFifoCapacity = 0;
+    EXPECT_THROW(core::HierVmpSystem{cfg}, FatalError);
+}
+
+TEST(HierConfig, FlatIndexMapsClusterMajor)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 2;
+    cfg.cpusPerCluster = 2;
+    cfg.memBytes = MiB(1);
+    core::HierVmpSystem system(cfg);
+    EXPECT_EQ(system.totalCpus(), 4u);
+    // CPU 3 must live on cluster 1's bus, not cluster 0's: a cached
+    // read through its controller misses onto local bus 1 only.
+    bool done = false;
+    system.controller(3).readWord(1, trace::kernelBase + 0x100, true,
+                                  [&](std::uint32_t) { done = true; });
+    system.events().run();
+    ASSERT_TRUE(done);
+    EXPECT_GT(system.localBus(1).countOf(mem::TxType::ReadShared)
+                  .value(), 0u);
+    EXPECT_EQ(system.localBus(0).countOf(mem::TxType::ReadShared)
+                  .value(), 0u);
+}
+
+// -------------------------------------------------- shared-trace runs
+
+TEST(HierSystem, SharedKernelTracesKeepInvariants)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 4;
+    cfg.cpusPerCluster = 4;
+    cfg.cache = cache::CacheConfig{256, 2, 16, true};
+    cfg.memBytes = MiB(2);
+    core::HierVmpSystem system(cfg);
+
+    std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+    std::vector<trace::RefSource *> sources;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        // Shared kernel image across *all* clusters: forces
+        // cross-cluster ownership migration through the boards.
+        gens.push_back(std::make_unique<trace::SyntheticGen>(
+            sharedKernelWorkload(8'000, 500 + i)));
+        sources.push_back(gens.back().get());
+    }
+    const auto result = system.runTraces(sources);
+    EXPECT_EQ(result.totalRefs, 128'000u);
+    EXPECT_GT(result.globalFetches, 0u);
+    EXPECT_GT(result.globalWriteBacks, 0u);
+
+    quiesce(system);
+    expectTwoLevelInvariant(system);
+    expectTwoLevelWriteInvariant(system);
+}
+
+TEST(HierSystem, PartitionedWorkloadsStayMostlyLocal)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 2;
+    cfg.cpusPerCluster = 2;
+    cfg.cache = cache::CacheConfig{256, 2, 32, true};
+    cfg.memBytes = MiB(4);
+    core::HierVmpSystem system(cfg);
+
+    std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+    std::vector<trace::RefSource *> sources;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        auto workload = sharedKernelWorkload(10'000, 700 + i);
+        // Disjoint kernel images and ASIDs: no cross-CPU sharing at
+        // all, so after cold fetches the global bus should go quiet.
+        workload.kernelOffset = Addr(i) * 0x8'0000;
+        workload.asidBase = static_cast<Asid>(1 + i * 8);
+        gens.push_back(std::make_unique<trace::SyntheticGen>(workload));
+        sources.push_back(gens.back().get());
+    }
+    const auto result = system.runTraces(sources);
+    EXPECT_EQ(result.totalRefs, 40'000u);
+
+    // Every global fetch is a cold cluster miss; no invalidations or
+    // recalls should have happened between clusters.
+    for (std::uint32_t k = 0; k < 2; ++k) {
+        EXPECT_EQ(system.interBusBoard(k).invalidates().value(), 0u)
+            << "cluster " << k;
+        EXPECT_EQ(system.interBusBoard(k).downgrades().value(), 0u)
+            << "cluster " << k;
+    }
+    EXPECT_LT(result.busUtilization, result.meanLocalBusUtilization);
+
+    quiesce(system);
+    expectTwoLevelInvariant(system);
+    expectTwoLevelWriteInvariant(system);
+}
+
+// --------------------------------------- cross-cluster exact sharing
+
+/** Each CPU increments its own word of one shared frame: DRF at word
+ *  granularity, maximal false sharing at frame granularity. */
+cpu::Program
+wordIncrementer(Addr word_pa, std::uint32_t rounds)
+{
+    using namespace vmp::cpu;
+    Program program;
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+        program.push_back(opRead(word_pa, 1));
+        program.push_back(opAddImm(1, 1));
+        program.push_back(opWrite(word_pa, 1));
+    }
+    program.push_back(opHalt());
+    return program;
+}
+
+TEST(HierSystem, FalseSharingAcrossClustersIsExact)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 2;
+    cfg.cpusPerCluster = 2;
+    cfg.cache = cache::CacheConfig{128, 2, 8, true}; // tiny
+    cfg.memBytes = MiB(1);
+    core::HierVmpSystem system(cfg);
+
+    constexpr std::uint32_t kRounds = 25;
+    const Addr frame_base = trace::kernelBase + 0x4000;
+    std::vector<cpu::Program> programs;
+    for (std::uint32_t cpu = 0; cpu < 4; ++cpu)
+        programs.push_back(wordIncrementer(
+            frame_base + Addr(cpu) * 4, kRounds));
+
+    const auto cpus = system.runPrograms(programs);
+    quiesce(system);
+
+    for (std::uint32_t cpu = 0; cpu < 4; ++cpu) {
+        std::uint32_t value = 0;
+        bool done = false;
+        system.controller(0).readWord(
+            1, frame_base + Addr(cpu) * 4, true,
+            [&](std::uint32_t v) {
+                value = v;
+                done = true;
+            });
+        system.events().run();
+        ASSERT_TRUE(done);
+        EXPECT_EQ(value, kRounds) << "cpu " << cpu << "'s word";
+    }
+    // The frame really migrated between clusters.
+    EXPECT_GT(system.interBusBoard(0).invalidates().value() +
+                  system.interBusBoard(0).downgrades().value() +
+                  system.interBusBoard(1).invalidates().value() +
+                  system.interBusBoard(1).downgrades().value(),
+              0u);
+    expectTwoLevelInvariant(system);
+    expectTwoLevelWriteInvariant(system);
+}
+
+// ------------------------------------------- adversarial FIFO sizing
+
+TEST(HierSystem, TinyFifosStillCompleteAndStayCoherent)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 2;
+    cfg.cpusPerCluster = 3;
+    cfg.cache = cache::CacheConfig{128, 2, 8, true};
+    cfg.memBytes = MiB(1);
+    cfg.fifoCapacity = 2;
+    cfg.ibcFifoCapacity = 2; // forces overflow recoveries
+    core::HierVmpSystem system(cfg);
+
+    constexpr std::uint32_t kRounds = 15;
+    const Addr frame_base = trace::kernelBase + 0x8000;
+    std::vector<cpu::Program> programs;
+    for (std::uint32_t cpu = 0; cpu < 6; ++cpu)
+        programs.push_back(wordIncrementer(
+            frame_base + Addr(cpu) * 4, kRounds));
+
+    // Completion of runPrograms *is* the deadlock-freedom check: a
+    // lost wakeup or cross-cluster wait cycle would leave the event
+    // queue empty with CPUs stalled, and runPrograms would panic.
+    const auto cpus = system.runPrograms(programs);
+    quiesce(system);
+
+    for (std::uint32_t cpu = 0; cpu < 6; ++cpu) {
+        std::uint32_t value = 0;
+        bool done = false;
+        system.controller(0).readWord(
+            1, frame_base + Addr(cpu) * 4, true,
+            [&](std::uint32_t v) {
+                value = v;
+                done = true;
+            });
+        system.events().run();
+        ASSERT_TRUE(done);
+        EXPECT_EQ(value, kRounds) << "cpu " << cpu << "'s word";
+    }
+    expectTwoLevelInvariant(system);
+    expectTwoLevelWriteInvariant(system);
+}
+
+// ----------------------------------------------------------- statistics
+
+TEST(HierSystem, StatsMentionEveryLevel)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 2;
+    cfg.cpusPerCluster = 2;
+    cfg.cache = cache::CacheConfig{256, 2, 16, true};
+    cfg.memBytes = MiB(1);
+    core::HierVmpSystem system(cfg);
+
+    std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+    std::vector<trace::RefSource *> sources;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        gens.push_back(std::make_unique<trace::SyntheticGen>(
+            sharedKernelWorkload(5'000, 40 + i)));
+        sources.push_back(gens.back().get());
+    }
+    system.runTraces(sources);
+
+    std::ostringstream os;
+    system.dumpStats(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("global_bus.transactions"), std::string::npos);
+    EXPECT_NE(out.find("c0.bus.transactions"), std::string::npos);
+    EXPECT_NE(out.find("c1.ibc.global_write_backs"),
+              std::string::npos);
+    EXPECT_NE(out.find("cpu3.misses"), std::string::npos);
+
+    const auto json = system.statsJson();
+    const auto text = json.dump();
+    EXPECT_NE(text.find("\"c0.ibc\""), std::string::npos);
+    EXPECT_NE(text.find("\"cpu3\""), std::string::npos);
+}
+
+} // namespace
+} // namespace vmp
