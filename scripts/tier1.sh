@@ -16,8 +16,8 @@ echo "== tier1: configure + build ($build) =="
 cmake -B "$build" -S "$repo"
 cmake --build "$build" -j "$jobs"
 
-echo "== tier1: full test suite =="
-ctest --test-dir "$build" --output-on-failure -j "$jobs"
+echo "== tier1: full test suite (torture matrix excluded) =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -LE torture
 
 echo "== tier1: sanitizer build ($sanitize) =="
 cmake -B "$sanitize" -S "$repo" -DVMP_SANITIZE=address,undefined

@@ -200,6 +200,101 @@ HierVmpSystem::attachIdleServicers()
     }
 }
 
+fault::FaultInjector &
+HierVmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
+{
+    if (injector_)
+        fatal("hier: fault injection enabled twice");
+    injector_ = std::make_unique<fault::FaultInjector>(events_, schedule);
+    globalBus_.setFaultHooks(injector_.get());
+    for (auto &cluster : clusters_) {
+        cluster->bus.setFaultHooks(injector_.get());
+        cluster->ibc.setFaultHooks(injector_.get());
+        for (auto &board : cluster->boards) {
+            board->monitor.setFaultHooks(injector_.get(), &events_);
+            board->controller.setFaultHooks(injector_.get());
+        }
+    }
+    if (schedule.arms(fault::FaultKind::DmaBurst)) {
+        injector_->attachDmaTarget(globalBus_,
+                                   cfg_.totalCpus() + cfg_.clusters + 64,
+                                   8ull * cfg_.cache.pageBytes,
+                                   cfg_.cache.pageBytes, 8);
+    }
+    return *injector_;
+}
+
+void
+HierVmpSystem::enableCoherenceCheckers(check::CheckerOptions options)
+{
+    if (globalChecker_)
+        fatal("hier: coherence checkers enabled twice");
+    for (auto &cluster : clusters_) {
+        auto checker = std::make_unique<check::CoherenceChecker>(
+            cluster->bus, cluster->image, options);
+        for (auto &board : cluster->boards)
+            checker->addController(board->controller);
+        checker->install();
+        clusterCheckers_.push_back(std::move(checker));
+    }
+    // Global level: the inter-bus boards are the protocol clients, so
+    // only the hardware single-owner invariant is checkable there.
+    globalChecker_ = std::make_unique<check::CoherenceChecker>(
+        globalBus_, memory_, options);
+    for (auto &cluster : clusters_)
+        globalChecker_->addMonitor(cluster->ibc.globalMonitor());
+    globalChecker_->install();
+}
+
+check::CoherenceChecker &
+HierVmpSystem::clusterChecker(std::size_t cluster)
+{
+    if (cluster >= clusterCheckers_.size())
+        panic("cluster checker ", cluster,
+              " out of range (checkers enabled?)");
+    return *clusterCheckers_[cluster];
+}
+
+check::CoherenceChecker &
+HierVmpSystem::globalChecker()
+{
+    if (!globalChecker_)
+        panic("global checker requested before "
+              "enableCoherenceCheckers()");
+    return *globalChecker_;
+}
+
+std::uint64_t
+HierVmpSystem::checkFullAll()
+{
+    std::uint64_t found = 0;
+    for (auto &checker : clusterCheckers_)
+        found += checker->checkFull();
+    if (globalChecker_)
+        found += globalChecker_->checkFull();
+    return found;
+}
+
+std::uint64_t
+HierVmpSystem::totalViolations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &checker : clusterCheckers_)
+        total += checker->violations().value();
+    if (globalChecker_)
+        total += globalChecker_->violations().value();
+    return total;
+}
+
+void
+HierVmpSystem::setWatchdog(std::uint64_t maxRetries,
+                           proto::CacheController::WatchdogHandler handler)
+{
+    for (auto &cluster : clusters_)
+        for (auto &board : cluster->boards)
+            board->controller.setWatchdog(maxRetries, handler);
+}
+
 HierRunResult
 HierVmpSystem::collect(const std::vector<cpu::TraceCpu *> &cpus) const
 {
@@ -264,6 +359,21 @@ HierVmpSystem::dumpStats(std::ostream &os) const
             cpu_group.dump(os);
         }
     }
+    if (injector_) {
+        StatGroup fault_group("fault");
+        injector_->registerStats(fault_group);
+        fault_group.dump(os);
+    }
+    for (std::size_t k = 0; k < clusterCheckers_.size(); ++k) {
+        StatGroup check_group("c" + std::to_string(k) + ".check");
+        clusterCheckers_[k]->registerStats(check_group);
+        check_group.dump(os);
+    }
+    if (globalChecker_) {
+        StatGroup check_group("check.global");
+        globalChecker_->registerStats(check_group);
+        check_group.dump(os);
+    }
 }
 
 Json
@@ -294,6 +404,22 @@ HierVmpSystem::statsJson() const
                 *groups.back());
             registry.add(*groups.back());
         }
+    }
+    if (injector_) {
+        groups.push_back(std::make_unique<StatGroup>("fault"));
+        injector_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    for (std::size_t k = 0; k < clusterCheckers_.size(); ++k) {
+        groups.push_back(std::make_unique<StatGroup>(
+            "c" + std::to_string(k) + ".check"));
+        clusterCheckers_[k]->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (globalChecker_) {
+        groups.push_back(std::make_unique<StatGroup>("check.global"));
+        globalChecker_->registerStats(*groups.back());
+        registry.add(*groups.back());
     }
     return registry.toJson();
 }

@@ -122,6 +122,47 @@ class HierVmpSystem
     /** Idle-processor interrupt service on every board. */
     void attachIdleServicers();
 
+    /**
+     * Arm one fault injector over the whole hierarchy: global and
+     * local buses, every processor board's FIFO/delivery/copier, and
+     * every inter-bus board's FIFOs and global copier. With DmaBurst
+     * armed a DMA engine targets scratch frames over the global bus.
+     * May be called at most once, before any traffic.
+     */
+    fault::FaultInjector &
+    enableFaultInjection(const fault::FaultSchedule &schedule);
+
+    /** The armed injector, or null if none. */
+    fault::FaultInjector *faultInjector() { return injector_.get(); }
+
+    /**
+     * Install coherence checkers at both levels: one per cluster bus
+     * (full per-controller invariants against the cluster image) and
+     * a monitor-only checker on the global bus asserting the
+     * single-owner invariant across inter-bus boards. At most once.
+     */
+    void enableCoherenceCheckers(check::CheckerOptions options = {});
+
+    /** Per-cluster checker (requires enableCoherenceCheckers). */
+    check::CoherenceChecker &clusterChecker(std::size_t cluster);
+    /** Global-bus checker (requires enableCoherenceCheckers). */
+    check::CoherenceChecker &globalChecker();
+    /** True once enableCoherenceCheckers() has run. */
+    bool checkersEnabled() const { return globalChecker_ != nullptr; }
+
+    /**
+     * Full sweep on every installed checker (quiescence only).
+     * @return violations found by this sweep, summed over checkers.
+     */
+    std::uint64_t checkFullAll();
+
+    /** Total violations across all checkers so far. */
+    std::uint64_t totalViolations() const;
+
+    /** Livelock watchdog on every processor controller. */
+    void setWatchdog(std::uint64_t maxRetries,
+                     proto::CacheController::WatchdogHandler handler = {});
+
     /** gem5-style dump of every component's statistics. */
     void dumpStats(std::ostream &os) const;
     /** {"global_bus": {...}, "c0.bus": {...}, "c0.ibc": {...},
@@ -138,6 +179,10 @@ class HierVmpSystem
     std::unique_ptr<proto::DemandTranslator> ownedTranslator_;
     proto::Translator *translator_;
     std::vector<std::unique_ptr<Cluster>> clusters_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::vector<std::unique_ptr<check::CoherenceChecker>>
+        clusterCheckers_;
+    std::unique_ptr<check::CoherenceChecker> globalChecker_;
 };
 
 } // namespace vmp::core

@@ -148,6 +148,49 @@ VmpSystem::attachIdleServicers()
     }
 }
 
+fault::FaultInjector &
+VmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
+{
+    if (injector_)
+        fatal("system: fault injection enabled twice");
+    injector_ = std::make_unique<fault::FaultInjector>(events_, schedule);
+    bus_.setFaultHooks(injector_.get());
+    for (auto &board : boards_) {
+        board->monitor.setFaultHooks(injector_.get(), &events_);
+        board->controller.setFaultHooks(injector_.get());
+    }
+    if (schedule.arms(fault::FaultKind::DmaBurst)) {
+        // Scratch frames 8..15 sit inside the demand translator's
+        // reserved low region: DMA traffic there perturbs bus timing
+        // and monitor snooping without ever touching a cached page.
+        injector_->attachDmaTarget(bus_, cfg_.processors + 64,
+                                   8ull * cfg_.cache.pageBytes,
+                                   cfg_.cache.pageBytes, 8);
+    }
+    return *injector_;
+}
+
+check::CoherenceChecker &
+VmpSystem::enableCoherenceChecker(check::CheckerOptions options)
+{
+    if (checker_)
+        fatal("system: coherence checker enabled twice");
+    checker_ = std::make_unique<check::CoherenceChecker>(bus_, memory_,
+                                                         options);
+    for (auto &board : boards_)
+        checker_->addController(board->controller);
+    checker_->install();
+    return *checker_;
+}
+
+void
+VmpSystem::setWatchdog(std::uint64_t maxRetries,
+                       proto::CacheController::WatchdogHandler handler)
+{
+    for (auto &board : boards_)
+        board->controller.setWatchdog(maxRetries, handler);
+}
+
 void
 VmpSystem::setUserPrivateHint(bool enabled)
 {
@@ -169,6 +212,16 @@ VmpSystem::dumpStats(std::ostream &os) const
         boards_[i]->cache.registerStats(cpu_group);
         cpu_group.dump(os);
     }
+    if (injector_) {
+        StatGroup fault_group("fault");
+        injector_->registerStats(fault_group);
+        fault_group.dump(os);
+    }
+    if (checker_) {
+        StatGroup check_group("check");
+        checker_->registerStats(check_group);
+        check_group.dump(os);
+    }
 }
 
 Json
@@ -187,6 +240,16 @@ VmpSystem::statsJson() const
             "cpu" + std::to_string(i)));
         boards_[i]->controller.registerStats(*groups.back());
         boards_[i]->cache.registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (injector_) {
+        groups.push_back(std::make_unique<StatGroup>("fault"));
+        injector_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (checker_) {
+        groups.push_back(std::make_unique<StatGroup>("check"));
+        checker_->registerStats(*groups.back());
         registry.add(*groups.back());
     }
     return registry.toJson();

@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "check/coherence_checker.hh"
 #include "cpu/program_cpu.hh"
 #include "cpu/timing.hh"
 #include "cpu/trace_cpu.hh"
+#include "fault/injector.hh"
 #include "mem/phys_mem.hh"
 #include "mem/vme_bus.hh"
 #include "monitor/bus_monitor.hh"
@@ -137,6 +139,40 @@ class VmpSystem
      */
     void setUserPrivateHint(bool enabled);
 
+    /**
+     * Arm a fault injector over the whole machine: bus transactions,
+     * every board's interrupt FIFO and delivery path, and every
+     * board's block copier. May be called at most once, before any
+     * traffic. With DmaBurst armed, a DMA engine is attached that
+     * writes scratch frames (inside the translator's reserved low
+     * region, never cached) mid-run. Returns the injector for stats.
+     */
+    fault::FaultInjector &
+    enableFaultInjection(const fault::FaultSchedule &schedule);
+
+    /** The armed injector, or null if none. */
+    fault::FaultInjector *faultInjector() { return injector_.get(); }
+
+    /**
+     * Install a coherence-invariant checker over the bus: online
+     * single-owner checking per transaction plus checkFull() sweeps
+     * at quiescence. May be called at most once.
+     */
+    check::CoherenceChecker &
+    enableCoherenceChecker(check::CheckerOptions options = {});
+
+    /** The installed checker, or null if none. */
+    check::CoherenceChecker *coherenceChecker() { return checker_.get(); }
+
+    /**
+     * Configure the livelock watchdog on every controller: a starving
+     * operation (more than @p maxRetries consecutive aborts) fires
+     * @p handler once (default: a warning) and keeps retrying.
+     * A cap of 0 disables the watchdog.
+     */
+    void setWatchdog(std::uint64_t maxRetries,
+                     proto::CacheController::WatchdogHandler handler = {});
+
     /** gem5-style dump of every component's statistics. */
     void dumpStats(std::ostream &os) const;
 
@@ -156,6 +192,8 @@ class VmpSystem
     std::unique_ptr<proto::DemandTranslator> ownedTranslator_;
     proto::Translator *translator_;
     std::vector<std::unique_ptr<ProcessorBoard>> boards_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<check::CoherenceChecker> checker_;
 };
 
 } // namespace vmp::core

@@ -1,0 +1,282 @@
+#include "fault/injector.hh"
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace vmp::fault
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BusAbort: return "bus-abort";
+      case FaultKind::Truncate: return "truncate";
+      case FaultKind::CopierStall: return "copier-stall";
+      case FaultKind::FifoDrop: return "fifo-drop";
+      case FaultKind::InterruptDelay: return "interrupt-delay";
+      case FaultKind::DmaBurst: return "dma-burst";
+    }
+    return "?";
+}
+
+FaultSchedule &
+FaultSchedule::append(FaultKind kind, double p, Tick delay_ns)
+{
+    if (p < 0.0 || p > 1.0)
+        fatal("fault probability ", p, " outside [0, 1]");
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.probability = p;
+    spec.delayNs = delay_ns;
+    specs.push_back(spec);
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::busAborts(double p)
+{
+    return append(FaultKind::BusAbort, p, 0);
+}
+
+FaultSchedule &
+FaultSchedule::truncations(double p)
+{
+    return append(FaultKind::Truncate, p, 0);
+}
+
+FaultSchedule &
+FaultSchedule::copierStalls(double p, Tick delay_ns)
+{
+    return append(FaultKind::CopierStall, p, delay_ns);
+}
+
+FaultSchedule &
+FaultSchedule::fifoDrops(double p)
+{
+    return append(FaultKind::FifoDrop, p, 0);
+}
+
+FaultSchedule &
+FaultSchedule::interruptDelays(double p, Tick delay_ns)
+{
+    return append(FaultKind::InterruptDelay, p, delay_ns);
+}
+
+FaultSchedule &
+FaultSchedule::dmaBursts(double p)
+{
+    return append(FaultKind::DmaBurst, p, 0);
+}
+
+FaultSchedule &
+FaultSchedule::window(Tick not_before, Tick not_after)
+{
+    if (specs.empty())
+        fatal("FaultSchedule::window() with no spec to modify");
+    if (not_before > not_after)
+        fatal("fault window [", not_before, ", ", not_after,
+              "] is empty");
+    specs.back().notBefore = not_before;
+    specs.back().notAfter = not_after;
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::everyNth(std::uint64_t n)
+{
+    if (specs.empty())
+        fatal("FaultSchedule::everyNth() with no spec to modify");
+    specs.back().every = n;
+    return *this;
+}
+
+bool
+FaultSchedule::arms(FaultKind kind) const
+{
+    for (const FaultSpec &spec : specs) {
+        if (spec.kind == kind &&
+            (spec.probability > 0.0 || spec.every > 0)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultSchedule::empty() const
+{
+    for (std::size_t k = 0; k < kFaultKinds; ++k) {
+        if (arms(static_cast<FaultKind>(k)))
+            return false;
+    }
+    return true;
+}
+
+FaultInjector::FaultInjector(EventQueue &events, FaultSchedule schedule)
+    : events_(events), schedule_(std::move(schedule)),
+      rng_(schedule_.seed)
+{
+    for (const FaultSpec &spec : schedule_.specs) {
+        if (spec.probability <= 0.0 && spec.every == 0)
+            continue; // can never fire; keep it out of the hot path
+        const auto kind = static_cast<std::size_t>(spec.kind);
+        if (kind >= kFaultKinds)
+            fatal("out-of-range FaultKind ", kind, " in schedule");
+        arms_[kind].push_back(Arm{spec.probability, spec.every,
+                                  spec.notBefore, spec.notAfter,
+                                  spec.delayNs});
+    }
+}
+
+bool
+FaultInjector::armed(FaultKind kind) const
+{
+    return !arms_[static_cast<std::size_t>(kind)].empty();
+}
+
+std::uint64_t
+FaultInjector::opportunities(FaultKind kind) const
+{
+    return opportunities_[static_cast<std::size_t>(kind)];
+}
+
+const Counter &
+FaultInjector::injected(FaultKind kind) const
+{
+    return injected_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < kFaultKinds; ++k)
+        total += injected_[k].value();
+    return total;
+}
+
+bool
+FaultInjector::fire(FaultKind kind, Tick *delay_ns)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    const std::uint64_t count = ++opportunities_[index];
+    const Tick now = events_.now();
+    for (const Arm &arm : arms_[index]) {
+        if (now < arm.notBefore || now > arm.notAfter)
+            continue;
+        const bool counted = arm.every > 0 && count % arm.every == 0;
+        // Draw only for probabilistic arms inside their window: an
+        // unarmed kind consumes no randomness at all.
+        const bool drawn =
+            arm.probability > 0.0 && rng_.chance(arm.probability);
+        if (counted || drawn) {
+            ++injected_[index];
+            if (delay_ns != nullptr)
+                *delay_ns = arm.delayNs;
+            VMP_DTRACE(debug::Fault, now, "fire ", faultKindName(kind),
+                       " opportunity=", count);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultInjector::injectBusAbort(const mem::BusTransaction &tx)
+{
+    (void)tx;
+    // Each consistency transaction is also one DMA-burst opportunity;
+    // evaluate it regardless of whether the abort fires.
+    maybeDmaBurst();
+    return fire(FaultKind::BusAbort);
+}
+
+bool
+FaultInjector::injectTruncate(const mem::BusTransaction &tx)
+{
+    (void)tx;
+    return fire(FaultKind::Truncate);
+}
+
+Tick
+FaultInjector::injectCopierStall(const mem::BusTransaction &tx)
+{
+    (void)tx;
+    Tick delay = 0;
+    return fire(FaultKind::CopierStall, &delay) ? delay : 0;
+}
+
+bool
+FaultInjector::injectFifoDrop()
+{
+    return fire(FaultKind::FifoDrop);
+}
+
+Tick
+FaultInjector::injectInterruptDelay()
+{
+    Tick delay = 0;
+    return fire(FaultKind::InterruptDelay, &delay) ? delay : 0;
+}
+
+void
+FaultInjector::attachDmaTarget(mem::VmeBus &bus, std::uint32_t master_id,
+                               Addr scratch_base,
+                               std::uint32_t page_bytes,
+                               std::uint32_t pages)
+{
+    if (dma_ != nullptr)
+        fatal("fault injector already has a DMA target");
+    if (page_bytes == 0 || pages == 0)
+        fatal("DMA scratch region must be non-empty");
+    dma_ = std::make_unique<mem::DmaDevice>(master_id, bus);
+    dmaBase_ = scratch_base;
+    dmaPageBytes_ = page_bytes;
+    dmaPages_ = pages;
+}
+
+void
+FaultInjector::maybeDmaBurst()
+{
+    if (dma_ == nullptr || !armed(FaultKind::DmaBurst))
+        return;
+    // One outstanding burst at a time; opportunities while a burst is
+    // in flight are still counted (fire() increments the counter) but
+    // a firing is dropped rather than queued unboundedly.
+    if (!fire(FaultKind::DmaBurst))
+        return;
+    if (dmaBusy_)
+        return;
+    dmaBusy_ = true;
+    const std::uint64_t seq = dmaSeq_++;
+    const Addr paddr =
+        dmaBase_ + (seq % dmaPages_) * static_cast<Addr>(dmaPageBytes_);
+    // Deterministic fill pattern — no RNG churn for payload bytes.
+    std::vector<std::uint8_t> payload(dmaPageBytes_);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(seq * 131 + i);
+    VMP_DTRACE(debug::Fault, events_.now(), "DMA burst #", seq,
+               " -> pa=0x", paddr);
+    dma_->write(paddr, std::move(payload),
+                [this] { dmaBusy_ = false; });
+}
+
+void
+FaultInjector::registerStats(StatGroup &group) const
+{
+    group.addCounter("bus_aborts", "spurious bus aborts injected",
+                     injected_[0]);
+    group.addCounter("truncations", "block transfers truncated",
+                     injected_[1]);
+    group.addCounter("copier_stalls", "block-copier stalls injected",
+                     injected_[2]);
+    group.addCounter("fifo_drops", "interrupt words force-dropped",
+                     injected_[3]);
+    group.addCounter("interrupt_delays", "interrupt deliveries delayed",
+                     injected_[4]);
+    group.addCounter("dma_bursts", "unsolicited DMA bursts fired",
+                     injected_[5]);
+}
+
+} // namespace vmp::fault

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Deterministic, seeded fault injector. The paper's central robustness
+ * claim (Sections 3.2/3.3) is that *software* recovers from every
+ * consistency hazard: aborted transactions are retried with
+ * desynchronizing delays, interrupt-FIFO overflow triggers a recovery
+ * sweep, and protocol races resolve by retry rather than hardware
+ * arbitration. This injector exists to *force* those paths on demand.
+ *
+ * A FaultSchedule declares, per fault kind, when to fire: with a fixed
+ * probability per opportunity, on every Nth opportunity, or both —
+ * optionally limited to a [notBefore, notAfter] simulated-time window.
+ * The FaultInjector compiles the schedule and implements
+ * mem::FaultHooks; components offered a fault ("opportunities") and
+ * faults actually fired ("injected") are counted per kind.
+ *
+ * Determinism: the injector owns its own Rng (seeded from the
+ * schedule), and draws from it only when a probabilistic spec is armed
+ * for the kind being evaluated and the window is open. An empty
+ * schedule therefore consumes no randomness and changes no behavior —
+ * a run with a null schedule attached is bit-identical to a run with
+ * no injector at all.
+ */
+
+#ifndef VMP_FAULT_INJECTOR_HH
+#define VMP_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/dma.hh"
+#include "mem/fault_hooks.hh"
+#include "mem/vme_bus.hh"
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp::fault
+{
+
+/** The fault kinds the hardware models expose hooks for. */
+enum class FaultKind : std::uint8_t
+{
+    BusAbort = 0,       //!< spurious abort of a consistency transaction
+    Truncate = 1,       //!< block transfer cut off mid-transfer
+    CopierStall = 2,    //!< block copier delayed before issuing
+    FifoDrop = 3,       //!< interrupt word force-dropped (overflow)
+    InterruptDelay = 4, //!< interrupt line raised late
+    DmaBurst = 5,       //!< unsolicited DMA write fired mid-run
+};
+
+inline constexpr std::size_t kFaultKinds = 6;
+
+const char *faultKindName(FaultKind kind);
+
+/** One declarative trigger for one fault kind. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::BusAbort;
+    /** Fire with this probability per opportunity (0 = disabled). */
+    double probability = 0.0;
+    /** Fire on every Nth opportunity of this kind (0 = disabled). */
+    std::uint64_t every = 0;
+    /** Simulated-time window the spec is active in. */
+    Tick notBefore = 0;
+    Tick notAfter = maxTick;
+    /** Delay magnitude for CopierStall / InterruptDelay, in ns. */
+    Tick delayNs = 0;
+};
+
+/**
+ * A seed plus a list of FaultSpecs. The builder methods append one
+ * spec each and return *this, so schedules read declaratively:
+ *
+ *   FaultSchedule s;
+ *   s.seed = 42;
+ *   s.busAborts(0.01).fifoDrops(0.05).window(0, MiB(1));
+ *
+ * window()/everyNth() modify the most recently appended spec.
+ */
+struct FaultSchedule
+{
+    /** Seed of the injector's private Rng. */
+    std::uint64_t seed = 1;
+    std::vector<FaultSpec> specs;
+
+    FaultSchedule &busAborts(double p);
+    FaultSchedule &truncations(double p);
+    FaultSchedule &copierStalls(double p, Tick delay_ns);
+    FaultSchedule &fifoDrops(double p);
+    FaultSchedule &interruptDelays(double p, Tick delay_ns);
+    FaultSchedule &dmaBursts(double p);
+
+    /** Restrict the last appended spec to [not_before, not_after]. */
+    FaultSchedule &window(Tick not_before, Tick not_after);
+    /** Make the last appended spec also fire every @p n opportunities. */
+    FaultSchedule &everyNth(std::uint64_t n);
+
+    /** True if any spec could ever fire for @p kind. */
+    bool arms(FaultKind kind) const;
+    /** True if no spec can ever fire. */
+    bool empty() const;
+
+  private:
+    FaultSchedule &append(FaultKind kind, double p, Tick delay_ns);
+};
+
+/**
+ * The concrete mem::FaultHooks implementation. Attach it to the
+ * components under test via their setFaultHooks() methods (or let
+ * core::VmpSystem::enableFaultInjection wire a whole system).
+ *
+ * DMA bursts: call attachDmaTarget() with a scratch physical region
+ * that no CPU ever caches (the demand translator reserves low frames
+ * for exactly this). Each burst streams one deterministic page into
+ * the scratch region through an owned DmaDevice, adding real bus
+ * contention mid-run without breaking the software DMA bracket that
+ * coherence relies on. Burst opportunities piggyback on bus-abort
+ * hook calls (i.e. one opportunity per consistency transaction).
+ */
+class FaultInjector final : public mem::FaultHooks
+{
+  public:
+    FaultInjector(EventQueue &events, FaultSchedule schedule);
+
+    // --- mem::FaultHooks ---
+    bool injectBusAbort(const mem::BusTransaction &tx) override;
+    bool injectTruncate(const mem::BusTransaction &tx) override;
+    Tick injectCopierStall(const mem::BusTransaction &tx) override;
+    bool injectFifoDrop() override;
+    Tick injectInterruptDelay() override;
+
+    /**
+     * Enable DMA bursts against @p bus: one page of @p page_bytes per
+     * burst, round-robin over @p pages frames starting at
+     * @p scratch_base. @p master_id must not collide with any CPU.
+     */
+    void attachDmaTarget(mem::VmeBus &bus, std::uint32_t master_id,
+                         Addr scratch_base, std::uint32_t page_bytes,
+                         std::uint32_t pages);
+
+    const FaultSchedule &schedule() const { return schedule_; }
+    bool armed(FaultKind kind) const;
+
+    /** Hook calls offered for @p kind so far. */
+    std::uint64_t opportunities(FaultKind kind) const;
+    /** Faults actually fired for @p kind so far. */
+    const Counter &injected(FaultKind kind) const;
+    /** Total faults fired across all kinds. */
+    std::uint64_t totalInjected() const;
+
+    void registerStats(StatGroup &group) const;
+
+  private:
+    /** One compiled spec. */
+    struct Arm
+    {
+        double probability;
+        std::uint64_t every;
+        Tick notBefore;
+        Tick notAfter;
+        Tick delayNs;
+    };
+
+    /**
+     * Evaluate the arms of @p kind for one opportunity. Returns true
+     * if any arm fires; @p delay_ns (if non-null) receives the firing
+     * arm's delay magnitude.
+     */
+    bool fire(FaultKind kind, Tick *delay_ns = nullptr);
+
+    /** Evaluate a DmaBurst opportunity and start a burst if it fires. */
+    void maybeDmaBurst();
+
+    EventQueue &events_;
+    FaultSchedule schedule_;
+    Rng rng_;
+    std::vector<Arm> arms_[kFaultKinds];
+    std::uint64_t opportunities_[kFaultKinds] = {};
+    Counter injected_[kFaultKinds];
+
+    // DMA burst machinery (null until attachDmaTarget()).
+    std::unique_ptr<mem::DmaDevice> dma_;
+    Addr dmaBase_ = 0;
+    std::uint32_t dmaPageBytes_ = 0;
+    std::uint32_t dmaPages_ = 0;
+    std::uint64_t dmaSeq_ = 0;
+    bool dmaBusy_ = false;
+};
+
+} // namespace vmp::fault
+
+#endif // VMP_FAULT_INJECTOR_HH

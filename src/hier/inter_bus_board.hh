@@ -116,6 +116,18 @@ class InterBusBoard : public mem::BusWatcher
     /** True when no service work is pending or in flight. */
     bool idle() const;
 
+    /**
+     * Arm fault injection on the board's soft spots: the local-side
+     * request FIFO, the global-side monitor (FIFO + interrupt
+     * delivery) and the global block copier. Null disarms.
+     */
+    void setFaultHooks(mem::FaultHooks *hooks)
+    {
+        localFifo_.setFaultHooks(hooks);
+        globalMonitor_.setFaultHooks(hooks, &events_);
+        globalCopier_.setFaultHooks(hooks);
+    }
+
     // --- statistics ---
     const Counter &sharedFetches() const { return sharedFetches_; }
     const Counter &exclusiveFetches() const { return exclusiveFetches_; }

@@ -18,13 +18,29 @@ BlockCopier::start(const BusTransaction &tx, Done done)
               " started while busy");
     busy_ = true;
     ++copies_;
-    bus_.request(tx, [this, done = std::move(done)](const TxResult &res) {
-        busy_ = false;
-        if (res.aborted)
-            ++aborted_;
-        if (done)
-            done(res);
-    });
+    auto issue = [this, tx, done = std::move(done)]() mutable {
+        bus_.request(tx,
+                     [this, done = std::move(done)](const TxResult &res) {
+                         busy_ = false;
+                         if (res.aborted)
+                             ++aborted_;
+                         if (done)
+                             done(res);
+                     });
+    };
+    // Fault injection: stall the engine before the request hits the
+    // bus. busy_ is already set, so the CPU blocks exactly as it would
+    // on a slow copier.
+    if (hooks_ != nullptr) {
+        const Tick stall = hooks_->injectCopierStall(tx);
+        if (stall > 0) {
+            ++stalled_;
+            bus_.eventQueue().scheduleIn(stall, std::move(issue),
+                                         "copier-stall");
+            return;
+        }
+    }
+    issue();
 }
 
 void

@@ -49,8 +49,18 @@ class BlockCopier
 
     bool busy() const { return busy_; }
 
+    /**
+     * Attach (or detach, with nullptr) a fault-injection hook; when
+     * set, injectCopierStall() may delay a transfer's bus request by a
+     * bounded number of ticks (the copier stays busy meanwhile, so the
+     * CPU blocks exactly as it would on a slow engine).
+     */
+    void setFaultHooks(FaultHooks *hooks) { hooks_ = hooks; }
+
     const Counter &copies() const { return copies_; }
     const Counter &abortedCopies() const { return aborted_; }
+    /** Transfers delayed by an injected copier stall. */
+    const Counter &stalledCopies() const { return stalled_; }
 
   private:
     void start(const BusTransaction &tx, Done done);
@@ -58,8 +68,10 @@ class BlockCopier
     std::uint32_t masterId_;
     VmeBus &bus_;
     bool busy_ = false;
+    FaultHooks *hooks_ = nullptr;
     Counter copies_;
     Counter aborted_;
+    Counter stalled_;
 };
 
 } // namespace vmp::mem

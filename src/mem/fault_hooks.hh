@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Optional fault-injection hook interface. Hardware-level components
+ * (bus, interrupt FIFO, block copier, bus monitor) carry a nullable
+ * pointer to a FaultHooks implementation; when the pointer is null —
+ * the default — the components behave exactly as before and pay only
+ * an untaken branch. The concrete implementation lives in
+ * src/fault/injector.{hh,cc}; this interface sits in mem/ so the
+ * low-level components need no dependency on the fault library.
+ *
+ * Contract for implementations: a hook call is an *opportunity*, not
+ * an order. Returning false / 0 means "no fault here". Implementations
+ * must be deterministic functions of their own seeded state so that
+ * a given (schedule, seed, workload) triple replays bit-identically.
+ */
+
+#ifndef VMP_MEM_FAULT_HOOKS_HH
+#define VMP_MEM_FAULT_HOOKS_HH
+
+#include "sim/types.hh"
+
+namespace vmp::mem
+{
+
+struct BusTransaction;
+
+/** Injection points offered by the hardware models. */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    /**
+     * Called by the bus for every consistency-related transaction that
+     * survived the monitors' consistency check. Returning true aborts
+     * the transaction anyway — a spurious abort, indistinguishable to
+     * software from a monitor-issued one (Section 3.3 requires the
+     * retry path to cope with arbitrary abort patterns).
+     */
+    virtual bool injectBusAbort(const BusTransaction &tx) = 0;
+
+    /**
+     * Called by the bus for block (data-moving) consistency
+     * transactions that were not aborted. Returning true truncates the
+     * transfer mid-block: the transaction terminates early as an abort
+     * (no architected data moves, per the bus's abort semantics) but
+     * still occupies the bus for part of the block time.
+     */
+    virtual bool injectTruncate(const BusTransaction &tx) = 0;
+
+    /**
+     * Called by the block copier before issuing a transfer. A nonzero
+     * return stalls the copier for that many ticks before the
+     * transaction is queued (models a slow or contended copier engine).
+     */
+    virtual Tick injectCopierStall(const BusTransaction &tx) = 0;
+
+    /**
+     * Called by the interrupt FIFO on every push. Returning true drops
+     * the word as if the FIFO were full, setting the sticky overflow
+     * flag — forcing the software recovery sweep of Section 3.2.
+     */
+    virtual bool injectFifoDrop() = 0;
+
+    /**
+     * Called by the bus monitor when raising the interrupt line. A
+     * nonzero return delays the line (and therefore interrupt service)
+     * by that many ticks.
+     */
+    virtual Tick injectInterruptDelay() = 0;
+};
+
+} // namespace vmp::mem
+
+#endif // VMP_MEM_FAULT_HOOKS_HH

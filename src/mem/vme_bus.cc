@@ -9,6 +9,27 @@
 namespace vmp::mem
 {
 
+namespace
+{
+
+/**
+ * Bounds-checked index into the per-type counter arrays. TxType is a
+ * plain enum over 8 values; an out-of-range value (e.g. from a
+ * corrupted or miscast transaction) used to silently index past the
+ * fixed arrays and corrupt adjacent counters. Panic instead.
+ */
+std::size_t
+txIndex(TxType type)
+{
+    const auto index = static_cast<std::size_t>(type);
+    if (index >= 8)
+        panic("out-of-range TxType ", index,
+              " indexing per-type bus counters");
+    return index;
+}
+
+} // namespace
+
 const char *
 txTypeName(TxType type)
 {
@@ -118,19 +139,43 @@ VmeBus::grant()
         }
     }
 
-    const Tick bus_time = aborted
-        ? timing_.abortNs
-        : timing_.occupancy(tx.type, tx.bytes);
+    // Fault injection (null hook = no cost): a spurious abort looks to
+    // software exactly like a monitor-issued abort; a truncated block
+    // transfer terminates early as an abort but still occupies the bus
+    // for part of the block time.
+    Tick bus_time_override = 0;
+    if (hooks_ != nullptr && !aborted && isConsistencyRelated(tx.type)) {
+        if (hooks_->injectBusAbort(tx)) {
+            aborted = true;
+            ++injectedAborts_;
+            VMP_DTRACE(debug::Fault, events_.now(), "spurious abort on ",
+                       tx.toString());
+        } else if (movesData(tx.type) && hooks_->injectTruncate(tx)) {
+            aborted = true;
+            ++injectedAborts_;
+            const Tick block = timing_.blockNs(tx.bytes);
+            bus_time_override = block > timing_.abortNs
+                ? timing_.abortNs + (block - timing_.abortNs) / 2
+                : timing_.abortNs;
+            VMP_DTRACE(debug::Fault, events_.now(),
+                       "truncated transfer ", tx.toString(),
+                       " busTime=", bus_time_override);
+        }
+    }
+
+    const Tick bus_time = bus_time_override != 0 ? bus_time_override
+        : aborted ? timing_.abortNs
+                  : timing_.occupancy(tx.type, tx.bytes);
     VMP_DTRACE(debug::Bus, events_.now(), tx.toString(),
                aborted ? " ABORTED" : " granted", " busTime=",
                bus_time);
 
     ++transactions_;
-    ++typeCounts_[static_cast<std::uint8_t>(tx.type)];
+    ++typeCounts_[txIndex(tx.type)];
     queueDelays_.sample(toUsec(queue_delay));
     if (aborted) {
         ++aborts_;
-        ++typeAborts_[static_cast<std::uint8_t>(tx.type)];
+        ++typeAborts_[txIndex(tx.type)];
     }
     // Busy time is charged at *completion* (see complete()); while the
     // transaction is in flight utilization() pro-rates it from these
@@ -185,6 +230,11 @@ VmeBus::complete(Pending pending, bool aborted, Tick queue_delay,
     result.queueDelay = queue_delay;
     result.busTime = bus_time;
 
+    // Invariant checking: the observer sees the transaction after data
+    // movement and table side effects, before anyone reacts to it.
+    if (txObserver_)
+        txObserver_(tx, result);
+
     // The transaction has now actually occupied the bus for bus_time
     // ticks; account it. (grant() below either starts the next
     // transaction — resetting the in-flight fields at the current
@@ -218,13 +268,13 @@ VmeBus::utilization() const
 const Counter &
 VmeBus::countOf(TxType type) const
 {
-    return typeCounts_[static_cast<std::uint8_t>(type)];
+    return typeCounts_[txIndex(type)];
 }
 
 const Counter &
 VmeBus::abortsOf(TxType type) const
 {
-    return typeAborts_[static_cast<std::uint8_t>(type)];
+    return typeAborts_[txIndex(type)];
 }
 
 void
@@ -234,6 +284,8 @@ VmeBus::registerStats(StatGroup &group) const
                      transactions_);
     group.addCounter("aborts", "transactions aborted by a monitor",
                      aborts_);
+    group.addCounter("injected_aborts",
+                     "aborts forced by fault injection", injectedAborts_);
     group.addCounter("read_shared", "read-shared transactions",
                      countOf(TxType::ReadShared));
     group.addCounter("read_private", "read-private transactions",

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mem/bus_types.hh"
+#include "mem/fault_hooks.hh"
 #include "mem/phys_mem.hh"
 #include "sim/event.hh"
 #include "sim/stats.hh"
@@ -113,6 +114,30 @@ class VmeBus
 
     const BusTiming &timing() const { return timing_; }
 
+    /** Event queue the bus schedules on (for components that share
+     *  its timeline, e.g. a stalled block copier). */
+    EventQueue &eventQueue() { return events_; }
+
+    /**
+     * Attach (or detach, with nullptr) a fault-injection hook. With no
+     * hook attached the bus behaves exactly as before — the hook test
+     * is a single untaken branch per transaction.
+     */
+    void setFaultHooks(FaultHooks *hooks) { hooks_ = hooks; }
+
+    /**
+     * Observer called after every transaction completes — after data
+     * movement and side-effect table updates, before the requester's
+     * completion callback. Used by the coherence checker; at most one
+     * observer may be attached.
+     */
+    using TxObserver =
+        std::function<void(const BusTransaction &, const TxResult &)>;
+    void setTxObserver(TxObserver observer)
+    {
+        txObserver_ = std::move(observer);
+    }
+
     // --- statistics ---
     const Counter &transactions() const { return transactions_; }
     const Counter &aborts() const { return aborts_; }
@@ -129,6 +154,8 @@ class VmeBus
     const Counter &countOf(TxType type) const;
     /** Aborted transactions of a given type. */
     const Counter &abortsOf(TxType type) const;
+    /** Aborts forced by the fault-injection hook (subset of aborts). */
+    const Counter &injectedAborts() const { return injectedAborts_; }
     /** Distribution of arbitration queueing delays (us buckets). */
     const Histogram &queueDelays() const { return queueDelays_; }
     void registerStats(StatGroup &group) const;
@@ -151,9 +178,12 @@ class VmeBus
     std::vector<std::pair<std::uint32_t, BusWatcher *>> watchers_;
     std::deque<Pending> queue_;
     bool busy_ = false;
+    FaultHooks *hooks_ = nullptr;
+    TxObserver txObserver_;
 
     Counter transactions_;
     Counter aborts_;
+    Counter injectedAborts_;
     Counter typeCounts_[8];
     Counter typeAborts_[8];
     /** Queue delay in microseconds, 1 us buckets up to 64 us. */

@@ -88,8 +88,19 @@ BusMonitor::queueWord(const mem::BusTransaction &tx, bool aborted)
     ++interrupts_;
     // The interrupt line is raised even if the word was dropped: the
     // sticky overflow flag tells software to run its recovery sweep.
-    if (line_)
-        line_();
+    if (!line_)
+        return;
+    // Fault injection may delay the line (slow interrupt delivery);
+    // the word itself is already queued, only service lags.
+    if (hooks_ != nullptr && events_ != nullptr) {
+        const Tick delay = hooks_->injectInterruptDelay();
+        if (delay > 0) {
+            events_->scheduleIn(delay, [line = line_] { line(); },
+                                "irq-delay");
+            return;
+        }
+    }
+    line_();
 }
 
 void

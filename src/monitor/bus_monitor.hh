@@ -49,6 +49,19 @@ class BusMonitor : public mem::BusWatcher
     /** Connect the interrupt line (may be reset in tests). */
     void setInterruptLine(InterruptLine line) { line_ = std::move(line); }
 
+    /**
+     * Attach fault-injection hooks: forwards @p hooks to the interrupt
+     * FIFO (forced drops) and keeps them (plus @p events, for
+     * scheduling) to optionally delay interrupt-line delivery. Pass
+     * nullptrs to detach.
+     */
+    void setFaultHooks(mem::FaultHooks *hooks, EventQueue *events)
+    {
+        hooks_ = hooks;
+        events_ = events;
+        fifo_.setFaultHooks(hooks);
+    }
+
     ActionTable &table() { return table_; }
     const ActionTable &table() const { return table_; }
     InterruptFifo &fifo() { return fifo_; }
@@ -71,6 +84,8 @@ class BusMonitor : public mem::BusWatcher
     ActionTable table_;
     InterruptFifo fifo_;
     InterruptLine line_;
+    mem::FaultHooks *hooks_ = nullptr;
+    EventQueue *events_ = nullptr;
     Counter interrupts_;
     Counter aborts_;
 };

@@ -14,7 +14,11 @@ InterruptFifo::InterruptFifo(std::size_t capacity) : capacity_(capacity)
 void
 InterruptFifo::push(const InterruptWord &word)
 {
-    if (words_.size() >= capacity_) {
+    // A forced drop is indistinguishable from a genuine overflow:
+    // the word is lost and the sticky flag trips the software
+    // recovery sweep.
+    if (words_.size() >= capacity_ ||
+        (hooks_ != nullptr && hooks_->injectFifoDrop())) {
         overflowed_ = true;
         ++dropped_;
         return;

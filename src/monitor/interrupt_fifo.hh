@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "mem/bus_types.hh"
+#include "mem/fault_hooks.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -53,11 +54,19 @@ class InterruptFifo
     bool overflowed() const { return overflowed_; }
     void clearOverflow() { overflowed_ = false; }
 
+    /**
+     * Attach (or detach, with nullptr) a fault-injection hook; when
+     * set, injectFifoDrop() may force-drop an incoming word as if the
+     * FIFO were full (sticky overflow flag and all).
+     */
+    void setFaultHooks(mem::FaultHooks *hooks) { hooks_ = hooks; }
+
     const Counter &pushed() const { return pushed_; }
     const Counter &dropped() const { return dropped_; }
 
   private:
     std::size_t capacity_;
+    mem::FaultHooks *hooks_ = nullptr;
     std::deque<InterruptWord> words_;
     bool overflowed_ = false;
     Counter pushed_;

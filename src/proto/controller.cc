@@ -1,6 +1,7 @@
 #include "proto/controller.hh"
 
 #include <memory>
+#include <sstream>
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
@@ -26,6 +27,21 @@ protPermits(cache::SlotFlags prot, bool write, bool supervisor)
 }
 
 } // namespace
+
+std::string
+WatchdogReport::toString() const
+{
+    std::ostringstream os;
+    os << "cpu" << cpu << " " << operation << " starved: " << attempts
+       << " retries since tick " << started << " (now " << now << ")";
+    if (operation == "access") {
+        os << " va=0x" << std::hex << vaddr << std::dec << " asid="
+           << unsigned{asid};
+    } else {
+        os << " pa=0x" << std::hex << paddr << std::dec;
+    }
+    return os.str();
+}
 
 CacheController::CacheController(CpuId cpu, EventQueue &events,
                                  cache::Cache &cache,
@@ -58,6 +74,55 @@ void
 CacheController::setNotifyHandler(NotifyHandler handler)
 {
     notifyHandler_ = std::move(handler);
+}
+
+void
+CacheController::setWatchdog(std::uint64_t max_retries,
+                             WatchdogHandler handler)
+{
+    watchdogCap_ = max_retries;
+    watchdogHandler_ = std::move(handler);
+}
+
+void
+CacheController::setFaultHooks(mem::FaultHooks *hooks)
+{
+    copier_.setFaultHooks(hooks);
+}
+
+void
+CacheController::watchdogCheck(const char *operation, Asid asid,
+                               Addr vaddr, Addr paddr,
+                               std::uint64_t attempts, Tick started)
+{
+    // Trip exactly once per starving operation, the first time the cap
+    // is exceeded; the operation keeps retrying afterwards.
+    if (watchdogCap_ == 0 || attempts != watchdogCap_ + 1)
+        return;
+    ++watchdogTrips_;
+    WatchdogReport report;
+    report.cpu = cpuId_;
+    report.operation = operation;
+    report.asid = asid;
+    report.vaddr = vaddr;
+    report.paddr = paddr;
+    report.attempts = attempts;
+    report.started = started;
+    report.now = events_.now();
+    lastReport_ = report;
+    if (watchdogHandler_) {
+        watchdogHandler_(*lastReport_);
+    } else {
+        warn("livelock watchdog: ", lastReport_->toString());
+    }
+}
+
+void
+CacheController::finishMiss(Tick started, const AccessDone &done)
+{
+    missStall_ += events_.now() - started;
+    retryHistogram_.sample(static_cast<double>(liveRetries_));
+    done(AccessOutcome::MissCompleted);
 }
 
 std::uint32_t
@@ -112,6 +177,7 @@ CacheController::access(Asid asid, Addr vaddr, bool write,
     }
 
     ++missCount_;
+    liveRetries_ = 0;
     VMP_DTRACE(debug::Proto, events_.now(), "cpu", cpuId_, " miss ",
                (write ? "W" : "R"), " va=0x", std::hex, vaddr,
                std::dec, " asid=", unsigned{asid});
@@ -141,13 +207,15 @@ CacheController::retryAccess(const TranslateRequest &req, Tick started,
     // monitor interrupts are taken first, which is what resolves the
     // self-competition (alias) aborts.
     ++retryCount_;
+    ++liveRetries_;
+    watchdogCheck("access", req.asid, req.vaddr, 0, liveRetries_,
+                  started);
     serviceInterrupts([this, req, started, done = std::move(done)] {
         afterSoftware(retryDelay(), [this, req, started, done] {
             const auto res = cache_.access(req.asid, req.vaddr,
                                            req.write, req.supervisor);
             if (res.hit) {
-                missStall_ += events_.now() - started;
-                done(AccessOutcome::MissCompleted);
+                finishMiss(started, done);
                 return;
             }
             switch (res.miss) {
@@ -272,14 +340,20 @@ CacheController::retireVictim(cache::SlotIndex victim, Done done)
         // Write-back retries until it succeeds; an abort can only come
         // from another monitor's stale entry and resolves once that
         // processor services its interrupt.
+        auto tries = std::make_shared<std::uint64_t>(0);
+        const Tick loop_started = events_.now();
         auto attempt = std::make_shared<std::function<void()>>();
-        *attempt = [this, base, buffer, frame, join, attempt] {
+        *attempt = [this, base, buffer, frame, join, attempt, tries,
+                    loop_started] {
             copier_.writeBackPage(
                 base, buffer->data(), pageBytes(),
                 mem::ActionEntry::Ignore,
-                [this, frame, join, attempt](const mem::TxResult &res) {
+                [this, base, frame, join, attempt, tries,
+                 loop_started](const mem::TxResult &res) {
                     if (res.aborted) {
                         ++violationCount_;
+                        watchdogCheck("write-back", 0, 0, base,
+                                      ++*tries, loop_started);
                         afterSoftware(retryDelay(), *attempt);
                         return;
                     }
@@ -369,8 +443,7 @@ CacheController::issueFill(const TranslateRequest &req,
             }
             shadow_[frame] = exclusive ? mem::ActionEntry::Protect
                                        : mem::ActionEntry::Shared;
-            missStall_ += events_.now() - started;
-            done(AccessOutcome::MissCompleted);
+            finishMiss(started, done);
         });
 }
 
@@ -449,8 +522,7 @@ CacheController::handleOwnershipMiss(TranslateRequest req,
                         info.state = FrameState::Private;
                         info.owningSlot = slot;
                         shadow_[frame] = mem::ActionEntry::Protect;
-                        missStall_ += events_.now() - started;
-                        done(AccessOutcome::MissCompleted);
+                        finishMiss(started, done);
                     });
                 });
             });
@@ -721,15 +793,20 @@ CacheController::relinquishFrame(std::uint64_t frame, Done next)
 
     if (dirty) {
         ++writeBackCount_;
+        auto tries = std::make_shared<std::uint64_t>(0);
+        const Tick loop_started = events_.now();
         auto attempt = std::make_shared<std::function<void()>>();
         *attempt = [this, base, frame, dirty, next = std::move(next),
-                    attempt] {
+                    attempt, tries, loop_started] {
             copier_.writeBackPage(
                 base, dirty->data(), pageBytes(),
                 mem::ActionEntry::Ignore,
-                [this, frame, next, attempt](const mem::TxResult &res) {
+                [this, base, frame, next, attempt, tries,
+                 loop_started](const mem::TxResult &res) {
                     if (res.aborted) {
                         ++violationCount_;
+                        watchdogCheck("write-back", 0, 0, base,
+                                      ++*tries, loop_started);
                         afterSoftware(retryDelay(), *attempt);
                         return;
                     }
@@ -794,15 +871,20 @@ CacheController::downgradeFrame(std::uint64_t frame, Done next)
 
     if (dirty) {
         ++writeBackCount_;
+        auto tries = std::make_shared<std::uint64_t>(0);
+        const Tick loop_started = events_.now();
         auto attempt = std::make_shared<std::function<void()>>();
         *attempt = [this, base, frame, dirty, next = std::move(next),
-                    attempt] {
+                    attempt, tries, loop_started] {
             copier_.writeBackPage(
                 base, dirty->data(), pageBytes(),
                 mem::ActionEntry::Shared,
-                [this, frame, next, attempt](const mem::TxResult &res) {
+                [this, base, frame, next, attempt, tries,
+                 loop_started](const mem::TxResult &res) {
                     if (res.aborted) {
                         ++violationCount_;
+                        watchdogCheck("write-back", 0, 0, base,
+                                      ++*tries, loop_started);
                         afterSoftware(retryDelay(), *attempt);
                         return;
                     }
@@ -884,18 +966,23 @@ CacheController::assertOwnership(Addr paddr, Done done)
         return;
     }
 
+    auto tries = std::make_shared<std::uint64_t>(0);
+    const Tick loop_started = events_.now();
     auto attempt = std::make_shared<std::function<void()>>();
-    *attempt = [this, paddr, frame, done = std::move(done), attempt] {
+    *attempt = [this, paddr, frame, done = std::move(done), attempt,
+                tries, loop_started] {
         mem::BusTransaction tx;
         tx.type = mem::TxType::AssertOwnership;
         tx.requester = cpuId_;
         tx.paddr = frameBase(paddr);
         tx.newEntry = mem::ActionEntry::Protect;
         tx.updatesTable = true;
-        bus_.request(tx, [this, frame, done,
-                          attempt](const mem::TxResult &res) {
+        bus_.request(tx, [this, paddr, frame, done, attempt, tries,
+                          loop_started](const mem::TxResult &res) {
             if (res.aborted) {
                 ++retryCount_;
+                watchdogCheck("assert-ownership", 0, 0,
+                              frameBase(paddr), ++*tries, loop_started);
                 // Service our own words first: the abort may be our
                 // own monitor protecting an alias we hold.
                 serviceInterrupts([this, attempt] {
@@ -940,14 +1027,20 @@ CacheController::releaseProtection(Addr paddr, Done done)
 void
 CacheController::notifyFrame(Addr paddr, Done done)
 {
+    auto tries = std::make_shared<std::uint64_t>(0);
+    const Tick loop_started = events_.now();
     auto attempt = std::make_shared<std::function<void()>>();
-    *attempt = [this, paddr, done = std::move(done), attempt] {
+    *attempt = [this, paddr, done = std::move(done), attempt, tries,
+                loop_started] {
         mem::BusTransaction tx;
         tx.type = mem::TxType::Notify;
         tx.requester = cpuId_;
         tx.paddr = frameBase(paddr);
-        bus_.request(tx, [this, done, attempt](const mem::TxResult &r) {
+        bus_.request(tx, [this, paddr, done, attempt, tries,
+                          loop_started](const mem::TxResult &r) {
             if (r.aborted) {
+                watchdogCheck("notify", 0, 0, frameBase(paddr),
+                              ++*tries, loop_started);
                 afterSoftware(retryDelay(), *attempt);
                 return;
             }
@@ -1058,14 +1151,19 @@ CacheController::flushFrame(Addr paddr, Done done)
         return;
     }
     ++writeBackCount_;
+    auto tries = std::make_shared<std::uint64_t>(0);
+    const Tick loop_started = events_.now();
     auto attempt = std::make_shared<std::function<void()>>();
     *attempt = [this, base, frame, dirty, done = std::move(done),
-                attempt] {
+                attempt, tries, loop_started] {
         copier_.writeBackPage(
             base, dirty->data(), pageBytes(), mem::ActionEntry::Protect,
-            [this, frame, done, attempt](const mem::TxResult &res) {
+            [this, base, frame, done, attempt, tries,
+             loop_started](const mem::TxResult &res) {
                 if (res.aborted) {
                     ++violationCount_;
+                    watchdogCheck("write-back", 0, 0, base, ++*tries,
+                                  loop_started);
                     afterSoftware(retryDelay(), *attempt);
                     return;
                 }
@@ -1138,6 +1236,12 @@ CacheController::registerStats(StatGroup &group) const
     group.addCounter("overflow_recoveries",
                      "interrupt FIFO overflow recovery sweeps",
                      recoveryCount_);
+    group.addCounter("watchdog_trips",
+                     "retry loops that exceeded the watchdog cap",
+                     watchdogTrips_);
+    group.addHistogram("retries_per_miss",
+                       "retries needed per completed miss",
+                       retryHistogram_);
 }
 
 } // namespace vmp::proto

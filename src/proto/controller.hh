@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +73,30 @@ struct FrameInfo
     cache::SlotIndex owningSlot = 0;
 };
 
+/**
+ * Structured starvation report produced by the livelock watchdog when
+ * one logical operation exceeds its retry cap (Section 3.3's retry
+ * protocol is probabilistically — not deterministically — live, so
+ * starvation must be *detected*, not assumed away).
+ */
+struct WatchdogReport
+{
+    CpuId cpu = 0;
+    /** Which retry loop starved ("access", "write-back", ...). */
+    std::string operation;
+    Asid asid = 0;
+    Addr vaddr = 0;
+    Addr paddr = 0;
+    /** Retries attempted when the cap tripped. */
+    std::uint64_t attempts = 0;
+    /** Tick the starving operation started at. */
+    Tick started = 0;
+    /** Tick the watchdog tripped at. */
+    Tick now = 0;
+
+    std::string toString() const;
+};
+
 /** The per-processor cache management software. */
 class CacheController
 {
@@ -95,6 +121,28 @@ class CacheController
 
     void setFaultHandler(FaultHandler handler);
     void setNotifyHandler(NotifyHandler handler);
+
+    /** Starvation upcall; see setWatchdog(). */
+    using WatchdogHandler = std::function<void(const WatchdogReport &)>;
+
+    /**
+     * Configure the livelock/starvation watchdog: when any one retry
+     * loop (an access miss or a write-back/notify loop) exceeds
+     * @p max_retries attempts, a WatchdogReport is produced — handed
+     * to @p handler if set, warned to stderr otherwise — and counted.
+     * The operation keeps retrying either way; the watchdog observes,
+     * it does not kill. @p max_retries 0 disables the watchdog.
+     * Default: cap 1000, no handler.
+     */
+    void setWatchdog(std::uint64_t max_retries,
+                     WatchdogHandler handler = {});
+
+    /** Forward fault-injection hooks to this board's block copier. */
+    void setFaultHooks(mem::FaultHooks *hooks);
+
+    /** Retry delay with desynchronizing jitter (public so the
+     *  determinism regression tests can sample the sequence). */
+    Tick retryDelay();
 
     /**
      * Present one memory reference. On a hit @p done runs immediately
@@ -160,11 +208,31 @@ class CacheController
      */
     void flushFrame(Addr paddr, Done done);
 
-    // --- introspection for tests ---
+    // --- introspection for tests and the coherence checker ---
     /** Bookkeeping entry for a frame, or nullptr. */
     const FrameInfo *frameInfo(Addr paddr) const;
     /** Software's belief about this monitor's action-table entry. */
     mem::ActionEntry shadowEntry(Addr paddr) const;
+    /** Full frame -> ownership-state bookkeeping map. */
+    const std::unordered_map<std::uint64_t, FrameInfo> &
+    frameTable() const
+    {
+        return frames_;
+    }
+    /** Full slot -> frame map. */
+    const std::unordered_map<cache::SlotIndex, std::uint64_t> &
+    slotFrames() const
+    {
+        return slotFrame_;
+    }
+    /** Full software shadow of the monitor's action table. */
+    const std::unordered_map<std::uint64_t, mem::ActionEntry> &
+    shadowTable() const
+    {
+        return shadow_;
+    }
+    const cache::Cache &cache() const { return cache_; }
+    const monitor::BusMonitor &busMonitor() const { return monitor_; }
 
     // --- statistics ---
     const Counter &misses() const { return missCount_; }
@@ -181,6 +249,15 @@ class CacheController
     const Counter &overflowRecoveries() const { return recoveryCount_; }
     Tick missStallTicks() const { return missStall_; }
     Tick serviceStallTicks() const { return serviceStall_; }
+    /** Times any retry loop exceeded the watchdog cap. */
+    const Counter &watchdogTrips() const { return watchdogTrips_; }
+    /** Most recent starvation report, if the watchdog ever tripped. */
+    const std::optional<WatchdogReport> &lastWatchdogReport() const
+    {
+        return lastReport_;
+    }
+    /** Retries needed per completed miss (bucket = retry count). */
+    const Histogram &retriesPerMiss() const { return retryHistogram_; }
     void registerStats(StatGroup &group) const;
 
   private:
@@ -231,8 +308,17 @@ class CacheController
     void downgradeFrame(std::uint64_t frame, Done next);
     void recoverFromOverflow(Done done);
 
-    /** Retry delay with desynchronizing jitter. */
-    Tick retryDelay();
+    /** Complete a miss: charge the stall, sample the per-miss retry
+     *  count into the histogram, and invoke the continuation. */
+    void finishMiss(Tick started, const AccessDone &done);
+
+    /**
+     * Watchdog check for one retry loop: trips (once per starving
+     * operation, at attempts == cap + 1) when @p attempts exceeds the
+     * configured cap.
+     */
+    void watchdogCheck(const char *operation, Asid asid, Addr vaddr,
+                       Addr paddr, std::uint64_t attempts, Tick started);
 
     CpuId cpuId_;
     EventQueue &events_;
@@ -264,6 +350,18 @@ class CacheController
     Counter recoveryCount_;
     Tick missStall_ = 0;
     Tick serviceStall_ = 0;
+
+    // --- livelock watchdog ---
+    /** Retry cap per logical operation (0 = watchdog disabled). */
+    std::uint64_t watchdogCap_ = 1000;
+    WatchdogHandler watchdogHandler_;
+    Counter watchdogTrips_;
+    std::optional<WatchdogReport> lastReport_;
+    /** Retries of the in-flight access (one CPU => one at a time). */
+    std::uint64_t liveRetries_ = 0;
+    /** Retries per completed miss; bucket n = n retries, last bucket
+     *  collects everything >= 32. */
+    Histogram retryHistogram_{33, 1.0};
 };
 
 } // namespace vmp::proto

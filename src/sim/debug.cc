@@ -34,6 +34,8 @@ flagName(Flag flag)
       case Proto: return "Proto";
       case Vm: return "Vm";
       case Cpu: return "Cpu";
+      case Fault: return "Fault";
+      case Check: return "Check";
       default: return "?";
     }
 }
@@ -61,10 +63,14 @@ parseFlags(const std::string &spec)
             result |= Vm;
         } else if (token == "Cpu") {
             result |= Cpu;
+        } else if (token == "Fault") {
+            result |= Fault;
+        } else if (token == "Check") {
+            result |= Check;
         } else {
             fatal("unknown debug flag '", token,
                   "' (known: Bus, Cache, Monitor, Proto, Vm, Cpu, "
-                  "all)");
+                  "Fault, Check, all)");
         }
     }
     return result;

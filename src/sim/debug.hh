@@ -29,6 +29,8 @@ enum Flag : std::uint32_t
     Proto = 1u << 3,    //!< miss handling, service actions
     Vm = 1u << 4,       //!< faults, pmap operations, pageout
     Cpu = 1u << 5,      //!< instruction/reference stream
+    Fault = 1u << 6,    //!< fault injection decisions
+    Check = 1u << 7,    //!< coherence-invariant checker
     All = 0xffffffff,
 };
 
