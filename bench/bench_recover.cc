@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Failstop recovery: degraded-mode throughput, time-to-recover, and
+ * hot-rejoin quality. The paper's protocol assumes every board
+ * eventually services its interrupts; this bench quantifies what the
+ * recovery subsystem (failure detector + ownership reclamation +
+ * hot-rejoin) buys when that assumption breaks:
+ *
+ *   - an 8-processor machine loses board 7 one simulated millisecond
+ *     into a trace run; the detector declares it dead, the coordinator
+ *     reclaims its Protect frames, and the surviving 7 boards keep
+ *     running — degraded aggregate throughput is compared against the
+ *     fault-free baseline;
+ *   - time-to-recover (declaration to reclaim-complete) is swept
+ *     against per-board cache size, since a bigger cache strands more
+ *     frames;
+ *   - a killed board hot-rejoins mid-run and finishes its trace; its
+ *     end-to-end hit ratio is compared against the boards that never
+ *     died.
+ *
+ * Acceptance (encoded in the exit status):
+ *   - zero coherence violations and zero watchdog trips everywhere;
+ *   - exactly one declared-dead board per kill run, recovery complete;
+ *   - degraded (7-of-8) aggregate throughput at least 70% of the
+ *     fault-free aggregate;
+ *   - the killed-then-rejoined board's hit ratio within 5% of the
+ *     mean hit ratio of the boards that never died.
+ */
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "check/coherence_checker.hh"
+#include "core/system.hh"
+#include "fault/injector.hh"
+#include "recover/recovery.hh"
+#include "sim/stats.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace vmp;
+
+constexpr std::uint32_t kCpus = 8;
+constexpr std::uint64_t kRefsPerCpu = 20'000;
+constexpr std::uint32_t kVictim = kCpus - 1;
+constexpr Tick kKillAt = msec(1);
+constexpr Tick kRejoinAt = msec(4);
+
+enum class Mode
+{
+    Baseline, //!< fault-free, recovery armed (null-hook discipline)
+    Kill,     //!< board 7 failstops and never returns
+    Rejoin    //!< board 7 failstops, hot-rejoins, finishes its trace
+};
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Baseline:
+        return "baseline";
+      case Mode::Kill:
+        return "kill";
+      default:
+        return "rejoin";
+    }
+}
+
+/** One measured run. */
+struct Point
+{
+    core::RunResult run;
+    double refsPerSimSec = 0.0;
+    std::uint64_t violations = 0;
+    std::uint64_t watchdogTrips = 0;
+    std::uint64_t boardsDead = 0;
+    std::uint64_t framesReclaimed = 0;
+    std::uint64_t pagesLost = 0;
+    Tick recoveryNs = 0;
+    /** End-to-end hit ratio per board (hits / (hits+misses)). */
+    std::vector<double> hitRatio;
+    Json recoveryStats;
+};
+
+Point
+runPoint(Mode mode, std::uint64_t seed, std::uint32_t sets = 64)
+{
+    core::VmpConfig cfg;
+    cfg.processors = kCpus;
+    cfg.cache = cache::CacheConfig{256, 2, sets, true};
+    cfg.memBytes = MiB(4);
+    core::VmpSystem system(cfg);
+
+    fault::FaultSchedule schedule;
+    schedule.seed = seed;
+    if (mode != Mode::Baseline) {
+        schedule.crashBoard(kVictim, kKillAt);
+        if (mode == Mode::Rejoin)
+            schedule.rejoinAt(kRejoinAt);
+    }
+    if (!schedule.empty() || !schedule.crashes.empty())
+        system.enableFaultInjection(schedule);
+    auto &checker = system.enableCoherenceChecker();
+    recover::RecoveryConfig rc;
+    rc.detector.sweepPeriod = 64;
+    auto &manager = system.enableRecovery(rc);
+    system.setWatchdog(1'000); // default warn-only handler
+
+    std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+    std::vector<trace::RefSource *> sources;
+    for (std::uint32_t i = 0; i < kCpus; ++i) {
+        auto workload = trace::workloadConfig("atum2");
+        workload.totalRefs = kRefsPerCpu;
+        workload.seed = seed * 1000 + i;
+        gens.push_back(
+            std::make_unique<trace::SyntheticGen>(workload));
+        sources.push_back(gens.back().get());
+    }
+
+    Point point;
+    point.run = system.runTraces(sources);
+    point.refsPerSimSec = point.run.elapsed == 0
+        ? 0.0
+        : static_cast<double>(point.run.totalRefs) /
+            (static_cast<double>(point.run.elapsed) * 1e-9);
+
+    for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+        point.watchdogTrips +=
+            system.controller(cpu).watchdogTrips().value();
+        const auto &cache = system.board(cpu).cache;
+        const double refs = static_cast<double>(
+            cache.hits().value() + cache.misses().value());
+        point.hitRatio.push_back(
+            refs == 0.0
+                ? 0.0
+                : static_cast<double>(cache.hits().value()) / refs);
+    }
+    point.boardsDead = manager.boardsDeclaredDead().value();
+    point.framesReclaimed = manager.framesReclaimed().value();
+    point.pagesLost = manager.pagesLost().value();
+    point.recoveryNs = manager.lastRecoveryNs();
+    point.recoveryStats = system.statsJson()["recover"];
+
+    // Quiesce the live boards so the full sweep is legal (a dead
+    // board's serviceInterrupts is a no-op by design).
+    system.attachIdleServicers();
+    for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+        system.controller(cpu).serviceInterrupts([] {});
+        system.events().run();
+    }
+    checker.checkFull();
+    point.violations = checker.violations().value();
+    return point;
+}
+
+/** Average a mode over several seeds (counters summed, rates meaned;
+ *  recoveryNs is the max — worst case — over the seeds). */
+Point
+runAveragedPoint(Mode mode, std::uint64_t seeds = 3)
+{
+    Point mean;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+        Point p = runPoint(mode, 97 + s);
+        mean.run = p.run; // representative (last seed) run summary
+        mean.refsPerSimSec += p.refsPerSimSec / seeds;
+        mean.violations += p.violations;
+        mean.watchdogTrips += p.watchdogTrips;
+        mean.boardsDead += p.boardsDead;
+        mean.framesReclaimed += p.framesReclaimed;
+        mean.pagesLost += p.pagesLost;
+        mean.recoveryNs = std::max(mean.recoveryNs, p.recoveryNs);
+        if (mean.hitRatio.empty())
+            mean.hitRatio.assign(kCpus, 0.0);
+        for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu)
+            mean.hitRatio[cpu] += p.hitRatio[cpu] / seeds;
+        mean.recoveryStats = std::move(p.recoveryStats);
+    }
+    return mean;
+}
+
+Json
+pointMetrics(const Point &point)
+{
+    Json metrics = bench::runResultJson(point.run);
+    metrics["refs_per_sim_s"] = Json(point.refsPerSimSec);
+    metrics["violations"] = Json(point.violations);
+    metrics["watchdog_trips"] = Json(point.watchdogTrips);
+    metrics["boards_declared_dead"] = Json(point.boardsDead);
+    metrics["frames_reclaimed"] = Json(point.framesReclaimed);
+    metrics["pages_lost"] = Json(point.pagesLost);
+    metrics["time_to_recover_us"] =
+        Json(toUsec(point.recoveryNs));
+    // Full "recovery" stat group (new in schema v1.2): the recovery
+    // coordinator's and failure detector's counters, verbatim.
+    metrics["recovery"] = point.recoveryStats;
+    return metrics;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmp;
+    const auto opts = bench::parseBenchOptions("recover", argc, argv);
+    bench::Artifact artifact("recover", opts);
+
+    bench::banner("Failstop recovery",
+                  "degraded-mode throughput, time-to-recover, and "
+                  "hot-rejoin (8 CPUs, atum2, checker armed)");
+
+    // ------------------------------------------------- mode table
+    TableWriter table("Baseline vs kill vs kill-and-rejoin");
+    table.columns({"Mode", "refs/sim-s", "Refs", "Dead", "Reclaimed",
+                   "Lost", "Recover us", "Violations"});
+
+    std::vector<Point> points;
+    for (const Mode mode :
+         {Mode::Baseline, Mode::Kill, Mode::Rejoin}) {
+        const Point point = runAveragedPoint(mode);
+        points.push_back(point);
+        table.row()
+            .cell(modeName(mode))
+            .cell(point.refsPerSimSec, 0)
+            .cell(point.run.totalRefs)
+            .cell(point.boardsDead)
+            .cell(point.framesReclaimed)
+            .cell(point.pagesLost)
+            .cell(toUsec(point.recoveryNs), 1)
+            .cell(point.violations);
+
+        Json config = Json::object();
+        config["mode"] = Json(std::string(modeName(mode)));
+        config["processors"] = Json(std::uint64_t{kCpus});
+        config["refs_per_cpu"] = Json(kRefsPerCpu);
+        config["kill_at_us"] = Json(
+            mode == Mode::Baseline ? 0.0 : toUsec(kKillAt));
+        config["rejoin_at_us"] = Json(
+            mode == Mode::Rejoin ? toUsec(kRejoinAt) : 0.0);
+        artifact.add(std::string("mode/") + modeName(mode),
+                     std::move(config), pointMetrics(point));
+    }
+    table.print(std::cout);
+
+    // --------------------------------- time-to-recover vs cache size
+    TableWriter ttr("Time-to-recover vs per-board cache size");
+    ttr.columns({"Cache KiB", "Frames", "Reclaimed", "Lost",
+                 "Recover us", "Violations"});
+    std::vector<Point> sweep;
+    for (const std::uint32_t sets : {16u, 64u, 256u}) {
+        const Point point = runPoint(Mode::Kill, 211, sets);
+        sweep.push_back(point);
+        const std::uint64_t frames = 2ull * sets;
+        ttr.row()
+            .cell(frames * 256 / 1024)
+            .cell(frames)
+            .cell(point.framesReclaimed)
+            .cell(point.pagesLost)
+            .cell(toUsec(point.recoveryNs), 1)
+            .cell(point.violations);
+
+        Json config = Json::object();
+        config["mode"] = Json(std::string("kill"));
+        config["sets"] = Json(std::uint64_t{sets});
+        config["cache_bytes"] = Json(frames * 256);
+        config["processors"] = Json(std::uint64_t{kCpus});
+        config["refs_per_cpu"] = Json(kRefsPerCpu);
+        std::ostringstream label;
+        label << "ttr/" << sets;
+        artifact.add(label.str(), std::move(config),
+                     pointMetrics(point));
+    }
+    ttr.print(std::cout);
+
+    // ------------------------------------------------- acceptance
+    bool pass = true;
+    const auto fail = [&pass](const std::string &what) {
+        std::cout << "[acceptance] FAIL: " << what << "\n";
+        pass = false;
+    };
+
+    const Point &baseline = points[0];
+    const Point &kill = points[1];
+    const Point &rejoin = points[2];
+
+    for (const Point *p : {&points[0], &points[1], &points[2],
+                           &sweep[0], &sweep[1], &sweep[2]}) {
+        if (p->violations != 0)
+            fail("coherence violations (" +
+                 std::to_string(p->violations) + ")");
+        if (p->watchdogTrips != 0)
+            fail("watchdog tripped (" +
+                 std::to_string(p->watchdogTrips) + ")");
+    }
+    if (baseline.boardsDead != 0)
+        fail("baseline declared a board dead");
+    if (kill.boardsDead != 3) // one per averaged seed
+        fail("kill mode declared " +
+             std::to_string(kill.boardsDead) +
+             " boards dead over 3 seeds (want 3)");
+    for (const Point &p : sweep) {
+        if (p.boardsDead != 1)
+            fail("cache sweep point missed the dead board");
+        if (p.pagesLost > 2ull * 256) // never above the largest cache
+            fail("pages_lost above cache capacity");
+    }
+
+    if (baseline.refsPerSimSec <= 0.0) {
+        fail("fault-free throughput is zero");
+    } else {
+        const double degraded =
+            kill.refsPerSimSec / baseline.refsPerSimSec;
+        std::cout << "[acceptance] degraded (7-of-8) aggregate: "
+                  << degraded * 100 << "% of fault-free\n";
+        if (degraded < 0.70)
+            fail("degraded throughput below 70% of fault-free");
+    }
+
+    // The rejoined board finished its whole trace...
+    if (rejoin.run.totalRefs !=
+        std::uint64_t{kCpus} * kRefsPerCpu)
+        fail("rejoin run did not retire every reference");
+    // ...and its end-to-end hit ratio is within 5% of the boards
+    // that never died (the cold restart is amortized).
+    double survivors = 0.0;
+    for (std::uint32_t cpu = 0; cpu < kCpus - 1; ++cpu)
+        survivors += rejoin.hitRatio[cpu] / (kCpus - 1);
+    const double victim = rejoin.hitRatio[kVictim];
+    std::cout << "[acceptance] rejoined board hit ratio: " << victim
+              << " vs survivor mean " << survivors << "\n";
+    if (survivors <= 0.0)
+        fail("survivor hit ratio is zero");
+    else if (victim < 0.95 * survivors)
+        fail("rejoined board hit ratio more than 5% below survivors");
+
+    artifact.note("acceptance: zero violations; one declared-dead "
+                  "board per kill; degraded >=70% of fault-free; "
+                  "rejoined hit ratio within 5% of survivors");
+    artifact.note(pass ? "acceptance: PASS" : "acceptance: FAIL");
+    artifact.write();
+    std::cout << (pass ? "[acceptance] PASS\n" : "[acceptance] FAIL\n");
+    return pass ? 0 : 1;
+}

@@ -33,8 +33,10 @@ namespace vmp::bench
 /** Schema identifier/version shared by every artifact. */
 inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
 /** v1.1 added the "meta" provenance section (git sha, compiler,
- *  sweep thread count). */
-inline constexpr double kArtifactSchemaVersion = 1.1;
+ *  sweep thread count). v1.2 added the failstop-recovery bench and
+ *  its per-result "recovery" stat group (bench_recover: the recovery
+ *  coordinator's and failure detector's counters, verbatim). */
+inline constexpr double kArtifactSchemaVersion = 1.2;
 
 /** Build-time git revision (configure-time snapshot; "unknown" when
  *  the build tree was configured outside a git checkout). */

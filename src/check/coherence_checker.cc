@@ -42,7 +42,7 @@ CoherenceChecker::install()
     if (installed_)
         fatal("coherence checker installed twice on one bus");
     installed_ = true;
-    bus_.setTxObserver(
+    bus_.addTxObserver(
         [this](const mem::BusTransaction &tx,
                const mem::TxResult &result) {
             onTransaction(tx, result);
@@ -81,6 +81,11 @@ CoherenceChecker::checkFrameOwners(std::uint64_t frame,
 {
     std::size_t owners = 0;
     for (const monitor::BusMonitor *monitor : monitors_) {
+        // A masked monitor is off the bus: its stale entries neither
+        // abort anything nor count as ownership (a live board may
+        // legally re-acquire a frame mid-reclaim).
+        if (monitor->masked())
+            continue;
         if (monitor->table().get(frame) == mem::ActionEntry::Protect)
             ++owners;
     }
@@ -93,25 +98,40 @@ CoherenceChecker::checkFrameOwners(std::uint64_t frame,
 }
 
 std::uint64_t
-CoherenceChecker::checkFull()
+CoherenceChecker::checkOwnersSweep()
 {
     const std::uint64_t before = violations_.value();
-    const std::uint32_t page = pageBytes();
-
-    // --- I1: at most one Protect owner per frame, globally ---
     std::set<std::uint64_t> frames_of_interest;
     for (const monitor::BusMonitor *monitor : monitors_) {
+        if (monitor->masked())
+            continue;
         for (const std::uint64_t frame :
              monitor->table().nonIgnoredFrames()) {
             frames_of_interest.insert(frame);
         }
     }
     for (const std::uint64_t frame : frames_of_interest)
-        checkFrameOwners(frame, "full sweep");
+        checkFrameOwners(frame, "owners sweep");
+    return violations_.value() - before;
+}
+
+std::uint64_t
+CoherenceChecker::checkFull()
+{
+    const std::uint64_t before = violations_.value();
+    const std::uint32_t page = pageBytes();
+
+    // --- I1: at most one Protect owner per frame, globally ---
+    checkOwnersSweep();
 
     // --- per-controller invariants ---
     std::map<std::uint64_t, std::size_t> private_claims; // I4
     for (const proto::CacheController *ctl : controllers_) {
+        // A failstopped board's software state is gone and its masked
+        // monitor table is recovery input, not protocol state: skip
+        // its per-board invariants until it rejoins.
+        if (ctl->dead())
+            continue;
         const auto cpu = ctl->cpuId();
         const monitor::ActionTable &table = ctl->busMonitor().table();
 

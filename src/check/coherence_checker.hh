@@ -91,6 +91,16 @@ class CoherenceChecker
      */
     std::uint64_t checkFull();
 
+    /**
+     * Single-owner (I1) sweep over every non-Ignore frame. Unlike
+     * checkFull() this is bus-side only and therefore valid at *any*
+     * time, not just quiescence; the recovery coordinator runs it
+     * immediately after reclaiming a dead board's frames to verify the
+     * single-owner invariant was restored mid-run. @return violations
+     * found by this sweep.
+     */
+    std::uint64_t checkOwnersSweep();
+
     const Counter &violations() const { return violations_; }
     const Counter &transactionsObserved() const { return observed_; }
     /** First maxReports human-readable violation descriptions. */

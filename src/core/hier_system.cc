@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 #include "trace/synthetic.hh"
 
@@ -154,12 +155,24 @@ HierVmpSystem::runTraces(const std::vector<trace::RefSource *> &sources)
             *sources[i], cfg_.cpuTiming));
         raw.push_back(cpus.back().get());
     }
+    activeCpus_ = raw;
     for (auto &c : cpus)
         c->run([&remaining] { --remaining; });
     events_.run();
-    if (remaining != 0)
-        panic("hier: ", remaining, " trace CPUs did not finish");
-    return collect(raw);
+    // A CPU failstopped mid-trace never fires its completion callback;
+    // any other shortfall is a genuine hang.
+    std::size_t halted_midrun = 0;
+    for (const auto *c : raw) {
+        if (c->halted() && !c->finished())
+            ++halted_midrun;
+    }
+    if (remaining != halted_midrun) {
+        panic("hier: ", remaining - halted_midrun,
+              " trace CPUs did not finish");
+    }
+    HierRunResult result = collect(raw);
+    activeCpus_.clear();
+    return result;
 }
 
 std::vector<std::unique_ptr<cpu::ProgramCpu>>
@@ -221,7 +234,151 @@ HierVmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
                                    8ull * cfg_.cache.pageBytes,
                                    cfg_.cache.pageBytes, 8);
     }
+    // Board crashes are time-driven: turn each schedule entry into
+    // kill/rejoin events now (deterministic, no RNG draw).
+    for (const auto &crash : injector_->schedule().crashes) {
+        if (crash.interBus) {
+            if (crash.rejoinAt != 0)
+                fatal("hier: inter-bus boards do not hot-rejoin");
+            killInterBusBoard(crash.board, crash.at);
+        } else {
+            killBoard(crash.board, crash.at);
+            if (crash.rejoinAt != 0)
+                rejoinBoard(crash.board, crash.rejoinAt);
+        }
+    }
     return *injector_;
+}
+
+void
+HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
+{
+    if (globalRecovery_ || !clusterRecoveries_.empty())
+        fatal("hier: recovery enabled twice");
+    // One manager per cluster bus: the CPU boards are full reclaim
+    // targets and the inter-bus board is a liveness-only bridge.
+    for (std::uint32_t k = 0; k < cfg_.clusters; ++k) {
+        Cluster &cluster = *clusters_[k];
+        auto manager = std::make_unique<recover::RecoveryManager>(
+            events_, cluster.bus, cluster.image, options);
+        for (std::uint32_t i = 0; i < cfg_.cpusPerCluster; ++i) {
+            auto *controller = &cluster.boards[i]->controller;
+            const auto cpu =
+                static_cast<std::uint32_t>(k * cfg_.cpusPerCluster + i);
+            manager->addBoard(cpu, cluster.boards[i]->monitor,
+                              [controller] {
+                                  return !controller->dead();
+                              });
+            controller->setDeadOwnerOracle(manager.get());
+        }
+        auto *ibc = &cluster.ibc;
+        manager->addBridge(ibc->localMasterId(),
+                           [ibc] { return !ibc->dead(); });
+        manager->setPostReclaimHook([this, k] {
+            if (k < clusterCheckers_.size())
+                clusterCheckers_[k]->checkOwnersSweep();
+        });
+        manager->install();
+        clusterRecoveries_.push_back(std::move(manager));
+    }
+    // Global level: the inter-bus boards are the protocol clients;
+    // their global monitors are the reclaim targets.
+    globalRecovery_ = std::make_unique<recover::RecoveryManager>(
+        events_, globalBus_, memory_, options);
+    for (std::uint32_t k = 0; k < cfg_.clusters; ++k) {
+        auto *ibc = &clusters_[k]->ibc;
+        globalRecovery_->addBoard(ibc->clusterIndex(),
+                                  ibc->globalMonitor(),
+                                  [ibc] { return !ibc->dead(); });
+    }
+    globalRecovery_->setPostReclaimHook([this] {
+        if (globalChecker_)
+            globalChecker_->checkOwnersSweep();
+    });
+    globalRecovery_->install();
+}
+
+recover::RecoveryManager &
+HierVmpSystem::clusterRecovery(std::size_t cluster)
+{
+    if (cluster >= clusterRecoveries_.size())
+        panic("cluster recovery ", cluster,
+              " out of range (recovery enabled?)");
+    return *clusterRecoveries_[cluster];
+}
+
+void
+HierVmpSystem::killBoard(std::uint32_t cpu, Tick at)
+{
+    if (cpu >= cfg_.totalCpus())
+        fatal("hier: killBoard(", cpu, ") out of range");
+    events_.schedule(at, [this, cpu] {
+        ProcessorBoard &b = board(cpu);
+        if (b.controller.dead())
+            return;
+        VMP_DTRACE(debug::Recover, events_.now(), "killing board ",
+                   cpu);
+        if (cpu < activeCpus_.size() && activeCpus_[cpu] != nullptr)
+            activeCpus_[cpu]->requestFailstop();
+        b.controller.failstop();
+        if (injector_)
+            injector_->noteBoardCrash();
+    }, "kill-board");
+}
+
+void
+HierVmpSystem::rejoinBoard(std::uint32_t cpu, Tick at)
+{
+    if (cpu >= cfg_.totalCpus())
+        fatal("hier: rejoinBoard(", cpu, ") out of range");
+    events_.schedule(at, [this, cpu] { doRejoin(cpu); },
+                     "rejoin-board");
+}
+
+void
+HierVmpSystem::doRejoin(std::uint32_t cpu)
+{
+    ProcessorBoard &b = board(cpu);
+    if (!b.controller.dead())
+        return;
+    const std::size_t k = cpu / cfg_.cpusPerCluster;
+    recover::RecoveryManager *manager = k < clusterRecoveries_.size()
+        ? clusterRecoveries_[k].get()
+        : nullptr;
+    if (manager != nullptr && manager->recovering()) {
+        events_.scheduleIn(usec(10), [this, cpu] { doRejoin(cpu); },
+                          "rejoin-board");
+        return;
+    }
+    VMP_DTRACE(debug::Recover, events_.now(), "board ", cpu,
+               " hot-rejoining");
+    b.monitor.table().clear();
+    while (b.monitor.fifo().pop().has_value()) {
+    }
+    b.monitor.fifo().clearOverflow();
+    b.monitor.setMasked(false);
+    b.controller.rejoin();
+    if (manager != nullptr)
+        manager->markRejoined(cpu);
+    if (cpu < activeCpus_.size() && activeCpus_[cpu] != nullptr)
+        activeCpus_[cpu]->resume();
+}
+
+void
+HierVmpSystem::killInterBusBoard(std::uint32_t cluster, Tick at)
+{
+    if (cluster >= cfg_.clusters)
+        fatal("hier: killInterBusBoard(", cluster, ") out of range");
+    events_.schedule(at, [this, cluster] {
+        hier::InterBusBoard &ibc = clusters_[cluster]->ibc;
+        if (ibc.dead())
+            return;
+        VMP_DTRACE(debug::Recover, events_.now(),
+                   "killing inter-bus board of cluster ", cluster);
+        ibc.failstop();
+        if (injector_)
+            injector_->noteBoardCrash();
+    }, "kill-ibc");
 }
 
 void
@@ -374,6 +531,16 @@ HierVmpSystem::dumpStats(std::ostream &os) const
         globalChecker_->registerStats(check_group);
         check_group.dump(os);
     }
+    for (std::size_t k = 0; k < clusterRecoveries_.size(); ++k) {
+        StatGroup recover_group("c" + std::to_string(k) + ".recover");
+        clusterRecoveries_[k]->registerStats(recover_group);
+        recover_group.dump(os);
+    }
+    if (globalRecovery_) {
+        StatGroup recover_group("recover.global");
+        globalRecovery_->registerStats(recover_group);
+        recover_group.dump(os);
+    }
 }
 
 Json
@@ -419,6 +586,17 @@ HierVmpSystem::statsJson() const
     if (globalChecker_) {
         groups.push_back(std::make_unique<StatGroup>("check.global"));
         globalChecker_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    for (std::size_t k = 0; k < clusterRecoveries_.size(); ++k) {
+        groups.push_back(std::make_unique<StatGroup>(
+            "c" + std::to_string(k) + ".recover"));
+        clusterRecoveries_[k]->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (globalRecovery_) {
+        groups.push_back(std::make_unique<StatGroup>("recover.global"));
+        globalRecovery_->registerStats(*groups.back());
         registry.add(*groups.back());
     }
     return registry.toJson();

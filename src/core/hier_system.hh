@@ -151,6 +151,43 @@ class HierVmpSystem
     bool checkersEnabled() const { return globalChecker_ != nullptr; }
 
     /**
+     * Install failstop recovery at both levels: one RecoveryManager
+     * per cluster bus (CPU boards plus the inter-bus board as a
+     * liveness-only bridge — a dead bridge strands every remote frame)
+     * and one on the global bus treating each inter-bus board's global
+     * monitor as a protocol client whose Protect frames are reclaimed
+     * into main memory. Controllers get their cluster's manager as
+     * dead-owner oracle. With checkers installed, every completed
+     * reclaim triggers the matching single-owner sweep. At most once.
+     */
+    void enableRecovery(recover::RecoveryConfig options = {});
+
+    /** Per-cluster recovery manager (requires enableRecovery). */
+    recover::RecoveryManager &clusterRecovery(std::size_t cluster);
+    /** Global-bus recovery manager, or null if none installed. */
+    recover::RecoveryManager *globalRecovery()
+    {
+        return globalRecovery_.get();
+    }
+
+    /**
+     * Failstop CPU board @p cpu (flat index) at tick @p at; the board's
+     * monitor hardware keeps driving its cluster bus. Without
+     * enableRecovery() its stale entries wedge the cluster.
+     */
+    void killBoard(std::uint32_t cpu, Tick at);
+    /** Hot-rejoin CPU board @p cpu at tick @p at (cold restart). */
+    void rejoinBoard(std::uint32_t cpu, Tick at);
+
+    /**
+     * Failstop cluster @p cluster's inter-bus cache board at tick
+     * @p at: its service software dies, stranding the cluster's remote
+     * misses and its global Protect frames. Inter-bus boards do not
+     * hot-rejoin.
+     */
+    void killInterBusBoard(std::uint32_t cluster, Tick at);
+
+    /**
      * Full sweep on every installed checker (quiescence only).
      * @return violations found by this sweep, summed over checkers.
      */
@@ -172,6 +209,9 @@ class HierVmpSystem
   private:
     struct Cluster;
 
+    /** Rejoin body (defers itself while the cluster is reclaiming). */
+    void doRejoin(std::uint32_t cpu);
+
     HierConfig cfg_;
     EventQueue events_;
     mem::PhysMem memory_;
@@ -183,6 +223,11 @@ class HierVmpSystem
     std::vector<std::unique_ptr<check::CoherenceChecker>>
         clusterCheckers_;
     std::unique_ptr<check::CoherenceChecker> globalChecker_;
+    std::vector<std::unique_ptr<recover::RecoveryManager>>
+        clusterRecoveries_;
+    std::unique_ptr<recover::RecoveryManager> globalRecovery_;
+    /** Raw CPU handles while runTraces is in flight. */
+    std::vector<cpu::TraceCpu *> activeCpus_;
 };
 
 } // namespace vmp::core

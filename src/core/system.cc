@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/debug.hh"
 #include "sim/logging.hh"
 #include "trace/synthetic.hh"
 
@@ -104,12 +105,24 @@ VmpSystem::runTraces(const std::vector<trace::RefSource *> &sources)
             *sources[i], cfg_.cpuTiming));
         raw.push_back(cpus.back().get());
     }
+    activeCpus_ = raw;
     for (auto &c : cpus)
         c->run([&remaining] { --remaining; });
     events_.run();
-    if (remaining != 0)
-        panic("system: ", remaining, " trace CPUs did not finish");
-    return collect(raw);
+    // A CPU failstopped mid-trace never fires its completion callback;
+    // any other shortfall is a genuine hang.
+    std::size_t halted_midrun = 0;
+    for (const auto *c : raw) {
+        if (c->halted() && !c->finished())
+            ++halted_midrun;
+    }
+    if (remaining != halted_midrun) {
+        panic("system: ", remaining - halted_midrun,
+              " trace CPUs did not finish");
+    }
+    RunResult result = collect(raw);
+    activeCpus_.clear();
+    return result;
 }
 
 std::vector<std::unique_ptr<cpu::ProgramCpu>>
@@ -167,7 +180,101 @@ VmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
                                    8ull * cfg_.cache.pageBytes,
                                    cfg_.cache.pageBytes, 8);
     }
+    // Board crashes are time-driven: turn each schedule entry into
+    // kill/rejoin events now (deterministic, no RNG draw).
+    for (const auto &crash : injector_->schedule().crashes) {
+        if (crash.interBus) {
+            fatal("system: crashInterBus() on a flat (single-bus) "
+                  "system");
+        }
+        killBoard(crash.board, crash.at);
+        if (crash.rejoinAt != 0)
+            rejoinBoard(crash.board, crash.rejoinAt);
+    }
     return *injector_;
+}
+
+recover::RecoveryManager &
+VmpSystem::enableRecovery(recover::RecoveryConfig options)
+{
+    if (recovery_)
+        fatal("system: recovery enabled twice");
+    recovery_ = std::make_unique<recover::RecoveryManager>(
+        events_, bus_, memory_, options);
+    for (std::size_t i = 0; i < boards_.size(); ++i) {
+        auto *controller = &boards_[i]->controller;
+        recovery_->addBoard(static_cast<std::uint32_t>(i),
+                            boards_[i]->monitor,
+                            [controller] { return !controller->dead(); });
+        controller->setDeadOwnerOracle(recovery_.get());
+    }
+    // Checker may be installed before or after: resolve at sweep time.
+    recovery_->setPostReclaimHook([this] {
+        if (checker_)
+            checker_->checkOwnersSweep();
+    });
+    recovery_->install();
+    return *recovery_;
+}
+
+void
+VmpSystem::killBoard(std::uint32_t index, Tick at)
+{
+    if (index >= boards_.size())
+        fatal("system: killBoard(", index, ") out of range");
+    events_.schedule(at, [this, index] {
+        ProcessorBoard &board = *boards_[index];
+        if (board.controller.dead())
+            return;
+        VMP_DTRACE(debug::Recover, events_.now(), "killing board ",
+                   index);
+        if (index < activeCpus_.size() &&
+            activeCpus_[index] != nullptr) {
+            activeCpus_[index]->requestFailstop();
+        }
+        // The controller software dies; the monitor *hardware* keeps
+        // driving the bus from its (now stale) table.
+        board.controller.failstop();
+        if (injector_)
+            injector_->noteBoardCrash();
+    }, "kill-board");
+}
+
+void
+VmpSystem::rejoinBoard(std::uint32_t index, Tick at)
+{
+    if (index >= boards_.size())
+        fatal("system: rejoinBoard(", index, ") out of range");
+    events_.schedule(at, [this, index] { doRejoin(index); },
+                     "rejoin-board");
+}
+
+void
+VmpSystem::doRejoin(std::uint32_t index)
+{
+    ProcessorBoard &board = *boards_[index];
+    if (!board.controller.dead())
+        return;
+    // Never rip the table out from under an in-flight reclaim scan:
+    // defer the rejoin until the coordinator finishes.
+    if (recovery_ != nullptr && recovery_->recovering()) {
+        events_.scheduleIn(usec(10), [this, index] { doRejoin(index); },
+                          "rejoin-board");
+        return;
+    }
+    VMP_DTRACE(debug::Recover, events_.now(), "board ", index,
+               " hot-rejoining");
+    // Cold hardware state: empty table, empty FIFO, unmasked monitor.
+    board.monitor.table().clear();
+    while (board.monitor.fifo().pop().has_value()) {
+    }
+    board.monitor.fifo().clearOverflow();
+    board.monitor.setMasked(false);
+    board.controller.rejoin();
+    if (recovery_)
+        recovery_->markRejoined(index);
+    if (index < activeCpus_.size() && activeCpus_[index] != nullptr)
+        activeCpus_[index]->resume();
 }
 
 check::CoherenceChecker &
@@ -222,6 +329,11 @@ VmpSystem::dumpStats(std::ostream &os) const
         checker_->registerStats(check_group);
         check_group.dump(os);
     }
+    if (recovery_) {
+        StatGroup recover_group("recover");
+        recovery_->registerStats(recover_group);
+        recover_group.dump(os);
+    }
 }
 
 Json
@@ -250,6 +362,11 @@ VmpSystem::statsJson() const
     if (checker_) {
         groups.push_back(std::make_unique<StatGroup>("check"));
         checker_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (recovery_) {
+        groups.push_back(std::make_unique<StatGroup>("recover"));
+        recovery_->registerStats(*groups.back());
         registry.add(*groups.back());
     }
     return registry.toJson();

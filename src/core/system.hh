@@ -27,6 +27,7 @@
 #include "monitor/bus_monitor.hh"
 #include "proto/controller.hh"
 #include "proto/translator.hh"
+#include "recover/recovery.hh"
 #include "sim/event.hh"
 #include "sim/json.hh"
 #include "sim/stats.hh"
@@ -165,6 +166,40 @@ class VmpSystem
     check::CoherenceChecker *coherenceChecker() { return checker_.get(); }
 
     /**
+     * Install the failstop-recovery subsystem: a FailureDetector over
+     * the bus, the reclaim coordinator, and the dead-owner oracle on
+     * every controller (so stranded waits abandon with a structured
+     * DeadOwnerError instead of retrying forever). If a coherence
+     * checker is (or later becomes) installed, every completed reclaim
+     * triggers an immediate single-owner sweep. May be called at most
+     * once, before any traffic.
+     */
+    recover::RecoveryManager &
+    enableRecovery(recover::RecoveryConfig options = {});
+
+    /** The installed recovery manager, or null if none. */
+    recover::RecoveryManager *recoveryManager() { return recovery_.get(); }
+
+    /**
+     * Failstop board @p index at tick @p at: its CPU halts at the next
+     * instruction boundary and its controller software dies, but its
+     * bus monitor keeps driving the bus from stale table state — the
+     * hazard the recovery subsystem exists to clear. Without
+     * enableRecovery() the stale Protect entries wedge every later
+     * access to the dead board's pages (surfaced as DeadOwnerErrors
+     * when the controllers' deadOwnerTimeoutNs expires).
+     */
+    void killBoard(std::uint32_t index, Tick at);
+
+    /**
+     * Hot-rejoin board @p index at tick @p at: the monitor is unmasked
+     * with a cleared table, the controller restarts cold, and the CPU
+     * resumes its trace. If a reclaim is in flight at @p at the rejoin
+     * defers until it completes.
+     */
+    void rejoinBoard(std::uint32_t index, Tick at);
+
+    /**
      * Configure the livelock watchdog on every controller: a starving
      * operation (more than @p maxRetries consecutive aborts) fires
      * @p handler once (default: a warning) and keeps retrying.
@@ -185,6 +220,9 @@ class VmpSystem
     Json statsJson() const;
 
   private:
+    /** Rejoin body (defers itself while a reclaim is in flight). */
+    void doRejoin(std::uint32_t index);
+
     VmpConfig cfg_;
     EventQueue events_;
     mem::PhysMem memory_;
@@ -194,6 +232,10 @@ class VmpSystem
     std::vector<std::unique_ptr<ProcessorBoard>> boards_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<check::CoherenceChecker> checker_;
+    std::unique_ptr<recover::RecoveryManager> recovery_;
+    /** Raw CPU handles while runTraces is in flight (for kill/rejoin
+     *  events scheduled before or during the run). */
+    std::vector<cpu::TraceCpu *> activeCpus_;
 };
 
 } // namespace vmp::core

@@ -27,16 +27,54 @@ TraceCpu::~TraceCpu()
 void
 TraceCpu::onInterruptLine()
 {
-    if (running_ || idleServicing_)
+    // A halted (failstopped) processor takes no interrupts; its
+    // monitor keeps queueing words, which is exactly the wedge the
+    // recovery subsystem exists to break.
+    if (running_ || idleServicing_ || halted_)
         return;
     idleServicing_ = true;
     events_.scheduleIn(1, [this] {
+        if (halted_) {
+            idleServicing_ = false;
+            return;
+        }
         controller_.serviceInterrupts([this] {
             idleServicing_ = false;
-            if (!running_ && controller_.interruptPending())
+            if (!running_ && !halted_ && controller_.interruptPending())
                 onInterruptLine();
         });
     }, "idle-service");
+}
+
+void
+TraceCpu::requestFailstop()
+{
+    if (halted_)
+        return;
+    if (running_) {
+        // Halt at the next instruction boundary (step() entry).
+        pendingFailstop_ = true;
+        return;
+    }
+    halted_ = true;
+}
+
+void
+TraceCpu::resume()
+{
+    if (!halted_)
+        return;
+    halted_ = false;
+    pendingFailstop_ = false;
+    if (exhausted_ || done_ == nullptr) {
+        // Nothing left to replay (or never started): back to idle;
+        // pick up any interrupt words that queued while dead.
+        if (controller_.interruptPending())
+            onInterruptLine();
+        return;
+    }
+    running_ = true;
+    step();
 }
 
 void
@@ -53,6 +91,16 @@ TraceCpu::run(Done done)
 void
 TraceCpu::step()
 {
+    // Failstop lands at the instruction boundary: halt without firing
+    // done_ (a dead board never reports completion).
+    if (pendingFailstop_ || halted_) {
+        pendingFailstop_ = false;
+        halted_ = true;
+        running_ = false;
+        finishedAt_ = events_.now();
+        return;
+    }
+
     // Bus-monitor interrupts are taken between instructions.
     if (controller_.interruptPending()) {
         controller_.serviceInterrupts([this] { step(); });
@@ -62,6 +110,7 @@ TraceCpu::step()
     trace::MemRef ref;
     if (!source_.next(ref)) {
         running_ = false;
+        exhausted_ = true;
         finishedAt_ = events_.now();
         if (done_)
             done_();

@@ -35,6 +35,28 @@ class TraceCpu
     /** Start executing; @p done fires when the trace is exhausted. */
     void run(Done done);
 
+    /**
+     * Request a failstop: the processor halts at the next instruction
+     * boundary (the paper's failure model is failstop, not mid-
+     * operation corruption), without firing the run() completion — a
+     * dead board never reports. If the CPU is already idle it halts
+     * immediately. The system run loop must account for halted CPUs.
+     */
+    void requestFailstop();
+
+    /**
+     * Restart after a failstop (hot-rejoin): resumes the trace from
+     * the next unreplayed reference, or returns to the idle/interrupt-
+     * service loop if the trace was already exhausted.
+     */
+    void resume();
+
+    /** True while halted by a failstop. */
+    bool halted() const { return halted_; }
+
+    /** True once the trace has been fully replayed (done fired). */
+    bool finished() const { return exhausted_; }
+
     bool running() const { return running_; }
     CpuId cpuId() const { return id_; }
 
@@ -68,6 +90,10 @@ class TraceCpu
     Done done_;
     bool running_ = false;
     bool idleServicing_ = false;
+    bool pendingFailstop_ = false;
+    bool halted_ = false;
+    /** Trace fully replayed (distinguishes idle from halted-mid-run). */
+    bool exhausted_ = false;
     Tick startedAt_ = 0;
     Tick finishedAt_ = 0;
     Counter refs_;

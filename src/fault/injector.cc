@@ -16,6 +16,7 @@ faultKindName(FaultKind kind)
       case FaultKind::FifoDrop: return "fifo-drop";
       case FaultKind::InterruptDelay: return "interrupt-delay";
       case FaultKind::DmaBurst: return "dma-burst";
+      case FaultKind::BoardCrash: return "board-crash";
     }
     return "?";
 }
@@ -91,9 +92,44 @@ FaultSchedule::everyNth(std::uint64_t n)
     return *this;
 }
 
+FaultSchedule &
+FaultSchedule::crashBoard(std::uint32_t board, Tick at)
+{
+    BoardCrashSpec crash;
+    crash.board = board;
+    crash.at = at;
+    crashes.push_back(crash);
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::crashInterBus(std::uint32_t cluster, Tick at)
+{
+    BoardCrashSpec crash;
+    crash.board = cluster;
+    crash.at = at;
+    crash.interBus = true;
+    crashes.push_back(crash);
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::rejoinAt(Tick t)
+{
+    if (crashes.empty())
+        fatal("FaultSchedule::rejoinAt() with no crash to modify");
+    if (t <= crashes.back().at)
+        fatal("rejoin tick ", t, " not after crash tick ",
+              crashes.back().at);
+    crashes.back().rejoinAt = t;
+    return *this;
+}
+
 bool
 FaultSchedule::arms(FaultKind kind) const
 {
+    if (kind == FaultKind::BoardCrash)
+        return !crashes.empty();
     for (const FaultSpec &spec : specs) {
         if (spec.kind == kind &&
             (spec.probability > 0.0 || spec.every > 0)) {
@@ -180,6 +216,15 @@ FaultInjector::fire(FaultKind kind, Tick *delay_ns)
         }
     }
     return false;
+}
+
+void
+FaultInjector::noteBoardCrash()
+{
+    const auto index = static_cast<std::size_t>(FaultKind::BoardCrash);
+    ++opportunities_[index];
+    ++injected_[index];
+    VMP_DTRACE(debug::Fault, events_.now(), "fire board-crash");
 }
 
 bool
@@ -277,6 +322,8 @@ FaultInjector::registerStats(StatGroup &group) const
                      injected_[4]);
     group.addCounter("dma_bursts", "unsolicited DMA bursts fired",
                      injected_[5]);
+    group.addCounter("board_crashes", "board failstops executed",
+                     injected_[6]);
 }
 
 } // namespace vmp::fault

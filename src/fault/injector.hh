@@ -50,9 +50,10 @@ enum class FaultKind : std::uint8_t
     FifoDrop = 3,       //!< interrupt word force-dropped (overflow)
     InterruptDelay = 4, //!< interrupt line raised late
     DmaBurst = 5,       //!< unsolicited DMA write fired mid-run
+    BoardCrash = 6,     //!< processor board failstopped mid-run
 };
 
-inline constexpr std::size_t kFaultKinds = 6;
+inline constexpr std::size_t kFaultKinds = 7;
 
 const char *faultKindName(FaultKind kind);
 
@@ -72,6 +73,26 @@ struct FaultSpec
 };
 
 /**
+ * One scheduled board failstop. Crashes are *time*-driven rather than
+ * opportunity-driven: the system executing the schedule (see
+ * core::VmpSystem::enableFaultInjection) turns each entry into
+ * killBoard/rejoinBoard events at the given ticks — the injector only
+ * accounts for them. Deterministic by construction (no RNG draw).
+ */
+struct BoardCrashSpec
+{
+    /** CPU board index — or, with interBus set, the cluster index of
+     *  the inter-bus cache board to kill (hierarchical systems). */
+    std::uint32_t board = 0;
+    /** Tick the board failstops at. */
+    Tick at = 0;
+    /** Tick the board hot-rejoins at (0 = never rejoins). */
+    Tick rejoinAt = 0;
+    /** Kill a cluster's inter-bus cache board instead of a CPU. */
+    bool interBus = false;
+};
+
+/**
  * A seed plus a list of FaultSpecs. The builder methods append one
  * spec each and return *this, so schedules read declaratively:
  *
@@ -86,6 +107,8 @@ struct FaultSchedule
     /** Seed of the injector's private Rng. */
     std::uint64_t seed = 1;
     std::vector<FaultSpec> specs;
+    /** Scheduled board failstops (see BoardCrashSpec). */
+    std::vector<BoardCrashSpec> crashes;
 
     FaultSchedule &busAborts(double p);
     FaultSchedule &truncations(double p);
@@ -98,6 +121,13 @@ struct FaultSchedule
     FaultSchedule &window(Tick not_before, Tick not_after);
     /** Make the last appended spec also fire every @p n opportunities. */
     FaultSchedule &everyNth(std::uint64_t n);
+
+    /** Failstop CPU board @p board at tick @p at. */
+    FaultSchedule &crashBoard(std::uint32_t board, Tick at);
+    /** Failstop cluster @p cluster's inter-bus board at tick @p at. */
+    FaultSchedule &crashInterBus(std::uint32_t cluster, Tick at);
+    /** Make the most recently appended crash hot-rejoin at @p t. */
+    FaultSchedule &rejoinAt(Tick t);
 
     /** True if any spec could ever fire for @p kind. */
     bool arms(FaultKind kind) const;
@@ -144,6 +174,12 @@ class FaultInjector final : public mem::FaultHooks
 
     const FaultSchedule &schedule() const { return schedule_; }
     bool armed(FaultKind kind) const;
+
+    /**
+     * Account one executed board crash (called by the system executing
+     * the schedule's BoardCrashSpec entries at their trigger tick).
+     */
+    void noteBoardCrash();
 
     /** Hook calls offered for @p kind so far. */
     std::uint64_t opportunities(FaultKind kind) const;

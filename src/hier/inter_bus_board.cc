@@ -128,7 +128,7 @@ InterBusBoard::idle() const
 void
 InterBusBoard::kick()
 {
-    if (busy_ || kickScheduled_)
+    if (dead_ || busy_ || kickScheduled_)
         return;
     kickScheduled_ = true;
     events_.scheduleIn(1, [this] {
@@ -140,7 +140,7 @@ InterBusBoard::kick()
 void
 InterBusBoard::pump()
 {
-    if (busy_)
+    if (dead_ || busy_)
         return;
     // Global-FIFO overflow may have lost an interrupt word for another
     // cluster's *successful* ownership acquisition; recover
@@ -181,7 +181,20 @@ InterBusBoard::finishWork()
 void
 InterBusBoard::afterSoftware(Tick delay, Done fn)
 {
-    events_.scheduleIn(delay, std::move(fn), "ibc-software");
+    // Every software step of a dead board vanishes: in-flight service
+    // chains (including retry loops) cut off at their next instruction
+    // boundary, so a dead board schedules no further work and the
+    // event queue still drains.
+    events_.scheduleIn(delay, [this, fn = std::move(fn)] {
+        if (!dead_)
+            fn();
+    }, "ibc-software");
+}
+
+void
+InterBusBoard::failstop()
+{
+    dead_ = true;
 }
 
 Tick

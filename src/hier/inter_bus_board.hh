@@ -117,6 +117,21 @@ class InterBusBoard : public mem::BusWatcher
     bool idle() const;
 
     /**
+     * Failstop the board's *software*: the service loop stops (at the
+     * next software step — bus transactions already in flight complete,
+     * they cannot be recalled) and no further global fetches, upgrades
+     * or recalls happen. The board's table *hardware* keeps driving
+     * both buses: local requests the cluster cannot satisfy keep
+     * aborting with nobody left to service them, and the global
+     * monitor's stale entries keep aborting other clusters — the
+     * hazards the recovery subsystem clears. Inter-bus boards do not
+     * hot-rejoin in this model.
+     */
+    void failstop();
+    /** True once failstopped. */
+    bool dead() const { return dead_; }
+
+    /**
      * Arm fault injection on the board's soft spots: the local-side
      * request FIFO, the global-side monitor (FIFO + interrupt
      * delivery) and the global block copier. Null disarms.
@@ -217,6 +232,7 @@ class InterBusBoard : public mem::BusWatcher
 
     bool busy_ = false;
     bool kickScheduled_ = false;
+    bool dead_ = false;
 
     Counter sharedFetches_;
     Counter exclusiveFetches_;

@@ -10,6 +10,7 @@
 #ifndef VMP_MEM_BUS_TYPES_HH
 #define VMP_MEM_BUS_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -29,7 +30,24 @@ enum class TxType : std::uint8_t
     WriteActionTable, //!< explicit action-table entry update
     DmaRead,          //!< normal (non-consistency) device read
     DmaWrite,         //!< normal (non-consistency) device write
+    /**
+     * Recovery-coordinator broadcast reclaiming one frame a failstopped
+     * board owned Protect. Live monitors never hold a valid copy of a
+     * frame somebody else owns Protect, so no watcher action is needed;
+     * the transaction exists for bus occupancy and accounting during a
+     * recovery storm.
+     */
+    Reclaim,
+    /**
+     * Recovery-coordinator broadcast announcing that a dead board's
+     * monitor has been masked out of consistency arbitration. One short
+     * bus tenure; watchers take no action.
+     */
+    BoardMask,
 };
+
+/** Number of distinct TxType values (array-sizing constant). */
+inline constexpr std::size_t kTxTypes = 10;
 
 /** True for the five consistency-related types of Section 3.1. */
 constexpr bool
@@ -61,6 +79,19 @@ movesData(TxType type)
       default:
         return false;
     }
+}
+
+/**
+ * True for the failstop-recovery broadcast types. Recovery transactions
+ * are deliberately *not* consistency-related: a masked (dead) monitor
+ * must not abort them, and live monitors have nothing to do — the
+ * single-owner invariant guarantees no live board holds a valid copy of
+ * a frame the dead board owned Protect.
+ */
+constexpr bool
+isRecoveryTx(TxType type)
+{
+    return type == TxType::Reclaim || type == TxType::BoardMask;
 }
 
 const char *txTypeName(TxType type);

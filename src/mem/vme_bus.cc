@@ -14,7 +14,7 @@ namespace
 
 /**
  * Bounds-checked index into the per-type counter arrays. TxType is a
- * plain enum over 8 values; an out-of-range value (e.g. from a
+ * plain enum over kTxTypes values; an out-of-range value (e.g. from a
  * corrupted or miscast transaction) used to silently index past the
  * fixed arrays and corrupt adjacent counters. Panic instead.
  */
@@ -22,7 +22,7 @@ std::size_t
 txIndex(TxType type)
 {
     const auto index = static_cast<std::size_t>(type);
-    if (index >= 8)
+    if (index >= kTxTypes)
         panic("out-of-range TxType ", index,
               " indexing per-type bus counters");
     return index;
@@ -42,6 +42,8 @@ txTypeName(TxType type)
       case TxType::WriteActionTable: return "write-action-table";
       case TxType::DmaRead: return "dma-read";
       case TxType::DmaWrite: return "dma-write";
+      case TxType::Reclaim: return "reclaim";
+      case TxType::BoardMask: return "board-mask";
     }
     return "?";
 }
@@ -171,11 +173,17 @@ VmeBus::grant()
                bus_time);
 
     ++transactions_;
-    ++typeCounts_[txIndex(tx.type)];
     queueDelays_.sample(toUsec(queue_delay));
     if (aborted) {
         ++aborts_;
         ++typeAborts_[txIndex(tx.type)];
+    } else {
+        // Per-type counts are *completed* transactions only. An
+        // aborted-then-retried transaction would otherwise be counted
+        // once per attempt, double-counting during recovery storms;
+        // aborted grants are visible via aborts()/abortsOf() and still
+        // contribute to transactions_ and bus occupancy.
+        ++typeCounts_[txIndex(tx.type)];
     }
     // Busy time is charged at *completion* (see complete()); while the
     // transaction is in flight utilization() pro-rates it from these
@@ -230,10 +238,11 @@ VmeBus::complete(Pending pending, bool aborted, Tick queue_delay,
     result.queueDelay = queue_delay;
     result.busTime = bus_time;
 
-    // Invariant checking: the observer sees the transaction after data
-    // movement and table side effects, before anyone reacts to it.
-    if (txObserver_)
-        txObserver_(tx, result);
+    // Invariant checking / failure detection: observers see the
+    // transaction after data movement and table side effects, before
+    // anyone reacts to it.
+    for (const auto &observer : txObservers_)
+        observer(tx, result);
 
     // The transaction has now actually occupied the bus for bus_time
     // ticks; account it. (grant() below either starts the next
@@ -296,6 +305,10 @@ VmeBus::registerStats(StatGroup &group) const
                      countOf(TxType::WriteBack));
     group.addCounter("notify", "notify transactions",
                      countOf(TxType::Notify));
+    group.addCounter("reclaim", "recovery reclaim transactions",
+                     countOf(TxType::Reclaim));
+    group.addCounter("board_mask", "recovery board-mask transactions",
+                     countOf(TxType::BoardMask));
     group.addHistogram("queue_delay_us",
                        "arbitration queueing delay distribution (us)",
                        queueDelays_);

@@ -128,14 +128,15 @@ class VmeBus
     /**
      * Observer called after every transaction completes — after data
      * movement and side-effect table updates, before the requester's
-     * completion callback. Used by the coherence checker; at most one
-     * observer may be attached.
+     * completion callback. Observers run in attachment order; the
+     * coherence checker and the recovery failure detector each attach
+     * one.
      */
     using TxObserver =
         std::function<void(const BusTransaction &, const TxResult &)>;
-    void setTxObserver(TxObserver observer)
+    void addTxObserver(TxObserver observer)
     {
-        txObserver_ = std::move(observer);
+        txObservers_.push_back(std::move(observer));
     }
 
     // --- statistics ---
@@ -151,6 +152,13 @@ class VmeBus
      * not just at quiescence.
      */
     double utilization() const;
+    /**
+     * *Completed* (non-aborted) transactions of a given type. An
+     * aborted-then-retried transaction therefore counts exactly once
+     * here when it finally succeeds; the aborted attempts show up only
+     * in abortsOf(). (Counting aborted grants here used to double-count
+     * every retried transaction during recovery storms.)
+     */
     const Counter &countOf(TxType type) const;
     /** Aborted transactions of a given type. */
     const Counter &abortsOf(TxType type) const;
@@ -179,13 +187,13 @@ class VmeBus
     std::deque<Pending> queue_;
     bool busy_ = false;
     FaultHooks *hooks_ = nullptr;
-    TxObserver txObserver_;
+    std::vector<TxObserver> txObservers_;
 
     Counter transactions_;
     Counter aborts_;
     Counter injectedAborts_;
-    Counter typeCounts_[8];
-    Counter typeAborts_[8];
+    Counter typeCounts_[kTxTypes];
+    Counter typeAborts_[kTxTypes];
     /** Queue delay in microseconds, 1 us buckets up to 64 us. */
     Histogram queueDelays_{64, 1.0};
     Tick busyTicks_ = 0;

@@ -66,6 +66,10 @@ BusMonitor::decide(const mem::BusTransaction &tx) const
 mem::WatchVerdict
 BusMonitor::observe(const mem::BusTransaction &tx)
 {
+    // A masked (declared-dead) monitor is electrically off the bus: it
+    // neither aborts nor interrupts, whatever its stale table says.
+    if (masked_)
+        return mem::WatchVerdict::Ignore;
     const mem::WatchVerdict verdict = decide(tx);
     switch (verdict) {
       case mem::WatchVerdict::Ignore:
@@ -108,6 +112,10 @@ BusMonitor::sideEffectUpdate(const mem::BusTransaction &tx)
 {
     // Concurrent action-table update for the issuing processor
     // (Section 3.2): the new entry rides along with the transaction.
+    // A masked monitor takes no updates (its table is frozen for the
+    // recovery coordinator's scan).
+    if (masked_)
+        return;
     table_.setFor(tx.paddr, tx.newEntry);
 }
 

@@ -71,6 +71,18 @@ class BusMonitor : public mem::BusWatcher
     mem::WatchVerdict observe(const mem::BusTransaction &tx) override;
     void sideEffectUpdate(const mem::BusTransaction &tx) override;
 
+    /**
+     * Mask this monitor out of consistency arbitration (failstop
+     * recovery, Section 3 extension): a masked monitor ignores every
+     * transaction and takes no side-effect updates, so the stale
+     * Protect entries of a dead board stop wedging the bus. The action
+     * table itself is *retained* — the recovery coordinator scans it to
+     * find the frames to reclaim, clearing entries as it goes. Unmask
+     * on hot-rejoin after the table has been cleared.
+     */
+    void setMasked(bool masked) { masked_ = masked; }
+    bool masked() const { return masked_; }
+
     const Counter &interrupts() const { return interrupts_; }
     const Counter &abortsIssued() const { return aborts_; }
 
@@ -86,6 +98,7 @@ class BusMonitor : public mem::BusWatcher
     InterruptLine line_;
     mem::FaultHooks *hooks_ = nullptr;
     EventQueue *events_ = nullptr;
+    bool masked_ = false;
     Counter interrupts_;
     Counter aborts_;
 };

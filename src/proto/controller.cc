@@ -34,6 +34,8 @@ WatchdogReport::toString() const
     std::ostringstream os;
     os << "cpu" << cpu << " " << operation << " starved: " << attempts
        << " retries since tick " << started << " (now " << now << ")";
+    if (deadOwnerSuspected)
+        os << " [dead owner suspected]";
     if (operation == "access") {
         os << " va=0x" << std::hex << vaddr << std::dec << " asid="
            << unsigned{asid};
@@ -99,7 +101,17 @@ CacheController::watchdogCheck(const char *operation, Asid asid,
     // is exceeded; the operation keeps retrying afterwards.
     if (watchdogCap_ == 0 || attempts != watchdogCap_ + 1)
         return;
-    ++watchdogTrips_;
+    // Distinguish a genuine livelock (live contenders starving each
+    // other) from a dead owner (the recovery oracle knows the frame's
+    // Protect holder failstopped): only the former is a watchdog trip.
+    // The access path passes paddr 0 (frame unknown pre-translation)
+    // and is always treated as a livelock candidate.
+    const bool owner_dead = deadOracle_ != nullptr && paddr != 0 &&
+        deadOracle_->isFrameOwnerDead(paddr);
+    if (owner_dead)
+        ++deadOwnerSuspected_;
+    else
+        ++watchdogTrips_;
     WatchdogReport report;
     report.cpu = cpuId_;
     report.operation = operation;
@@ -109,12 +121,71 @@ CacheController::watchdogCheck(const char *operation, Asid asid,
     report.attempts = attempts;
     report.started = started;
     report.now = events_.now();
+    report.deadOwnerSuspected = owner_dead;
     lastReport_ = report;
     if (watchdogHandler_) {
         watchdogHandler_(*lastReport_);
     } else {
         warn("livelock watchdog: ", lastReport_->toString());
     }
+}
+
+bool
+CacheController::deadOwnerCheck(const char *operation, Addr vaddr,
+                                Addr paddr, std::uint64_t attempts,
+                                Tick started)
+{
+    if (timing_.deadOwnerTimeoutNs == 0 ||
+        events_.now() - started < timing_.deadOwnerTimeoutNs)
+        return false;
+    ++deadOwnerErrors_;
+    DeadOwnerError error;
+    error.cpu = cpuId_;
+    error.operation = operation;
+    error.paddr = paddr;
+    error.vaddr = vaddr;
+    error.attempts = attempts;
+    error.started = started;
+    error.now = events_.now();
+    error.ownerKnownDead = deadOracle_ != nullptr && paddr != 0 &&
+        deadOracle_->isFrameOwnerDead(paddr);
+    lastDeadOwnerError_ = error;
+    VMP_DTRACE(debug::Recover, events_.now(), "cpu", cpuId_,
+               " abandoning timed wait: ", error.toString());
+    if (deadOwnerHandler_) {
+        deadOwnerHandler_(error);
+    } else {
+        warn("dead-owner timeout: ", error.toString());
+    }
+    return true;
+}
+
+void
+CacheController::failstop()
+{
+    // The board's management software and cache contents are gone; the
+    // bus-side monitor hardware (action table, FIFO) keeps running and
+    // is handled by recovery / rejoin.
+    dead_ = true;
+    const auto total =
+        static_cast<cache::SlotIndex>(cache_.config().totalSlots());
+    for (cache::SlotIndex s = 0; s < total; ++s)
+        cache_.invalidate(s);
+    frames_.clear();
+    slotFrame_.clear();
+    shadow_.clear();
+    liveRetries_ = 0;
+    VMP_DTRACE(debug::Recover, events_.now(), "cpu", cpuId_,
+               " failstop: local state wiped");
+}
+
+void
+CacheController::rejoin()
+{
+    dead_ = false;
+    liveRetries_ = 0;
+    VMP_DTRACE(debug::Recover, events_.now(), "cpu", cpuId_,
+               " rejoin: cold restart");
 }
 
 void
@@ -210,6 +281,15 @@ CacheController::retryAccess(const TranslateRequest &req, Tick started,
     ++liveRetries_;
     watchdogCheck("access", req.asid, req.vaddr, 0, liveRetries_,
                   started);
+    if (deadOwnerCheck("access", req.vaddr, 0, liveRetries_, started)) {
+        // Timed wait expired: the board that must release the page is
+        // not answering. Abandon the access — the reference completes
+        // *without* a cache fill (the caller sees MissCompleted and a
+        // DeadOwnerError); readWord/writeWord must not be used against
+        // potentially-stranded frames for this reason.
+        finishMiss(started, done);
+        return;
+    }
     serviceInterrupts([this, req, started, done = std::move(done)] {
         afterSoftware(retryDelay(), [this, req, started, done] {
             const auto res = cache_.access(req.asid, req.vaddr,
@@ -354,6 +434,18 @@ CacheController::retireVictim(cache::SlotIndex victim, Done done)
                         ++violationCount_;
                         watchdogCheck("write-back", 0, 0, base,
                                       ++*tries, loop_started);
+                        if (deadOwnerCheck("write-back", 0, base,
+                                           *tries, loop_started)) {
+                            // The aborting board is dead: the dirty
+                            // page cannot be written back (its data is
+                            // lost) but our own Protect entry must not
+                            // stay stale. writeActionTable is never
+                            // aborted, so this always completes.
+                            releaseLoop(attempt);
+                            writeActionTable(
+                                base, mem::ActionEntry::Ignore, join);
+                            return;
+                        }
                         afterSoftware(retryDelay(), *attempt);
                         return;
                     }
@@ -628,6 +720,14 @@ CacheController::interruptPending() const
 void
 CacheController::serviceInterrupts(Done done)
 {
+    if (dead_) {
+        // Failstopped: the service software is gone. Words rot in the
+        // FIFO until the recovery coordinator drains them (or a rejoin
+        // clears them) — an idle-servicer poke must not resurrect the
+        // board.
+        done();
+        return;
+    }
     if (!interruptPending()) {
         done();
         return;
@@ -807,6 +907,13 @@ CacheController::relinquishFrame(std::uint64_t frame, Done next)
                         ++violationCount_;
                         watchdogCheck("write-back", 0, 0, base,
                                       ++*tries, loop_started);
+                        if (deadOwnerCheck("write-back", 0, base,
+                                           *tries, loop_started)) {
+                            releaseLoop(attempt);
+                            writeActionTable(
+                                base, mem::ActionEntry::Ignore, next);
+                            return;
+                        }
                         afterSoftware(retryDelay(), *attempt);
                         return;
                     }
@@ -885,6 +992,15 @@ CacheController::downgradeFrame(std::uint64_t frame, Done next)
                         ++violationCount_;
                         watchdogCheck("write-back", 0, 0, base,
                                       ++*tries, loop_started);
+                        if (deadOwnerCheck("write-back", 0, base,
+                                           *tries, loop_started)) {
+                            // Downgrade abandoned: keep the (clean
+                            // from memory's view, lost) page shared.
+                            releaseLoop(attempt);
+                            writeActionTable(
+                                base, mem::ActionEntry::Shared, next);
+                            return;
+                        }
                         afterSoftware(retryDelay(), *attempt);
                         return;
                     }
@@ -983,6 +1099,16 @@ CacheController::assertOwnership(Addr paddr, Done done)
                 ++retryCount_;
                 watchdogCheck("assert-ownership", 0, 0,
                               frameBase(paddr), ++*tries, loop_started);
+                if (deadOwnerCheck("assert-ownership", 0,
+                                   frameBase(paddr), *tries,
+                                   loop_started)) {
+                    // Abandoned: the caller continues *without*
+                    // ownership and must consult deadOwnerErrors()
+                    // before relying on exclusivity.
+                    releaseLoop(attempt);
+                    done();
+                    return;
+                }
                 // Service our own words first: the abort may be our
                 // own monitor protecting an alias we hold.
                 serviceInterrupts([this, attempt] {
@@ -1041,6 +1167,13 @@ CacheController::notifyFrame(Addr paddr, Done done)
             if (r.aborted) {
                 watchdogCheck("notify", 0, 0, frameBase(paddr),
                               ++*tries, loop_started);
+                if (deadOwnerCheck("notify", 0, frameBase(paddr),
+                                   *tries, loop_started)) {
+                    // Notification abandoned (best-effort semantics).
+                    releaseLoop(attempt);
+                    done();
+                    return;
+                }
                 afterSoftware(retryDelay(), *attempt);
                 return;
             }
@@ -1164,6 +1297,14 @@ CacheController::flushFrame(Addr paddr, Done done)
                     ++violationCount_;
                     watchdogCheck("write-back", 0, 0, base, ++*tries,
                                   loop_started);
+                    if (deadOwnerCheck("write-back", 0, base, *tries,
+                                       loop_started)) {
+                        // Flush abandoned: ownership (and the Protect
+                        // entry) is retained, the dirty data is lost.
+                        releaseLoop(attempt);
+                        done();
+                        return;
+                    }
                     afterSoftware(retryDelay(), *attempt);
                     return;
                 }
@@ -1239,6 +1380,12 @@ CacheController::registerStats(StatGroup &group) const
     group.addCounter("watchdog_trips",
                      "retry loops that exceeded the watchdog cap",
                      watchdogTrips_);
+    group.addCounter("dead_owner_suspected",
+                     "watchdog cap hits attributed to a dead owner",
+                     deadOwnerSuspected_);
+    group.addCounter("dead_owner_errors",
+                     "timed waits abandoned with a DeadOwnerError",
+                     deadOwnerErrors_);
     group.addHistogram("retries_per_miss",
                        "retries needed per completed miss",
                        retryHistogram_);

@@ -38,6 +38,7 @@
 #include "mem/block_copier.hh"
 #include "mem/vme_bus.hh"
 #include "monitor/bus_monitor.hh"
+#include "proto/dead_owner.hh"
 #include "proto/timing.hh"
 #include "sim/random.hh"
 #include "proto/translator.hh"
@@ -93,6 +94,13 @@ struct WatchdogReport
     Tick started = 0;
     /** Tick the watchdog tripped at. */
     Tick now = 0;
+    /**
+     * True when the dead-owner oracle reports the frame's Protect
+     * owner failstopped: the loop is waiting on a dead board, not
+     * livelocked against live contenders. Counted separately (see
+     * deadOwnerSuspected()), not as a watchdog trip.
+     */
+    bool deadOwnerSuspected = false;
 
     std::string toString() const;
 };
@@ -139,6 +147,48 @@ class CacheController
 
     /** Forward fault-injection hooks to this board's block copier. */
     void setFaultHooks(mem::FaultHooks *hooks);
+
+    /** Dead-owner error upcall; see proto/dead_owner.hh. */
+    using DeadOwnerHandler = std::function<void(const DeadOwnerError &)>;
+
+    /**
+     * Install the recovery subsystem's dead-owner oracle (nullptr to
+     * detach). With an oracle the watchdog attributes starvation on a
+     * frame whose Protect owner is declared dead to the dead owner
+     * instead of counting a livelock trip.
+     */
+    void setDeadOwnerOracle(const DeadOwnerOracle *oracle)
+    {
+        deadOracle_ = oracle;
+    }
+
+    /**
+     * Install a handler for DeadOwnerError reports (abandoned timed
+     * waits). Without a handler the error is warned to stderr; it is
+     * counted and retained either way.
+     */
+    void setDeadOwnerHandler(DeadOwnerHandler handler)
+    {
+        deadOwnerHandler_ = std::move(handler);
+    }
+
+    // --- failstop / hot-rejoin (driven by core::VmpSystem) ---
+
+    /**
+     * Failstop this board's management software: all local bookkeeping
+     * (frame table, slot map, action-table shadow) and cache contents
+     * vanish, exactly as if the board lost power. The bus-side monitor
+     * hardware is *not* touched — its stale table keeps aborting until
+     * the recovery coordinator masks it (or a rejoin clears it), which
+     * is precisely the wedge the recovery subsystem exists to break.
+     */
+    void failstop();
+
+    /** Restart the board's software cold after a failstop. */
+    void rejoin();
+
+    /** True between failstop() and rejoin(). */
+    bool dead() const { return dead_; }
 
     /** Retry delay with desynchronizing jitter (public so the
      *  determinism regression tests can sample the sequence). */
@@ -251,6 +301,18 @@ class CacheController
     Tick serviceStallTicks() const { return serviceStall_; }
     /** Times any retry loop exceeded the watchdog cap. */
     const Counter &watchdogTrips() const { return watchdogTrips_; }
+    /** Watchdog cap hits attributed to a declared-dead owner. */
+    const Counter &deadOwnerSuspected() const
+    {
+        return deadOwnerSuspected_;
+    }
+    /** Timed waits abandoned with a DeadOwnerError. */
+    const Counter &deadOwnerErrors() const { return deadOwnerErrors_; }
+    /** Most recent dead-owner error, if any wait was ever abandoned. */
+    const std::optional<DeadOwnerError> &lastDeadOwnerError() const
+    {
+        return lastDeadOwnerError_;
+    }
     /** Most recent starvation report, if the watchdog ever tripped. */
     const std::optional<WatchdogReport> &lastWatchdogReport() const
     {
@@ -320,6 +382,14 @@ class CacheController
     void watchdogCheck(const char *operation, Asid asid, Addr vaddr,
                        Addr paddr, std::uint64_t attempts, Tick started);
 
+    /**
+     * Timed-wait check for one retry loop: true when the dead-owner
+     * deadline has expired, in which case a DeadOwnerError has been
+     * raised and the loop must abandon the operation.
+     */
+    bool deadOwnerCheck(const char *operation, Addr vaddr, Addr paddr,
+                        std::uint64_t attempts, Tick started);
+
     CpuId cpuId_;
     EventQueue &events_;
     cache::Cache &cache_;
@@ -357,6 +427,14 @@ class CacheController
     WatchdogHandler watchdogHandler_;
     Counter watchdogTrips_;
     std::optional<WatchdogReport> lastReport_;
+
+    // --- dead-owner timed waits / failstop state ---
+    const DeadOwnerOracle *deadOracle_ = nullptr;
+    DeadOwnerHandler deadOwnerHandler_;
+    Counter deadOwnerSuspected_;
+    Counter deadOwnerErrors_;
+    std::optional<DeadOwnerError> lastDeadOwnerError_;
+    bool dead_ = false;
     /** Retries of the in-flight access (one CPU => one at a time). */
     std::uint64_t liveRetries_ = 0;
     /** Retries per completed miss; bucket n = n retries, last bucket

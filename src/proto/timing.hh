@@ -49,6 +49,17 @@ struct SoftwareTiming
      * contenders can livelock in lockstep.
      */
     Tick retryJitterNs = 12000;
+    /**
+     * Dead-owner deadline: when one logical operation (an access miss,
+     * a write-back, an assert-ownership, ...) has been retrying for
+     * longer than this, the controller abandons the wait and raises a
+     * structured DeadOwnerError instead of spinning forever against a
+     * board that will never answer. 0 disables the timed wait. The
+     * default is orders of magnitude beyond any retry chain a live
+     * system produces (tens of microseconds), so the timed wait does
+     * not perturb fault-free runs.
+     */
+    Tick deadOwnerTimeoutNs = 50'000'000;
 
     /** Total serial software time on a miss (no write-back overlap). */
     Tick serialNs() const { return trapEntryNs + overlapNs + postNs; }

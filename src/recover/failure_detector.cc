@@ -1,0 +1,212 @@
+#include "recover/failure_detector.hh"
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace vmp::recover
+{
+
+FailureDetector::FailureDetector(EventQueue &events, mem::VmeBus &bus,
+                                 std::uint32_t page_bytes,
+                                 DetectorConfig config)
+    : events_(events), bus_(bus), pageBytes_(page_bytes),
+      config_(config)
+{
+    if (pageBytes_ == 0)
+        fatal("failure detector needs a nonzero page size");
+    if (config_.maxProbes == 0)
+        fatal("failure detector needs at least one probe");
+    if (config_.deadlineNs == 0)
+        fatal("failure detector needs a nonzero probe deadline");
+}
+
+void
+FailureDetector::addBoard(std::uint32_t master,
+                          const monitor::BusMonitor *monitor,
+                          AliveFn alive)
+{
+    if (find(master) != nullptr)
+        fatal("master ", master, " registered twice with the detector");
+    if (!alive)
+        fatal("master ", master, " registered without an AliveFn");
+    Board board;
+    board.master = master;
+    board.monitor = monitor;
+    board.alive = std::move(alive);
+    boards_.push_back(std::move(board));
+}
+
+void
+FailureDetector::install()
+{
+    if (installed_)
+        fatal("failure detector installed twice on one bus");
+    installed_ = true;
+    bus_.addTxObserver(
+        [this](const mem::BusTransaction &tx,
+               const mem::TxResult &result) {
+            onTransaction(tx, result);
+        });
+}
+
+void
+FailureDetector::markRejoined(std::uint32_t master)
+{
+    Board *board = find(master);
+    if (board == nullptr)
+        fatal("markRejoined for unknown master ", master);
+    board->state = BoardState::Live;
+    board->probeAttempt = 0;
+}
+
+bool
+FailureDetector::declaredDead(std::uint32_t master) const
+{
+    const Board *board = find(master);
+    return board != nullptr && board->state == BoardState::Dead;
+}
+
+FailureDetector::Board *
+FailureDetector::find(std::uint32_t master)
+{
+    for (Board &board : boards_) {
+        if (board.master == master)
+            return &board;
+    }
+    return nullptr;
+}
+
+const FailureDetector::Board *
+FailureDetector::find(std::uint32_t master) const
+{
+    for (const Board &board : boards_) {
+        if (board.master == master)
+            return &board;
+    }
+    return nullptr;
+}
+
+void
+FailureDetector::onTransaction(const mem::BusTransaction &tx,
+                               const mem::TxResult &result)
+{
+    if (!mem::isConsistencyRelated(tx.type))
+        return;
+    ++observed_;
+
+    const std::uint64_t frame = tx.paddr / pageBytes_;
+    if (result.aborted) {
+        const std::uint64_t streak = ++abortStreaks_[frame];
+        if (streak >= config_.abortStreakThreshold) {
+            abortStreaks_.erase(frame);
+            suspectOwnerOf(frame, tx.type);
+        }
+    } else {
+        abortStreaks_.erase(frame);
+    }
+
+    // Periodic liveness sweep, clocked by bus traffic rather than a
+    // standing timer so an idle event queue still drains. A dead board
+    // that owns nothing (and therefore aborts nothing) is caught here.
+    if (config_.sweepPeriod != 0 &&
+        observed_ % config_.sweepPeriod == 0) {
+        for (Board &board : boards_) {
+            if (board.state == BoardState::Live && !board.alive())
+                suspect(board);
+        }
+    }
+}
+
+void
+FailureDetector::suspectOwnerOf(std::uint64_t frame, mem::TxType type)
+{
+    // Whose table is doing the aborting? A Protect entry aborts every
+    // consistency transaction; a Shared entry aborts write-back only.
+    for (Board &board : boards_) {
+        if (board.state != BoardState::Live || board.monitor == nullptr)
+            continue;
+        if (board.monitor->masked())
+            continue;
+        const mem::ActionEntry entry = board.monitor->table().get(frame);
+        const bool aborter =
+            entry == mem::ActionEntry::Protect ||
+            (entry == mem::ActionEntry::Shared &&
+             type == mem::TxType::WriteBack);
+        if (aborter)
+            suspect(board);
+    }
+}
+
+void
+FailureDetector::suspect(Board &board)
+{
+    if (board.state != BoardState::Live)
+        return;
+    board.state = BoardState::Suspect;
+    board.probeAttempt = 0;
+    board.probeDelay = config_.deadlineNs;
+    ++suspicions_;
+    VMP_DTRACE(debug::Recover, events_.now(), "suspect master ",
+               board.master, "; first probe in ", board.probeDelay,
+               " ns");
+    Board *target = &board; // deque: stable address
+    events_.scheduleIn(board.probeDelay, [this, target] {
+        probe(*target);
+    }, "fd-probe");
+}
+
+void
+FailureDetector::probe(Board &board)
+{
+    if (board.state != BoardState::Suspect)
+        return; // rejoined or already declared while the probe was queued
+    ++probes_;
+    if (board.alive()) {
+        board.state = BoardState::Live;
+        ++falseSuspicions_;
+        VMP_DTRACE(debug::Recover, events_.now(), "master ",
+                   board.master, " answered probe ",
+                   board.probeAttempt + 1, "; suspicion cleared");
+        return;
+    }
+    ++board.probeAttempt;
+    if (board.probeAttempt >= config_.maxProbes) {
+        declare(board);
+        return;
+    }
+    board.probeDelay *= 2; // exponential backoff
+    VMP_DTRACE(debug::Recover, events_.now(), "master ", board.master,
+               " missed probe ", board.probeAttempt, "; next in ",
+               board.probeDelay, " ns");
+    Board *target = &board;
+    events_.scheduleIn(board.probeDelay, [this, target] {
+        probe(*target);
+    }, "fd-probe");
+}
+
+void
+FailureDetector::declare(Board &board)
+{
+    board.state = BoardState::Dead;
+    ++declarations_;
+    VMP_DTRACE(debug::Recover, events_.now(), "master ", board.master,
+               " declared failstopped after ", config_.maxProbes,
+               " probes");
+    if (onDead_)
+        onDead_(board.master);
+}
+
+void
+FailureDetector::registerStats(StatGroup &group) const
+{
+    group.addCounter("suspicions", "boards moved Live -> Suspect",
+                     suspicions_);
+    group.addCounter("probes", "liveness probes issued", probes_);
+    group.addCounter("false_suspicions",
+                     "suspicions cleared by an answered probe",
+                     falseSuspicions_);
+    group.addCounter("declarations", "boards declared failstopped",
+                     declarations_);
+}
+
+} // namespace vmp::recover

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Failstop failure detector. The paper's consistency protocol assumes
+ * every board eventually services its bus-monitor interrupts; a
+ * failstopped board violates that silently — its monitor hardware keeps
+ * aborting transactions against stale Protect entries while the software
+ * that would release them is gone. The detector watches the bus for the
+ * two observable symptoms:
+ *
+ *  - an *abort streak*: the same frame's consistency transactions keep
+ *    aborting (a live owner resolves the conflict within a handful of
+ *    retries; a dead one never does);
+ *  - a *liveness sweep*: every sweepPeriod observed consistency
+ *    transactions, each registered board's AliveFn is polled.
+ *
+ * Either symptom moves a board Live -> Suspect and schedules a probe
+ * after deadlineNs; each unanswered probe doubles the delay
+ * (exponential backoff) until maxProbes probes have failed, at which
+ * point the board is declared dead and the DeadFn fires — typically
+ * wired to RecoveryManager's reclaim flow.
+ *
+ * Determinism and drain-friendliness: the detector consumes no
+ * randomness and schedules *no standing periodic events* — probes are
+ * scheduled only while a suspicion is pending and every chain is finite
+ * (maxProbes), so an event queue with no other work still drains. In a
+ * fault-free run the detector observes transactions but never suspects
+ * anything: behavior is bit-identical to a run without it.
+ */
+
+#ifndef VMP_RECOVER_FAILURE_DETECTOR_HH
+#define VMP_RECOVER_FAILURE_DETECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "mem/vme_bus.hh"
+#include "monitor/bus_monitor.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp::recover
+{
+
+/** Detection policy knobs. */
+struct DetectorConfig
+{
+    /** Delay from suspicion to the first probe. */
+    Tick deadlineNs = 100'000;
+    /** Probes before a Suspect board is declared dead. */
+    std::uint32_t maxProbes = 3;
+    /**
+     * Consecutive aborts of consistency transactions against one frame
+     * before the frame's Protect owner is suspected. Live-owner retry
+     * chains stay far below this.
+     */
+    std::uint64_t abortStreakThreshold = 16;
+    /** Observed consistency transactions between liveness sweeps. */
+    std::uint64_t sweepPeriod = 256;
+};
+
+/**
+ * Bus-clocked failstop detector for one bus segment. Boards register
+ * with a bus-master id, an optional monitor (whose action table is
+ * consulted to map an abort streak on a frame to the board that owns
+ * it) and an AliveFn the probes poll.
+ */
+class FailureDetector
+{
+  public:
+    /** Polled by probes; must be cheap and side-effect free. */
+    using AliveFn = std::function<bool()>;
+    /** Fired exactly once per declaration, with the dead master id. */
+    using DeadFn = std::function<void(std::uint32_t master)>;
+
+    FailureDetector(EventQueue &events, mem::VmeBus &bus,
+                    std::uint32_t page_bytes,
+                    DetectorConfig config = {});
+
+    /**
+     * Register a board. @p monitor may be null (e.g. a bridge whose
+     * local table is not visible on this bus): such a board is only
+     * ever caught by liveness sweeps, never by abort streaks.
+     */
+    void addBoard(std::uint32_t master,
+                  const monitor::BusMonitor *monitor, AliveFn alive);
+
+    void setOnDead(DeadFn on_dead) { onDead_ = std::move(on_dead); }
+
+    /** Start observing the bus. */
+    void install();
+
+    /** A previously declared-dead board is back: trust it again. */
+    void markRejoined(std::uint32_t master);
+
+    bool declaredDead(std::uint32_t master) const;
+
+    const DetectorConfig &config() const { return config_; }
+
+    const Counter &suspicions() const { return suspicions_; }
+    const Counter &probes() const { return probes_; }
+    const Counter &falseSuspicions() const { return falseSuspicions_; }
+    const Counter &declarations() const { return declarations_; }
+
+    void registerStats(StatGroup &group) const;
+
+  private:
+    enum class BoardState : std::uint8_t { Live, Suspect, Dead };
+
+    struct Board
+    {
+        std::uint32_t master;
+        const monitor::BusMonitor *monitor;
+        AliveFn alive;
+        BoardState state = BoardState::Live;
+        std::uint32_t probeAttempt = 0;
+        Tick probeDelay = 0;
+    };
+
+    void onTransaction(const mem::BusTransaction &tx,
+                       const mem::TxResult &result);
+    void suspectOwnerOf(std::uint64_t frame, mem::TxType type);
+    void suspect(Board &board);
+    void probe(Board &board);
+    void declare(Board &board);
+    Board *find(std::uint32_t master);
+    const Board *find(std::uint32_t master) const;
+
+    EventQueue &events_;
+    mem::VmeBus &bus_;
+    std::uint32_t pageBytes_;
+    DetectorConfig config_;
+    DeadFn onDead_;
+    bool installed_ = false;
+
+    /** Stable addresses: probe events capture Board pointers. */
+    std::deque<Board> boards_;
+    /** Consecutive aborts per frame (erased on any success). */
+    std::unordered_map<std::uint64_t, std::uint64_t> abortStreaks_;
+    std::uint64_t observed_ = 0;
+
+    Counter suspicions_;
+    Counter probes_;
+    Counter falseSuspicions_;
+    Counter declarations_;
+};
+
+} // namespace vmp::recover
+
+#endif // VMP_RECOVER_FAILURE_DETECTOR_HH

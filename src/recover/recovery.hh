@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Recovery coordinator: turns a FailureDetector declaration into a
+ * completed reclaim of everything the dead board owned, restoring the
+ * single-owner invariant the paper's protocol depends on.
+ *
+ * Declare-dead flow, per board:
+ *  1. mask the board's bus monitor (its stale Protect entries stop
+ *     aborting live traffic) and drain its interrupt FIFO — the words
+ *     would never be serviced;
+ *  2. broadcast one BoardMask transaction announcing the masking (bus
+ *     occupancy + an ordering point for observers);
+ *  3. scan the masked monitor's action table: Shared/Notify entries are
+ *     dropped silently (clean copies — memory is authoritative),
+ *     Protect entries are queued for reclaim;
+ *  4. for each Protect frame, after reclaimServiceNs of coordinator
+ *     service time, broadcast a Reclaim transaction and clear the
+ *     entry. The only valid copy of a Protect frame lived in the dead
+ *     board's cache, so its contents are *lost* (recover.pages_lost);
+ *     if a backing store is attached, the coordinator re-fetches the
+ *     last image written out and DMA-restores it to memory
+ *     (recover.pages_restored);
+ *  5. record time-to-recover and fire the post-reclaim hook — wired by
+ *     the system to an immediate CoherenceChecker owners sweep.
+ *
+ * The manager implements proto::DeadOwnerOracle: while a declared-dead
+ * board still holds an unreclaimed Protect entry for a frame (or a
+ * bridge to the frame's home bus is dead), controllers waiting on that
+ * frame learn their wait is hopeless and abandon with a structured
+ * DeadOwnerError instead of hanging.
+ *
+ * Failstop only: a board is either executing its software correctly or
+ * halted — Byzantine behavior (a live board emitting wrong protocol
+ * traffic) is out of scope, matching the paper's hardware model.
+ */
+
+#ifndef VMP_RECOVER_RECOVERY_HH
+#define VMP_RECOVER_RECOVERY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "mem/phys_mem.hh"
+#include "mem/vme_bus.hh"
+#include "monitor/bus_monitor.hh"
+#include "proto/dead_owner.hh"
+#include "recover/failure_detector.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "vm/backing_store.hh"
+
+namespace vmp::recover
+{
+
+/** Coordinator policy knobs (detection policy rides along). */
+struct RecoveryConfig
+{
+    DetectorConfig detector;
+    /** Coordinator software service time per reclaimed frame. */
+    Tick reclaimServiceNs = 3000;
+    /** Bus-master id the coordinator issues transactions as; must not
+     *  collide with any CPU, bridge or DMA device. */
+    std::uint32_t coordinatorMaster = 0xFFFF;
+};
+
+/**
+ * One bus segment's recovery coordinator. Owns a FailureDetector and
+ * reacts to its declarations. Boards register with their (mutable)
+ * monitor so the coordinator can mask it and clear its table; bridges
+ * register liveness-only — a dead bridge strands every frame reached
+ * through it, so the oracle answers "dead owner" for all frames until
+ * the bridge rejoins (bridge boards do not hot-rejoin in this model).
+ */
+class RecoveryManager final : public proto::DeadOwnerOracle
+{
+  public:
+    RecoveryManager(EventQueue &events, mem::VmeBus &bus,
+                    mem::PhysMem &memory, RecoveryConfig config = {});
+
+    /** Register a CPU board: full mask-and-reclaim handling. */
+    void addBoard(std::uint32_t master, monitor::BusMonitor &monitor,
+                  FailureDetector::AliveFn alive);
+
+    /**
+     * Register a bridge (inter-bus cache board) on its *local* bus:
+     * liveness detection only, no reclaim — the bridge's global-side
+     * frames are reclaimed by the global bus's own manager, which
+     * registers the bridge's global monitor via addBoard().
+     */
+    void addBridge(std::uint32_t master, FailureDetector::AliveFn alive);
+
+    /** Start observing the bus. */
+    void install();
+
+    /**
+     * Attach the page source for lost-page restoration. @p asid is the
+     * address-space key the system checkpoints physical frames under
+     * (vpn == frame number).
+     */
+    void setBackingStore(vm::BackingStore *store, Asid asid);
+
+    /** Fired after each completed reclaim (checker sweep hook). */
+    void setPostReclaimHook(std::function<void()> hook);
+
+    /**
+     * A killed board hot-rejoined: trust it again. Fatal while its
+     * reclaim is still in flight — the system must sequence rejoin
+     * after recovery completes.
+     */
+    void markRejoined(std::uint32_t master);
+
+    // --- proto::DeadOwnerOracle ---
+    bool isFrameOwnerDead(Addr paddr) const override;
+
+    FailureDetector &detector() { return detector_; }
+    const FailureDetector &detector() const { return detector_; }
+    const RecoveryConfig &config() const { return config_; }
+
+    /** Boards currently declared dead (reclaimed or in progress). */
+    std::uint64_t deadBoards() const;
+    /** True while any board's reclaim is still in flight. */
+    bool recovering() const;
+    /** Declaration-to-reclaim-complete time of the last recovery. */
+    Tick lastRecoveryNs() const { return lastRecoveryNs_; }
+
+    const Counter &boardsDeclaredDead() const { return boardsDead_; }
+    const Counter &framesReclaimed() const { return framesReclaimed_; }
+    const Counter &sharedDropped() const { return sharedDropped_; }
+    const Counter &pagesLost() const { return pagesLost_; }
+    const Counter &pagesRestored() const { return pagesRestored_; }
+    const Counter &recoveriesCompleted() const { return recoveries_; }
+
+    /** Registers coordinator and detector stats into @p group. */
+    void registerStats(StatGroup &group) const;
+
+  private:
+    struct Record
+    {
+        std::uint32_t master;
+        monitor::BusMonitor *monitor; //!< null for bridges
+        bool bridge = false;
+        bool dead = false;
+        bool reclaiming = false;
+        Tick declaredAt = 0;
+    };
+
+    void onDeclaredDead(std::uint32_t master);
+    void startReclaim(Record &record);
+    void reclaimNext(Record &record,
+                     std::shared_ptr<std::deque<std::uint64_t>> frames);
+    void restoreFrame(Record &record, std::uint64_t frame,
+                      std::shared_ptr<std::deque<std::uint64_t>> frames);
+    void finishReclaim(Record &record);
+    Record *find(std::uint32_t master);
+    const Record *find(std::uint32_t master) const;
+
+    EventQueue &events_;
+    mem::VmeBus &bus_;
+    mem::PhysMem &mem_;
+    RecoveryConfig config_;
+    FailureDetector detector_;
+
+    /** Stable addresses: reclaim events capture Record pointers. */
+    std::deque<Record> records_;
+    vm::BackingStore *backing_ = nullptr;
+    Asid backingAsid_ = 0;
+    std::function<void()> postReclaimHook_;
+    Tick lastRecoveryNs_ = 0;
+
+    Counter boardsDead_;
+    Counter framesReclaimed_;
+    Counter sharedDropped_;
+    Counter pagesLost_;
+    Counter pagesRestored_;
+    Counter recoveries_;
+};
+
+} // namespace vmp::recover
+
+#endif // VMP_RECOVER_RECOVERY_HH

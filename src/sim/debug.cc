@@ -36,6 +36,7 @@ flagName(Flag flag)
       case Cpu: return "Cpu";
       case Fault: return "Fault";
       case Check: return "Check";
+      case Recover: return "Recover";
       default: return "?";
     }
 }
@@ -67,10 +68,12 @@ parseFlags(const std::string &spec)
             result |= Fault;
         } else if (token == "Check") {
             result |= Check;
+        } else if (token == "Recover") {
+            result |= Recover;
         } else {
             fatal("unknown debug flag '", token,
                   "' (known: Bus, Cache, Monitor, Proto, Vm, Cpu, "
-                  "Fault, Check, all)");
+                  "Fault, Check, Recover, all)");
         }
     }
     return result;

@@ -31,6 +31,7 @@ enum Flag : std::uint32_t
     Cpu = 1u << 5,      //!< instruction/reference stream
     Fault = 1u << 6,    //!< fault injection decisions
     Check = 1u << 7,    //!< coherence-invariant checker
+    Recover = 1u << 8,  //!< failure detection and ownership reclaim
     All = 0xffffffff,
 };
 

@@ -99,8 +99,7 @@ TEST(VmpSystem, WriteBackOnlyMemoryMutation)
     system.runTraces({&gen0, &gen1});
     // Every memory mutation is a *successful* write-back transaction.
     EXPECT_EQ(system.memory().writes().value(),
-              system.bus().countOf(mem::TxType::WriteBack).value() -
-                  system.bus().abortsOf(mem::TxType::WriteBack).value());
+              system.bus().countOf(mem::TxType::WriteBack).value());
 }
 
 TEST(VmpSystem, MoreProcessorsRaiseBusUtilization)

@@ -286,8 +286,13 @@ TEST(FaultInjector, AllKindsFireAndInvariantsHold)
     s.fifoDrops(0.0).everyNth(25);
     s.interruptDelays(0.0, 4'000).everyNth(10);
     s.dmaBursts(0.0).everyNth(50);
+    // One mid-run failstop with a hot-rejoin covers BoardCrash; the
+    // rejoined board replays the rest of its trace, so every reference
+    // still retires.
+    s.crashBoard(1, msec(2)).rejoinAt(msec(4));
     auto &injector = system.enableFaultInjection(s);
     auto &checker = system.enableCoherenceChecker();
+    system.enableRecovery();
 
     auto gens = makeSources("atum3", 2, 20'000, 21);
     auto raw = rawSources(gens);

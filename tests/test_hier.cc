@@ -100,16 +100,14 @@ expectTwoLevelWriteInvariant(core::HierVmpSystem &system)
 {
     const auto &gbus = system.globalBus();
     const std::uint64_t global_expected =
-        gbus.countOf(mem::TxType::WriteBack).value() -
-        gbus.abortsOf(mem::TxType::WriteBack).value() +
+        gbus.countOf(mem::TxType::WriteBack).value() +
         gbus.countOf(mem::TxType::DmaWrite).value();
     EXPECT_EQ(system.memory().writes().value(), global_expected);
 
     for (std::uint32_t k = 0; k < system.clusters(); ++k) {
         const auto &bus = system.localBus(k);
         const std::uint64_t local_expected =
-            bus.countOf(mem::TxType::WriteBack).value() -
-            bus.abortsOf(mem::TxType::WriteBack).value() +
+            bus.countOf(mem::TxType::WriteBack).value() +
             bus.countOf(mem::TxType::DmaWrite).value();
         EXPECT_EQ(system.image(k).writes().value(), local_expected)
             << "cluster " << k;

@@ -52,8 +52,7 @@ expectWriteInvariant(core::VmpSystem &system)
 {
     const auto &bus = system.bus();
     const std::uint64_t expected =
-        bus.countOf(mem::TxType::WriteBack).value() -
-        bus.abortsOf(mem::TxType::WriteBack).value() +
+        bus.countOf(mem::TxType::WriteBack).value() +
         bus.countOf(mem::TxType::DmaWrite).value();
     EXPECT_EQ(system.memory().writes().value(), expected);
 }

@@ -649,8 +649,7 @@ TEST_F(ProtoTest, OnlyWriteBacksMutateMemoryDuringCachedWork)
     }
     // Every memory write was a successful write-back transaction.
     EXPECT_EQ(sys.memory.writes().value(),
-              sys.bus.countOf(mem::TxType::WriteBack).value() -
-                  sys.bus.abortsOf(mem::TxType::WriteBack).value());
+              sys.bus.countOf(mem::TxType::WriteBack).value());
 }
 
 TEST_F(ProtoTest, TwoStateInvariantAfterQuiescence)

@@ -1,0 +1,773 @@
+/**
+ * @file
+ * Failstop-recovery tests: the completed-only per-type bus counters,
+ * the FailureDetector state machine (abort streaks, liveness sweeps,
+ * probe backoff, false suspicions), the RecoveryManager reclaim flow
+ * (mask, drain, scan, Reclaim broadcast, backing-store restore), the
+ * null-hook determinism guarantee, killBoard/rejoinBoard on the flat
+ * machine, DeadOwnerError surfacing without recovery, and inter-bus
+ * board death on the two-level hierarchy.
+ *
+ * The fast tests run in tier-1; the Torture* suites are registered
+ * separately under the ctest label "torture" and sweep board-crash
+ * schedules (kill one / kill-and-rejoin / kill an inter-bus board)
+ * across page sizes and seeds, requiring zero invariant violations
+ * and bounded pages_lost on every run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/coherence_checker.hh"
+#include "core/hier_system.hh"
+#include "core/system.hh"
+#include "fault/injector.hh"
+#include "mem/bus_types.hh"
+#include "mem/phys_mem.hh"
+#include "mem/vme_bus.hh"
+#include "monitor/bus_monitor.hh"
+#include "proto/controller.hh"
+#include "recover/failure_detector.hh"
+#include "recover/recovery.hh"
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+#include "vm/backing_store.hh"
+#include "vm/page_table.hh"
+
+namespace vmp
+{
+namespace
+{
+
+using mem::ActionEntry;
+using mem::TxType;
+using mem::WatchVerdict;
+
+// ------------------------------------------------------------ helpers
+
+core::VmpConfig
+smallConfig(std::uint32_t cpus, std::uint32_t page_bytes,
+            std::size_t fifo_capacity = 128)
+{
+    core::VmpConfig cfg;
+    cfg.processors = cpus;
+    cfg.cache = cache::CacheConfig{page_bytes, 2, 16, true};
+    cfg.memBytes = MiB(1);
+    cfg.fifoCapacity = fifo_capacity;
+    return cfg;
+}
+
+/** Drain every live board's FIFO so the system is quiescent (a dead
+ *  board's serviceInterrupts is a no-op by design). */
+void
+quiesce(core::VmpSystem &system)
+{
+    for (int round = 0; round < 4; ++round) {
+        for (std::size_t cpu = 0; cpu < system.processors(); ++cpu) {
+            bool done = false;
+            system.controller(cpu).serviceInterrupts(
+                [&] { done = true; });
+            system.events().run();
+            ASSERT_TRUE(done);
+        }
+    }
+}
+
+std::vector<std::unique_ptr<trace::SyntheticGen>>
+makeSources(const std::string &workload, std::uint32_t cpus,
+            std::uint64_t refs_per_cpu, std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+    for (std::uint32_t i = 0; i < cpus; ++i) {
+        auto cfg = trace::workloadConfig(workload);
+        cfg.totalRefs = refs_per_cpu;
+        cfg.seed = seed * 1000 + i;
+        gens.push_back(std::make_unique<trace::SyntheticGen>(cfg));
+    }
+    return gens;
+}
+
+std::vector<trace::RefSource *>
+rawSources(std::vector<std::unique_ptr<trace::SyntheticGen>> &gens)
+{
+    std::vector<trace::RefSource *> raw;
+    for (auto &g : gens)
+        raw.push_back(g.get());
+    return raw;
+}
+
+std::string
+reportsOf(const check::CoherenceChecker &checker)
+{
+    std::ostringstream os;
+    for (const auto &r : checker.reports())
+        os << r << "\n";
+    return os.str();
+}
+
+/** Minimal bus rig: memory + bus, no processors. */
+struct BusRig
+{
+    explicit BusRig(std::uint32_t page_bytes = 256)
+        : memory(MiB(1), page_bytes), bus(events, memory)
+    {}
+
+    /** Issue @p tx and run to completion; returns aborted flag. */
+    bool
+    issue(const mem::BusTransaction &tx)
+    {
+        bool done = false;
+        bool aborted = false;
+        bus.request(tx, [&](const mem::TxResult &r) {
+            aborted = r.aborted;
+            done = true;
+        });
+        events.run();
+        EXPECT_TRUE(done);
+        return aborted;
+    }
+
+    mem::BusTransaction
+    shortTx(TxType type, Addr paddr, std::uint32_t requester)
+    {
+        mem::BusTransaction tx;
+        tx.type = type;
+        tx.requester = requester;
+        tx.paddr = paddr;
+        return tx;
+    }
+
+    EventQueue events;
+    mem::PhysMem memory;
+    mem::VmeBus bus;
+};
+
+// --------------------------------------------------- per-type counters
+//
+// Regression for the completed-only countOf() semantics: an
+// aborted-then-retried transaction must count exactly once in
+// countOf() (when it finally succeeds) and exactly once in abortsOf().
+// Counting aborted grants in countOf() used to double-count every
+// retried transaction during recovery storms.
+
+/** Aborts the first ReadShared it observes, then ignores everything. */
+class AbortOnce : public mem::BusWatcher
+{
+  public:
+    WatchVerdict
+    observe(const mem::BusTransaction &tx) override
+    {
+        if (tx.type == TxType::ReadShared && !fired_) {
+            fired_ = true;
+            return WatchVerdict::AbortAndInterrupt;
+        }
+        return WatchVerdict::Ignore;
+    }
+
+    void sideEffectUpdate(const mem::BusTransaction &) override {}
+
+  private:
+    bool fired_ = false;
+};
+
+TEST(BusCounters, AbortedThenRetriedCountsOnce)
+{
+    BusRig rig;
+    AbortOnce watcher;
+    rig.bus.attachWatcher(1, watcher);
+
+    std::vector<std::uint8_t> buf(256);
+    mem::BusTransaction tx;
+    tx.type = TxType::ReadShared;
+    tx.requester = 0;
+    tx.paddr = 0;
+    tx.bytes = 256;
+    tx.data = buf.data();
+
+    EXPECT_TRUE(rig.issue(tx));  // aborted attempt
+    EXPECT_FALSE(rig.issue(tx)); // retry succeeds
+
+    // The logical transaction completed once and aborted once.
+    EXPECT_EQ(rig.bus.countOf(TxType::ReadShared).value(), 1u);
+    EXPECT_EQ(rig.bus.abortsOf(TxType::ReadShared).value(), 1u);
+    EXPECT_EQ(rig.bus.transactions().value(), 2u);
+    EXPECT_EQ(rig.bus.aborts().value(), 1u);
+}
+
+TEST(BusCounters, RecoveryTxBypassesProtectAndMaskSilencesMonitor)
+{
+    BusRig rig;
+    monitor::BusMonitor monitor(2, MiB(1), 256);
+    rig.bus.attachWatcher(2, monitor);
+    monitor.table().set(0, ActionEntry::Protect);
+
+    // Sanity: a consistency transaction against Protect aborts.
+    EXPECT_TRUE(
+        rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 5)));
+
+    // Recovery broadcasts are not consistency-related: the stale
+    // Protect entry must not abort them.
+    EXPECT_FALSE(rig.issue(rig.shortTx(TxType::Reclaim, 0, 5)));
+    EXPECT_FALSE(rig.issue(rig.shortTx(TxType::BoardMask, 0, 5)));
+    EXPECT_EQ(rig.bus.countOf(TxType::Reclaim).value(), 1u);
+    EXPECT_EQ(rig.bus.countOf(TxType::BoardMask).value(), 1u);
+
+    // A masked (declared-dead) monitor stops aborting entirely.
+    monitor.setMasked(true);
+    EXPECT_FALSE(
+        rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 5)));
+}
+
+// ----------------------------------------------------------- detector
+
+struct DetectorRig : BusRig
+{
+    explicit DetectorRig(recover::DetectorConfig cfg)
+        : monitor(0, MiB(1), 256),
+          detector(events, bus, 256, cfg)
+    {
+        bus.attachWatcher(0, monitor);
+        detector.addBoard(0, &monitor, [this] { return alive; });
+        detector.setOnDead([this](std::uint32_t master) {
+            deadMasters.push_back(master);
+        });
+        detector.install();
+    }
+
+    monitor::BusMonitor monitor;
+    recover::FailureDetector detector;
+    bool alive = true;
+    std::vector<std::uint32_t> deadMasters;
+};
+
+TEST(Detector, AbortStreakSuspectsProbesAndDeclares)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 3;
+    cfg.abortStreakThreshold = 4;
+    cfg.sweepPeriod = 1u << 30; // only the abort-streak path
+    DetectorRig rig(cfg);
+
+    rig.monitor.table().set(0, ActionEntry::Protect);
+    rig.alive = false;
+
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(
+            rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 9)));
+
+    // The 4th consecutive abort crossed the threshold; the suspicion's
+    // probe chain (already drained by issue's events.run()) escalated
+    // through maxProbes failed probes to a declaration.
+    EXPECT_EQ(rig.detector.suspicions().value(), 1u);
+    EXPECT_EQ(rig.detector.probes().value(), 3u);
+    EXPECT_EQ(rig.detector.declarations().value(), 1u);
+    EXPECT_EQ(rig.detector.falseSuspicions().value(), 0u);
+    EXPECT_TRUE(rig.detector.declaredDead(0));
+    ASSERT_EQ(rig.deadMasters.size(), 1u);
+    EXPECT_EQ(rig.deadMasters[0], 0u);
+}
+
+TEST(Detector, SuccessResetsAbortStreak)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.abortStreakThreshold = 4;
+    cfg.sweepPeriod = 1u << 30;
+    DetectorRig rig(cfg);
+
+    rig.monitor.table().set(0, ActionEntry::Protect);
+
+    // 3 aborts, one success (entry lifted, as a live owner would),
+    // 3 more aborts: never 4 *consecutive*, so no suspicion.
+    for (int i = 0; i < 3; ++i)
+        rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 9));
+    rig.monitor.table().set(0, ActionEntry::Ignore);
+    rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 9));
+    rig.monitor.table().set(0, ActionEntry::Protect);
+    for (int i = 0; i < 3; ++i)
+        rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 9));
+    EXPECT_EQ(rig.detector.suspicions().value(), 0u);
+
+    // One more consecutive abort crosses the threshold.
+    rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 9));
+    EXPECT_EQ(rig.detector.suspicions().value(), 1u);
+}
+
+TEST(Detector, FalseSuspicionClearsOnFirstProbe)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 3;
+    cfg.abortStreakThreshold = 2;
+    cfg.sweepPeriod = 1u << 30;
+    DetectorRig rig(cfg);
+
+    rig.monitor.table().set(0, ActionEntry::Protect);
+    // Board stays alive: the first probe clears the suspicion.
+    for (int i = 0; i < 2; ++i)
+        rig.issue(rig.shortTx(TxType::AssertOwnership, 0, 9));
+
+    EXPECT_EQ(rig.detector.suspicions().value(), 1u);
+    EXPECT_EQ(rig.detector.probes().value(), 1u);
+    EXPECT_EQ(rig.detector.falseSuspicions().value(), 1u);
+    EXPECT_EQ(rig.detector.declarations().value(), 0u);
+    EXPECT_FALSE(rig.detector.declaredDead(0));
+    EXPECT_TRUE(rig.deadMasters.empty());
+}
+
+TEST(Detector, LivenessSweepCatchesSilentBoard)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 2;
+    cfg.sweepPeriod = 4;
+    DetectorRig rig(cfg);
+
+    rig.alive = false;
+    // No aborts at all — the board owns nothing — but the liveness
+    // sweep after 4 observed consistency transactions still finds it.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(rig.issue(rig.shortTx(TxType::Notify, 0, 9)));
+
+    EXPECT_EQ(rig.detector.suspicions().value(), 1u);
+    EXPECT_TRUE(rig.detector.declaredDead(0));
+}
+
+// ----------------------------------------------------- reclaim flow
+
+TEST(Reclaim, FullFlowMasksDrainsReclaimsAndRestores)
+{
+    // vm-page-sized cache pages so backing-store images line up with
+    // physical frames (the restore path requires matching geometry).
+    constexpr std::uint32_t page = vm::vmPageBytes;
+    BusRig rig(page);
+    recover::RecoveryConfig rc;
+    rc.detector.deadlineNs = 1'000;
+    rc.detector.maxProbes = 2;
+    rc.detector.sweepPeriod = 4;
+    recover::RecoveryManager manager(rig.events, rig.bus, rig.memory,
+                                     rc);
+
+    monitor::BusMonitor monitor(0, MiB(1), page);
+    rig.bus.attachWatcher(0, monitor);
+    bool alive = true;
+    manager.addBoard(0, monitor, [&] { return alive; });
+    manager.install();
+
+    // Backing store holds a checkpoint of frame 3 under ASID 7.
+    vm::BackingStore store(usec(1));
+    std::vector<std::uint8_t> image(page, 0xAB);
+    store.store(7, 3, image);
+    manager.setBackingStore(&store, 7);
+
+    std::uint64_t sweeps = 0;
+    manager.setPostReclaimHook([&] { ++sweeps; });
+
+    // The doomed board owns frame 3 Protect and frame 5 Shared, has a
+    // word rotting in its FIFO, and frame 3's memory copy is stale.
+    monitor.table().set(3, ActionEntry::Protect);
+    monitor.table().set(5, ActionEntry::Shared);
+    monitor.fifo().push(monitor::InterruptWord{});
+    std::vector<std::uint8_t> stale(page, 0xCD);
+    rig.memory.writeBlock(3 * page, stale.data(), page);
+
+    // Failstop; the liveness sweep catches it.
+    alive = false;
+    for (int i = 0; i < 4; ++i)
+        rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+    rig.events.run();
+
+    EXPECT_EQ(manager.boardsDeclaredDead().value(), 1u);
+    EXPECT_FALSE(manager.recovering());
+    EXPECT_EQ(manager.recoveriesCompleted().value(), 1u);
+    EXPECT_GT(manager.lastRecoveryNs(), 0u);
+    EXPECT_EQ(sweeps, 1u);
+
+    // Masked, drained, and the stale table wiped.
+    EXPECT_TRUE(monitor.masked());
+    EXPECT_TRUE(monitor.fifo().empty());
+    EXPECT_EQ(monitor.table().get(3), ActionEntry::Ignore);
+    EXPECT_EQ(monitor.table().get(5), ActionEntry::Ignore);
+
+    // One Protect frame reclaimed (lost + restored from the backing
+    // store), one Shared frame dropped silently.
+    EXPECT_EQ(manager.framesReclaimed().value(), 1u);
+    EXPECT_EQ(manager.sharedDropped().value(), 1u);
+    EXPECT_EQ(manager.pagesLost().value(), 1u);
+    EXPECT_EQ(manager.pagesRestored().value(), 1u);
+    EXPECT_EQ(rig.bus.countOf(TxType::BoardMask).value(), 1u);
+    EXPECT_EQ(rig.bus.countOf(TxType::Reclaim).value(), 1u);
+
+    // The restore DMA-wrote the checkpoint image over the stale copy.
+    std::vector<std::uint8_t> now(page);
+    rig.memory.readBlock(3 * page, now.data(), page);
+    EXPECT_EQ(now, image);
+
+    // With the entry cleared the frame is no longer stranded.
+    EXPECT_FALSE(manager.isFrameOwnerDead(3 * page));
+}
+
+TEST(Reclaim, DeadBridgeStrandsEveryFrame)
+{
+    BusRig rig;
+    recover::RecoveryConfig rc;
+    rc.detector.deadlineNs = 500;
+    rc.detector.maxProbes = 1;
+    rc.detector.sweepPeriod = 2;
+    recover::RecoveryManager manager(rig.events, rig.bus, rig.memory,
+                                     rc);
+    bool alive = true;
+    manager.addBridge(7, [&] { return alive; });
+    manager.install();
+
+    EXPECT_FALSE(manager.isFrameOwnerDead(0));
+    alive = false;
+    for (int i = 0; i < 2; ++i)
+        rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+    rig.events.run();
+
+    EXPECT_EQ(manager.boardsDeclaredDead().value(), 1u);
+    // A dead bridge strands every frame reached through it.
+    EXPECT_TRUE(manager.isFrameOwnerDead(0));
+    EXPECT_TRUE(manager.isFrameOwnerDead(17 * 256));
+    // Bridges have no monitor to scan: nothing reclaimed.
+    EXPECT_EQ(manager.framesReclaimed().value(), 0u);
+}
+
+// ------------------------------------------------------ determinism
+
+TEST(Recovery, EnabledWithoutFaultsIsBitIdentical)
+{
+    auto run = [](bool recovery) {
+        core::VmpSystem system(smallConfig(2, 256));
+        recover::RecoveryManager *manager = nullptr;
+        if (recovery)
+            manager = &system.enableRecovery();
+        auto gens = makeSources("atum2", 2, 6'000, 3);
+        auto raw = rawSources(gens);
+        const auto result = system.runTraces(raw);
+        if (manager) {
+            // Null-hook discipline: a fault-free run never suspects.
+            EXPECT_EQ(manager->detector().suspicions().value(), 0u);
+            EXPECT_EQ(manager->boardsDeclaredDead().value(), 0u);
+        }
+        return result;
+    };
+
+    const auto without = run(false);
+    const auto with = run(true);
+    EXPECT_EQ(without.elapsed, with.elapsed);
+    EXPECT_EQ(without.totalRefs, with.totalRefs);
+    EXPECT_EQ(without.totalMisses, with.totalMisses);
+    EXPECT_EQ(without.busAborts, with.busAborts);
+    EXPECT_EQ(without.writeBacks, with.writeBacks);
+}
+
+// ------------------------------------------------- flat kill / rejoin
+
+TEST(Recovery, KillOneBoardReclaimsAndRunCompletes)
+{
+    core::VmpSystem system(smallConfig(4, 256));
+    auto &checker = system.enableCoherenceChecker();
+    recover::RecoveryConfig rc;
+    rc.detector.sweepPeriod = 64;
+    auto &manager = system.enableRecovery(rc);
+    system.killBoard(3, usec(300));
+
+    auto gens = makeSources("atum2", 4, 12'000, 7);
+    auto raw = rawSources(gens);
+    const auto result = system.runTraces(raw);
+
+    // The killed board stopped mid-trace; the other three finished.
+    EXPECT_TRUE(system.controller(3).dead());
+    EXPECT_GE(result.totalRefs, 3u * 12'000u);
+    EXPECT_LT(result.totalRefs, 4u * 12'000u);
+
+    EXPECT_EQ(manager.boardsDeclaredDead().value(), 1u);
+    EXPECT_TRUE(manager.detector().declaredDead(3));
+    EXPECT_EQ(manager.recoveriesCompleted().value(), 1u);
+    EXPECT_FALSE(manager.recovering());
+    EXPECT_TRUE(system.board(3).monitor.masked());
+    // The board had run ~1000+ references: it held *something*.
+    EXPECT_GE(manager.framesReclaimed().value() +
+                  manager.sharedDropped().value(),
+              1u);
+
+    quiesce(system);
+    EXPECT_EQ(checker.checkFull(), 0u) << reportsOf(checker);
+    EXPECT_EQ(checker.violations().value(), 0u) << reportsOf(checker);
+}
+
+TEST(Recovery, KilledBoardRejoinsAndFinishesItsTrace)
+{
+    core::VmpSystem system(smallConfig(4, 256));
+    auto &checker = system.enableCoherenceChecker();
+    recover::RecoveryConfig rc;
+    rc.detector.sweepPeriod = 64;
+    auto &manager = system.enableRecovery(rc);
+    system.killBoard(1, usec(300));
+    system.rejoinBoard(1, msec(6));
+
+    auto gens = makeSources("atum2", 4, 12'000, 11);
+    auto raw = rawSources(gens);
+    const auto result = system.runTraces(raw);
+
+    // The rejoined board resumed its trace and completed it.
+    EXPECT_EQ(result.totalRefs, 4u * 12'000u);
+    EXPECT_FALSE(system.controller(1).dead());
+    EXPECT_FALSE(system.board(1).monitor.masked());
+    EXPECT_FALSE(manager.detector().declaredDead(1));
+    EXPECT_FALSE(manager.recovering());
+
+    quiesce(system);
+    EXPECT_EQ(checker.checkFull(), 0u) << reportsOf(checker);
+    EXPECT_EQ(checker.violations().value(), 0u) << reportsOf(checker);
+}
+
+// ------------------------------------------- dead-owner timed waits
+
+TEST(Recovery, DeadOwnerErrorSurfacesWithoutRecovery)
+{
+    auto cfg = smallConfig(2, 256);
+    cfg.swTiming.deadOwnerTimeoutNs = usec(300);
+    core::VmpSystem system(cfg);
+    system.attachIdleServicers();
+
+    // CPU 1 writes a page: it now owns the frame Protect.
+    const Addr va = 0x10000;
+    bool done = false;
+    system.controller(1).access(1, va, true, false,
+                                [&](proto::AccessOutcome) {
+                                    done = true;
+                                });
+    system.events().run();
+    ASSERT_TRUE(done);
+
+    // Failstop board 1. Its stale Protect entry keeps aborting.
+    system.killBoard(1, system.events().now() + 1);
+    system.events().run();
+    ASSERT_TRUE(system.controller(1).dead());
+
+    // CPU 0 writes the same page: retries against the dead owner
+    // until the timed wait expires, then abandons with a structured
+    // DeadOwnerError — recovery is NOT installed.
+    std::size_t handled = 0;
+    system.controller(0).setDeadOwnerHandler(
+        [&](const proto::DeadOwnerError &) { ++handled; });
+    done = false;
+    system.controller(0).access(1, va, true, false,
+                                [&](proto::AccessOutcome) {
+                                    done = true;
+                                });
+    system.events().run();
+    ASSERT_TRUE(done);
+
+    EXPECT_EQ(system.controller(0).deadOwnerErrors().value(), 1u);
+    EXPECT_EQ(handled, 1u);
+    const auto &error = system.controller(0).lastDeadOwnerError();
+    ASSERT_TRUE(error.has_value());
+    EXPECT_GT(error->attempts, 0u);
+    EXPECT_GE(error->now - error->started, usec(300));
+    // No oracle installed: the owner is unresponsive, not known dead.
+    EXPECT_FALSE(error->ownerKnownDead);
+    // The error also shows up in the stats dump.
+    std::ostringstream os;
+    system.dumpStats(os);
+    EXPECT_NE(os.str().find("dead_owner_errors"), std::string::npos);
+}
+
+// --------------------------------------------------- hier IBC death
+
+TEST(Recovery, HierDeadInterBusBoardIsReclaimedGlobally)
+{
+    core::HierConfig cfg;
+    cfg.clusters = 2;
+    cfg.cpusPerCluster = 2;
+    cfg.cache = cache::CacheConfig{256, 2, 16, true};
+    cfg.memBytes = MiB(1);
+    // Bound the stranded cluster's waits so the run terminates fast.
+    cfg.swTiming.deadOwnerTimeoutNs = usec(500);
+    core::HierVmpSystem system(cfg);
+    system.enableCoherenceCheckers();
+    recover::RecoveryConfig rc;
+    rc.detector.sweepPeriod = 32;
+    system.enableRecovery(rc);
+    system.killInterBusBoard(1, usec(500));
+
+    auto gens = makeSources("atum2", 4, 4'000, 5);
+    auto raw = rawSources(gens);
+    const auto result = system.runTraces(raw);
+
+    // Every CPU finished: cluster 1's stranded misses abandoned with
+    // DeadOwnerErrors instead of hanging the event queue.
+    EXPECT_EQ(result.totalRefs, 4u * 4'000u);
+    EXPECT_TRUE(system.interBusBoard(1).dead());
+
+    // The global manager declared cluster 1's board dead and reclaimed
+    // its global Protect frames into main memory.
+    ASSERT_NE(system.globalRecovery(), nullptr);
+    EXPECT_TRUE(system.globalRecovery()->detector().declaredDead(1));
+    EXPECT_FALSE(system.globalRecovery()->recovering());
+    EXPECT_TRUE(
+        system.interBusBoard(1).globalMonitor().masked());
+
+    // Cluster 1's CPUs surfaced structured errors.
+    std::uint64_t errors = 0;
+    for (std::uint32_t cpu = 2; cpu < 4; ++cpu)
+        errors += system.controller(cpu).deadOwnerErrors().value();
+    EXPECT_GT(errors, 0u);
+
+    // Single-owner holds at the global level and within the live
+    // cluster (owners sweeps are valid at any time).
+    EXPECT_EQ(system.globalChecker().checkOwnersSweep(), 0u)
+        << reportsOf(system.globalChecker());
+    EXPECT_EQ(system.clusterChecker(0).checkOwnersSweep(), 0u)
+        << reportsOf(system.clusterChecker(0));
+}
+
+// --------------------------------------------------- torture matrix
+//
+// Registered under the "torture" ctest label, excluded from tier-1
+// discovery (see tests/CMakeLists.txt). Board-crash schedules:
+//   TortureBoardCrash: {kill, kill+rejoin} x {128,256,512}B pages
+//                      x 3 seeds                          = 18 runs
+//   TortureHierIbc:    {128,256}B pages x 2 seeds          = 4 runs
+
+struct CrashTortureParams
+{
+    std::uint32_t pageBytes;
+    bool rejoin;
+};
+
+std::string
+crashName(const ::testing::TestParamInfo<CrashTortureParams> &info)
+{
+    std::ostringstream os;
+    os << (info.param.rejoin ? "rejoin" : "kill") << "_p"
+       << info.param.pageBytes;
+    return os.str();
+}
+
+class TortureBoardCrash
+    : public ::testing::TestWithParam<CrashTortureParams>
+{
+};
+
+TEST_P(TortureBoardCrash, ZeroViolationsBoundedLoss)
+{
+    const auto &p = GetParam();
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        core::VmpSystem system(smallConfig(4, p.pageBytes));
+        fault::FaultSchedule s;
+        s.seed = seed;
+        s.busAborts(0.01); // crash during background noise
+        s.crashBoard(3, msec(1));
+        if (p.rejoin)
+            s.rejoinAt(msec(5));
+        system.enableFaultInjection(s);
+        auto &checker = system.enableCoherenceChecker();
+        recover::RecoveryConfig rc;
+        rc.detector.sweepPeriod = 64;
+        auto &manager = system.enableRecovery(rc);
+        std::uint64_t trips = 0;
+        system.setWatchdog(
+            1'000, [&](const proto::WatchdogReport &) { ++trips; });
+
+        auto gens = makeSources("atum2", 4, 8'000, seed);
+        auto raw = rawSources(gens);
+        const auto result = system.runTraces(raw);
+
+        if (p.rejoin) {
+            EXPECT_EQ(result.totalRefs, 4u * 8'000u)
+                << "p=" << p.pageBytes << " seed=" << seed;
+            EXPECT_FALSE(system.controller(3).dead());
+        } else {
+            EXPECT_TRUE(system.controller(3).dead());
+            EXPECT_EQ(manager.boardsDeclaredDead().value(), 1u);
+            EXPECT_FALSE(manager.recovering());
+        }
+        // Bounded loss: a board cannot lose more pages than its cache
+        // holds frames (sets x ways).
+        const std::uint64_t frames =
+            system.config().cache.totalSlots();
+        EXPECT_LE(manager.pagesLost().value(), frames)
+            << "p=" << p.pageBytes << " seed=" << seed;
+
+        quiesce(system);
+        EXPECT_EQ(checker.checkFull(), 0u)
+            << "p=" << p.pageBytes << " rejoin=" << p.rejoin
+            << " seed=" << seed << "\n" << reportsOf(checker);
+        EXPECT_EQ(checker.violations().value(), 0u)
+            << reportsOf(checker);
+        EXPECT_EQ(trips, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Crash, TortureBoardCrash,
+    ::testing::Values(CrashTortureParams{128, false},
+                      CrashTortureParams{256, false},
+                      CrashTortureParams{512, false},
+                      CrashTortureParams{128, true},
+                      CrashTortureParams{256, true},
+                      CrashTortureParams{512, true}),
+    crashName);
+
+class TortureHierIbc : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TortureHierIbc, DeadBridgeNeverViolatesSingleOwner)
+{
+    const std::uint32_t page = GetParam();
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        core::HierConfig cfg;
+        cfg.clusters = 2;
+        cfg.cpusPerCluster = 2;
+        cfg.cache = cache::CacheConfig{page, 2, 16, true};
+        cfg.memBytes = MiB(1);
+        cfg.swTiming.deadOwnerTimeoutNs = usec(500);
+        core::HierVmpSystem system(cfg);
+        fault::FaultSchedule s;
+        s.seed = seed;
+        s.crashInterBus(1, msec(1));
+        system.enableFaultInjection(s);
+        system.enableCoherenceCheckers();
+        recover::RecoveryConfig rc;
+        rc.detector.sweepPeriod = 32;
+        system.enableRecovery(rc);
+
+        auto gens = makeSources("atum2", 4, 4'000, seed + 50);
+        auto raw = rawSources(gens);
+        const auto result = system.runTraces(raw);
+
+        EXPECT_EQ(result.totalRefs, 4u * 4'000u)
+            << "p=" << page << " seed=" << seed;
+        EXPECT_TRUE(system.interBusBoard(1).dead());
+        EXPECT_EQ(system.globalChecker().checkOwnersSweep(), 0u)
+            << "p=" << page << " seed=" << seed << "\n"
+            << reportsOf(system.globalChecker());
+        EXPECT_EQ(system.clusterChecker(0).checkOwnersSweep(), 0u)
+            << reportsOf(system.clusterChecker(0));
+        EXPECT_EQ(system.globalChecker().violations().value(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hier, TortureHierIbc,
+                         ::testing::Values(128u, 256u),
+                         [](const auto &info) {
+                             std::ostringstream os;
+                             os << "p" << info.param;
+                             return os.str();
+                         });
+
+} // namespace
+} // namespace vmp
