@@ -63,8 +63,8 @@ main(int argc, char **argv)
         const auto cfg =
             cache::CacheConfig::forSize(size, 256, 4, true);
         Json stats;
-        const auto result =
-            bench::runVmpSystem(1, 120'000, cfg, 1000, false, &stats);
+        const auto result = bench::runVmpSystem(
+            1, 120'000, cfg, opts.seedBase, false, &stats);
         validation.row()
             .cell(std::to_string(size / 1024) + "K")
             .cell(result.missRatio * 100, 3)

@@ -129,7 +129,7 @@ main(int argc, char **argv)
             const auto cfg =
                 cache::CacheConfig::forSize(KiB(64), 256, 4, true);
             const auto result = bench::runVmpSystem(
-                n, 60'000, cfg, 1000, share_kernel);
+                n, 60'000, cfg, opts.seedBase, share_kernel);
             if (n == 1)
                 measured_solo = result.performance;
             measured.row()

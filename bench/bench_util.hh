@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -35,8 +36,11 @@ inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
 /** v1.1 added the "meta" provenance section (git sha, compiler,
  *  sweep thread count). v1.2 added the failstop-recovery bench and
  *  its per-result "recovery" stat group (bench_recover: the recovery
- *  coordinator's and failure detector's counters, verbatim). */
-inline constexpr double kArtifactSchemaVersion = 1.2;
+ *  coordinator's and failure detector's counters, verbatim). v1.3
+ *  added the observability bench (bench_obs) and the "obs" stat group
+ *  (event-tracer ring and miss-profiler counters) emitted by any bench
+ *  run with tracing armed. */
+inline constexpr double kArtifactSchemaVersion = 1.3;
 
 /** Build-time git revision (configure-time snapshot; "unknown" when
  *  the build tree was configured outside a git checkout). */
@@ -53,6 +57,8 @@ struct BenchOptions
     bool writeJson = true;
     /** Worker threads for parallel sweeps (--threads N; 0 = auto). */
     unsigned threads = 0;
+    /** Base RNG seed for synthetic workloads (--seed-base N). */
+    std::uint64_t seedBase = 1000;
 };
 
 /**
@@ -60,6 +66,8 @@ struct BenchOptions
  *   --json-out PATH | --json-out=PATH   artifact destination
  *   --no-json                           suppress the artifact
  *   --threads N | --threads=N           sweep worker threads
+ *   --seed-base N | --seed-base=N       synthetic-workload seed base
+ *   --help | -h                         print usage and exit
  * Unrecognized arguments are left in argv (bench_simperf forwards
  * them to google-benchmark); @p argc is adjusted accordingly.
  */
@@ -93,6 +101,21 @@ parseBenchOptions(const std::string &bench_name, int &argc, char **argv)
         } else if (valueOf("--threads", value)) {
             opts.threads =
                 static_cast<unsigned>(std::stoul(value));
+        } else if (valueOf("--seed-base", value)) {
+            opts.seedBase = std::stoull(value);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "bench_" << bench_name << " [options]\n"
+                << "  --json-out PATH  artifact destination "
+                   "(default BENCH_" << bench_name << ".json)\n"
+                << "  --no-json        suppress the artifact\n"
+                << "  --threads N      sweep worker threads (0=auto)\n"
+                << "  --seed-base N    synthetic-workload seed base "
+                   "(default 1000)\n"
+                << "  --help, -h       this message\n"
+                << "Unrecognized arguments are forwarded (only "
+                   "bench_simperf consumes them).\n";
+            std::exit(0);
         } else {
             argv[out++] = argv[i];
         }

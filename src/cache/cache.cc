@@ -317,11 +317,15 @@ Cache::resetStats()
 void
 Cache::registerStats(StatGroup &group) const
 {
-    group.addCounter("hits", "references satisfied by the cache", hits_);
-    group.addCounter("misses", "references that missed", misses_);
-    group.addCounter("write_shared_misses",
+    // "cache_" prefix: these land in the same per-CPU group as the
+    // controller's counters, whose "misses" views the same events
+    // from the protocol side.
+    group.addCounter("cache_hits", "references satisfied by the cache",
+                     hits_);
+    group.addCounter("cache_misses", "references that missed", misses_);
+    group.addCounter("cache_write_shared_misses",
                      "write hits needing ownership", writeShared_);
-    group.addCounter("protection_misses",
+    group.addCounter("cache_protection_misses",
                      "accesses denied by protection flags", protection_);
 }
 

@@ -250,6 +250,48 @@ HierVmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
     return *injector_;
 }
 
+obs::EventTracer &
+HierVmpSystem::enableTracing(obs::TraceConfig config)
+{
+    if (tracer_)
+        fatal("hier: tracing enabled twice");
+    tracer_ = std::make_unique<obs::EventTracer>(config.ringCapacity);
+    if (config.profileMisses) {
+        profiler_ = std::make_unique<obs::MissProfiler>();
+        tracer_->addSink(profiler_->sink());
+    }
+    const std::uint16_t global_track =
+        tracer_->registerTrack("global_bus");
+    globalBus_.setTracer(tracer_.get(), global_track);
+    for (std::size_t k = 0; k < clusters_.size(); ++k) {
+        Cluster &cluster = *clusters_[k];
+        const std::uint16_t bus_track = tracer_->registerTrack(
+            "c" + std::to_string(k) + ".bus");
+        cluster.bus.setTracer(tracer_.get(), bus_track);
+        const std::uint16_t ibc_track = tracer_->registerTrack(
+            "c" + std::to_string(k) + ".ibc");
+        cluster.ibc.setTracer(tracer_.get(), ibc_track);
+        for (std::size_t i = 0; i < cluster.boards.size(); ++i) {
+            const auto id = k * cfg_.cpusPerCluster + i;
+            const std::uint16_t track = tracer_->registerTrack(
+                "cpu" + std::to_string(id));
+            cluster.boards[i]->monitor.setTracer(tracer_.get(), track,
+                                                 &events_);
+            cluster.boards[i]->controller.setTracer(tracer_.get(),
+                                                    track);
+        }
+    }
+    recoverTrack_ = tracer_->registerTrack("recover");
+    for (auto &manager : clusterRecoveries_)
+        manager->setTracer(tracer_.get(), recoverTrack_);
+    if (globalRecovery_)
+        globalRecovery_->setTracer(tracer_.get(), recoverTrack_);
+    VMP_DTRACE(debug::Obs, events_.now(), "hier tracing armed: ",
+               tracer_->trackCount(), " tracks, ring capacity ",
+               tracer_->ringCapacity());
+    return *tracer_;
+}
+
 void
 HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
 {
@@ -278,6 +320,8 @@ HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
             if (k < clusterCheckers_.size())
                 clusterCheckers_[k]->checkOwnersSweep();
         });
+        if (tracer_)
+            manager->setTracer(tracer_.get(), recoverTrack_);
         manager->install();
         clusterRecoveries_.push_back(std::move(manager));
     }
@@ -295,6 +339,8 @@ HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
         if (globalChecker_)
             globalChecker_->checkOwnersSweep();
     });
+    if (tracer_)
+        globalRecovery_->setTracer(tracer_.get(), recoverTrack_);
     globalRecovery_->install();
 }
 
@@ -541,6 +587,13 @@ HierVmpSystem::dumpStats(std::ostream &os) const
         globalRecovery_->registerStats(recover_group);
         recover_group.dump(os);
     }
+    if (tracer_) {
+        StatGroup obs_group("obs");
+        tracer_->registerStats(obs_group);
+        if (profiler_)
+            profiler_->registerStats(obs_group);
+        obs_group.dump(os);
+    }
 }
 
 Json
@@ -597,6 +650,13 @@ HierVmpSystem::statsJson() const
     if (globalRecovery_) {
         groups.push_back(std::make_unique<StatGroup>("recover.global"));
         globalRecovery_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (tracer_) {
+        groups.push_back(std::make_unique<StatGroup>("obs"));
+        tracer_->registerStats(*groups.back());
+        if (profiler_)
+            profiler_->registerStats(*groups.back());
         registry.add(*groups.back());
     }
     return registry.toJson();

@@ -171,6 +171,26 @@ class HierVmpSystem
     }
 
     /**
+     * Arm the observability subsystem over the whole hierarchy: tracks
+     * "global_bus", per-cluster "cK.bus" and "cK.ibc", per-CPU "cpuN",
+     * and one shared "recover" track. Same guarantees as the flat
+     * system: pure observation, bit-identical simulated time, at most
+     * once, before any traffic.
+     */
+    obs::EventTracer &enableTracing(obs::TraceConfig config = {});
+
+    /** The armed tracer, or null if tracing is off. */
+    obs::EventTracer *tracer() { return tracer_.get(); }
+    const obs::EventTracer *tracer() const { return tracer_.get(); }
+
+    /** The attached miss profiler, or null. */
+    obs::MissProfiler *missProfiler() { return profiler_.get(); }
+    const obs::MissProfiler *missProfiler() const
+    {
+        return profiler_.get();
+    }
+
+    /**
      * Failstop CPU board @p cpu (flat index) at tick @p at; the board's
      * monitor hardware keeps driving its cluster bus. Without
      * enableRecovery() its stale entries wedge the cluster.
@@ -226,6 +246,10 @@ class HierVmpSystem
     std::vector<std::unique_ptr<recover::RecoveryManager>>
         clusterRecoveries_;
     std::unique_ptr<recover::RecoveryManager> globalRecovery_;
+    std::unique_ptr<obs::EventTracer> tracer_;
+    std::unique_ptr<obs::MissProfiler> profiler_;
+    /** Track id recovery events land on (valid while tracer_ != null). */
+    std::uint16_t recoverTrack_ = 0;
     /** Raw CPU handles while runTraces is in flight. */
     std::vector<cpu::TraceCpu *> activeCpus_;
 };

@@ -194,6 +194,33 @@ VmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
     return *injector_;
 }
 
+obs::EventTracer &
+VmpSystem::enableTracing(obs::TraceConfig config)
+{
+    if (tracer_)
+        fatal("system: tracing enabled twice");
+    tracer_ = std::make_unique<obs::EventTracer>(config.ringCapacity);
+    if (config.profileMisses) {
+        profiler_ = std::make_unique<obs::MissProfiler>();
+        tracer_->addSink(profiler_->sink());
+    }
+    const std::uint16_t bus_track = tracer_->registerTrack("bus");
+    bus_.setTracer(tracer_.get(), bus_track);
+    for (std::size_t i = 0; i < boards_.size(); ++i) {
+        const std::uint16_t track =
+            tracer_->registerTrack("cpu" + std::to_string(i));
+        boards_[i]->monitor.setTracer(tracer_.get(), track, &events_);
+        boards_[i]->controller.setTracer(tracer_.get(), track);
+    }
+    recoverTrack_ = tracer_->registerTrack("recover");
+    if (recovery_)
+        recovery_->setTracer(tracer_.get(), recoverTrack_);
+    VMP_DTRACE(debug::Obs, events_.now(), "tracing armed: ",
+               tracer_->trackCount(), " tracks, ring capacity ",
+               tracer_->ringCapacity());
+    return *tracer_;
+}
+
 recover::RecoveryManager &
 VmpSystem::enableRecovery(recover::RecoveryConfig options)
 {
@@ -201,6 +228,8 @@ VmpSystem::enableRecovery(recover::RecoveryConfig options)
         fatal("system: recovery enabled twice");
     recovery_ = std::make_unique<recover::RecoveryManager>(
         events_, bus_, memory_, options);
+    if (tracer_)
+        recovery_->setTracer(tracer_.get(), recoverTrack_);
     for (std::size_t i = 0; i < boards_.size(); ++i) {
         auto *controller = &boards_[i]->controller;
         recovery_->addBoard(static_cast<std::uint32_t>(i),
@@ -334,6 +363,13 @@ VmpSystem::dumpStats(std::ostream &os) const
         recovery_->registerStats(recover_group);
         recover_group.dump(os);
     }
+    if (tracer_) {
+        StatGroup obs_group("obs");
+        tracer_->registerStats(obs_group);
+        if (profiler_)
+            profiler_->registerStats(obs_group);
+        obs_group.dump(os);
+    }
 }
 
 Json
@@ -367,6 +403,13 @@ VmpSystem::statsJson() const
     if (recovery_) {
         groups.push_back(std::make_unique<StatGroup>("recover"));
         recovery_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (tracer_) {
+        groups.push_back(std::make_unique<StatGroup>("obs"));
+        tracer_->registerStats(*groups.back());
+        if (profiler_)
+            profiler_->registerStats(*groups.back());
         registry.add(*groups.back());
     }
     return registry.toJson();

@@ -25,6 +25,8 @@
 #include "mem/phys_mem.hh"
 #include "mem/vme_bus.hh"
 #include "monitor/bus_monitor.hh"
+#include "obs/event_tracer.hh"
+#include "obs/miss_profiler.hh"
 #include "proto/controller.hh"
 #include "proto/translator.hh"
 #include "recover/recovery.hh"
@@ -181,6 +183,30 @@ class VmpSystem
     recover::RecoveryManager *recoveryManager() { return recovery_.get(); }
 
     /**
+     * Arm the observability subsystem: a per-board ring-buffer event
+     * tracer over the bus, every monitor/FIFO, every controller's miss
+     * phases and block copier, and (if installed) the recovery
+     * coordinator — plus, unless disabled in @p config, a MissProfiler
+     * folding the traced phases into per-miss breakdowns. Pure
+     * observation: no event is scheduled and no RNG is drawn, so
+     * simulated time is bit-identical with tracing on or off. May be
+     * called at most once, before any traffic; if recovery is enabled
+     * later it is wired onto the "recover" track automatically.
+     */
+    obs::EventTracer &enableTracing(obs::TraceConfig config = {});
+
+    /** The armed tracer, or null if tracing is off. */
+    obs::EventTracer *tracer() { return tracer_.get(); }
+    const obs::EventTracer *tracer() const { return tracer_.get(); }
+
+    /** The attached miss profiler, or null. */
+    obs::MissProfiler *missProfiler() { return profiler_.get(); }
+    const obs::MissProfiler *missProfiler() const
+    {
+        return profiler_.get();
+    }
+
+    /**
      * Failstop board @p index at tick @p at: its CPU halts at the next
      * instruction boundary and its controller software dies, but its
      * bus monitor keeps driving the bus from stale table state — the
@@ -233,9 +259,13 @@ class VmpSystem
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<check::CoherenceChecker> checker_;
     std::unique_ptr<recover::RecoveryManager> recovery_;
+    std::unique_ptr<obs::EventTracer> tracer_;
+    std::unique_ptr<obs::MissProfiler> profiler_;
     /** Raw CPU handles while runTraces is in flight (for kill/rejoin
      *  events scheduled before or during the run). */
     std::vector<cpu::TraceCpu *> activeCpus_;
+    /** Track id recovery events land on (valid while tracer_ != null). */
+    std::uint16_t recoverTrack_ = 0;
 };
 
 } // namespace vmp::core

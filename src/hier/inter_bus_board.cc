@@ -35,6 +35,38 @@ InterBusBoard::InterBusBoard(std::uint32_t cluster_index,
     globalMonitor_.setInterruptLine([this] { kick(); });
 }
 
+void
+InterBusBoard::traceInstant(obs::EventKind kind, Addr addr)
+{
+    if (tracer_ == nullptr)
+        return;
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.at = events_.now();
+    event.addr = addr;
+    event.master = globalId_;
+    event.track = traceTrack_;
+    tracer_->record(event);
+}
+
+void
+InterBusBoard::traceFetch(Tick started, Addr addr, bool exclusive,
+                          bool upgrade)
+{
+    if (tracer_ == nullptr)
+        return;
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::IbcFetch;
+    event.at = started;
+    event.addr = addr;
+    event.arg0 = events_.now() - started;
+    event.master = globalId_;
+    event.track = traceTrack_;
+    event.aux = static_cast<std::uint8_t>((exclusive ? 1u : 0u) |
+                                          (upgrade ? 2u : 0u));
+    tracer_->record(event);
+}
+
 std::uint64_t
 InterBusBoard::frameOf(Addr paddr) const
 {
@@ -239,9 +271,10 @@ InterBusBoard::fetchFrame(monitor::InterruptWord word, bool exclusive,
                           Done done)
 {
     const Addr base = frameBase(word.paddr);
+    const Tick fetch_started = events_.now();
     globalCopier_.readPage(
         base, staging_.data(), pageBytes_, exclusive,
-        [this, word, exclusive, base,
+        [this, word, exclusive, base, fetch_started,
          done = std::move(done)](const mem::TxResult &result) {
             if (result.aborted) {
                 ++retries_;
@@ -265,6 +298,8 @@ InterBusBoard::fetchFrame(monitor::InterruptWord word, bool exclusive,
                                          : ActionEntry::Shared;
             globalShadow_[frame] = entry;
             ++(exclusive ? exclusiveFetches_ : sharedFetches_);
+            traceFetch(fetch_started, base, exclusive,
+                       /*upgrade=*/false);
             afterSoftware(timing_.installNs, [this, base, entry, done] {
                 localTable_.setFor(base, entry);
                 done();
@@ -276,13 +311,15 @@ void
 InterBusBoard::upgradeFrame(monitor::InterruptWord word, Done done)
 {
     const Addr base = frameBase(word.paddr);
+    const Tick upgrade_started = events_.now();
     mem::BusTransaction tx;
     tx.type = TxType::AssertOwnership;
     tx.requester = globalId_;
     tx.paddr = base;
     tx.newEntry = ActionEntry::Protect;
     tx.updatesTable = true;
-    globalBus_.request(tx, [this, word, base, done = std::move(done)](
+    globalBus_.request(tx, [this, word, base, upgrade_started,
+                            done = std::move(done)](
                                const mem::TxResult &result) {
         if (result.aborted) {
             ++retries_;
@@ -299,6 +336,8 @@ InterBusBoard::upgradeFrame(monitor::InterruptWord word, Done done)
         }
         ++upgrades_;
         globalShadow_[frameOf(base)] = ActionEntry::Protect;
+        traceFetch(upgrade_started, base, /*exclusive=*/true,
+                   /*upgrade=*/true);
         afterSoftware(timing_.installNs, [this, base, done] {
             localTable_.setFor(base, ActionEntry::Protect);
             done();
@@ -462,7 +501,7 @@ InterBusBoard::recallLocal(Addr base, Done done)
         tx.type = TxType::AssertOwnership;
         tx.requester = localId_;
         tx.paddr = base;
-        localBus_.request(tx, [this, done, attempt](
+        localBus_.request(tx, [this, base, done, attempt](
                                   const mem::TxResult &result) {
             if (result.aborted) {
                 // A local cache still owns the frame; it relinquishes
@@ -475,6 +514,7 @@ InterBusBoard::recallLocal(Addr base, Done done)
                 return;
             }
             *attempt = [] {}; // break the closure cycle
+            traceInstant(obs::EventKind::IbcRecall, base);
             done();
         });
     };
@@ -491,7 +531,7 @@ InterBusBoard::writeBackGlobal(Addr base, ActionEntry after, Done done)
         image_.readBlock(base, staging_.data(), pageBytes_);
         globalCopier_.writeBackPage(
             base, staging_.data(), pageBytes_, after,
-            [this, done, attempt](const mem::TxResult &result) {
+            [this, base, done, attempt](const mem::TxResult &result) {
                 if (result.aborted) {
                     // Only a stale Shared entry in another cluster's
                     // monitor can abort our write-back; it clears
@@ -505,6 +545,7 @@ InterBusBoard::writeBackGlobal(Addr base, ActionEntry after, Done done)
                 }
                 ++globalWriteBacks_;
                 *attempt = [] {};
+                traceInstant(obs::EventKind::IbcWriteBack, base);
                 done();
             });
     };

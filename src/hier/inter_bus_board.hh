@@ -143,6 +143,23 @@ class InterBusBoard : public mem::BusWatcher
         globalCopier_.setFaultHooks(hooks);
     }
 
+    /**
+     * Attach (or detach, with nullptr) an event tracer: global
+     * fetches/upgrades record IbcFetch spans, cluster recalls and
+     * global write-backs record instants, and the local request FIFO,
+     * global monitor and global copier record their own events — all
+     * on this board's one @p track. Observation only.
+     */
+    void
+    setTracer(obs::EventTracer *tracer, std::uint16_t track)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+        localFifo_.setTracer(tracer, track, &events_);
+        globalMonitor_.setTracer(tracer, track, &events_);
+        globalCopier_.setTracer(tracer, track);
+    }
+
     // --- statistics ---
     const Counter &sharedFetches() const { return sharedFetches_; }
     const Counter &exclusiveFetches() const { return exclusiveFetches_; }
@@ -204,6 +221,15 @@ class InterBusBoard : public mem::BusWatcher
     void dropSharedFrames(
         std::shared_ptr<std::vector<std::uint64_t>> frames,
         std::size_t index, Done done);
+
+    /** Record an instant event (no-op while tracer_ is null). */
+    void traceInstant(obs::EventKind kind, Addr addr);
+    /** Record an IbcFetch span started at @p started. */
+    void traceFetch(Tick started, Addr addr, bool exclusive,
+                    bool upgrade);
+
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
 
     std::uint32_t globalId_;
     std::uint32_t localId_;

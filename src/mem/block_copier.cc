@@ -18,12 +18,29 @@ BlockCopier::start(const BusTransaction &tx, Done done)
               " started while busy");
     busy_ = true;
     ++copies_;
+    startedAt_ = bus_.eventQueue().now();
     auto issue = [this, tx, done = std::move(done)]() mutable {
         bus_.request(tx,
-                     [this, done = std::move(done)](const TxResult &res) {
+                     [this, tx,
+                      done = std::move(done)](const TxResult &res) {
                          busy_ = false;
                          if (res.aborted)
                              ++aborted_;
+                         if (tracer_ != nullptr) {
+                             const Tick now = bus_.eventQueue().now();
+                             obs::TraceEvent event;
+                             event.kind = obs::EventKind::Copy;
+                             event.at = startedAt_;
+                             event.addr = tx.paddr;
+                             event.arg0 = now - startedAt_;
+                             event.arg1 = res.busTime;
+                             event.master = masterId_;
+                             event.track = traceTrack_;
+                             event.aux =
+                                 static_cast<std::uint8_t>(tx.type) |
+                                 (res.aborted ? 0x80u : 0u);
+                             tracer_->record(event);
+                         }
                          if (done)
                              done(res);
                      });

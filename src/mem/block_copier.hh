@@ -57,6 +57,18 @@ class BlockCopier
      */
     void setFaultHooks(FaultHooks *hooks) { hooks_ = hooks; }
 
+    /**
+     * Attach (or detach, with nullptr) an event tracer; each transfer
+     * records a Copy span on @p track covering the whole engine
+     * occupancy (including any injected stall). Observation only.
+     */
+    void
+    setTracer(obs::EventTracer *tracer, std::uint16_t track)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+    }
+
     const Counter &copies() const { return copies_; }
     const Counter &abortedCopies() const { return aborted_; }
     /** Transfers delayed by an injected copier stall. */
@@ -69,6 +81,10 @@ class BlockCopier
     VmeBus &bus_;
     bool busy_ = false;
     FaultHooks *hooks_ = nullptr;
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
+    /** Tick start() ran at (valid while busy_; for the Copy span). */
+    Tick startedAt_ = 0;
     Counter copies_;
     Counter aborted_;
     Counter stalled_;

@@ -244,6 +244,20 @@ VmeBus::complete(Pending pending, bool aborted, Tick queue_delay,
     for (const auto &observer : txObservers_)
         observer(tx, result);
 
+    if (tracer_ != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::BusTx;
+        event.at = events_.now() - bus_time;
+        event.addr = tx.paddr;
+        event.arg0 = bus_time;
+        event.arg1 = queue_delay;
+        event.master = tx.requester;
+        event.track = traceTrack_;
+        event.aux = static_cast<std::uint8_t>(txIndex(tx.type)) |
+                    (aborted ? 0x80u : 0u);
+        tracer_->record(event);
+    }
+
     // The transaction has now actually occupied the bus for bus_time
     // ticks; account it. (grant() below either starts the next
     // transaction — resetting the in-flight fields at the current

@@ -26,6 +26,7 @@
 #include "mem/bus_types.hh"
 #include "mem/fault_hooks.hh"
 #include "mem/phys_mem.hh"
+#include "obs/event_tracer.hh"
 #include "sim/event.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -126,6 +127,20 @@ class VmeBus
     void setFaultHooks(FaultHooks *hooks) { hooks_ = hooks; }
 
     /**
+     * Attach (or detach, with nullptr) an event tracer; every
+     * completed transaction is recorded as a BusTx span on @p track.
+     * Like the fault hooks, a null tracer costs one untaken branch
+     * per transaction, and a non-null tracer only observes — the
+     * simulated timeline is unchanged either way.
+     */
+    void
+    setTracer(obs::EventTracer *tracer, std::uint16_t track)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+    }
+
+    /**
      * Observer called after every transaction completes — after data
      * movement and side-effect table updates, before the requester's
      * completion callback. Observers run in attachment order; the
@@ -188,6 +203,8 @@ class VmeBus
     bool busy_ = false;
     FaultHooks *hooks_ = nullptr;
     std::vector<TxObserver> txObservers_;
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
 
     Counter transactions_;
     Counter aborts_;

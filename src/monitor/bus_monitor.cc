@@ -90,6 +90,17 @@ BusMonitor::queueWord(const mem::BusTransaction &tx, bool aborted)
 {
     fifo_.push(InterruptWord{tx.type, tx.paddr, tx.requester, aborted});
     ++interrupts_;
+    if (tracer_ != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::IrqWord;
+        event.at = obsEvents_ != nullptr ? obsEvents_->now() : 0;
+        event.addr = tx.paddr;
+        event.master = tx.requester;
+        event.track = traceTrack_;
+        event.aux = static_cast<std::uint8_t>(tx.type) |
+                    (aborted ? 0x80u : 0u);
+        tracer_->record(event);
+    }
     // The interrupt line is raised even if the word was dropped: the
     // sticky overflow flag tells software to run its recovery sweep.
     if (!line_)

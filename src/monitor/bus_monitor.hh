@@ -62,6 +62,24 @@ class BusMonitor : public mem::BusWatcher
         fifo_.setFaultHooks(hooks);
     }
 
+    /**
+     * Attach (or detach, with nullptr) an event tracer: each queued
+     * interrupt word records an IrqWord instant on @p track, and the
+     * interrupt FIFO records FifoDepth counter samples there too.
+     * @p events timestamps the records; it is deliberately a separate
+     * pointer from the fault-hooks event queue so tracing and fault
+     * injection can be enabled independently.
+     */
+    void
+    setTracer(obs::EventTracer *tracer, std::uint16_t track,
+              const EventQueue *events)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+        obsEvents_ = events;
+        fifo_.setTracer(tracer, track, events);
+    }
+
     ActionTable &table() { return table_; }
     const ActionTable &table() const { return table_; }
     InterruptFifo &fifo() { return fifo_; }
@@ -98,6 +116,9 @@ class BusMonitor : public mem::BusWatcher
     InterruptLine line_;
     mem::FaultHooks *hooks_ = nullptr;
     EventQueue *events_ = nullptr;
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
+    const EventQueue *obsEvents_ = nullptr;
     bool masked_ = false;
     Counter interrupts_;
     Counter aborts_;

@@ -21,10 +21,26 @@ InterruptFifo::push(const InterruptWord &word)
         (hooks_ != nullptr && hooks_->injectFifoDrop())) {
         overflowed_ = true;
         ++dropped_;
+        if (tracer_ != nullptr)
+            traceDepth(/*drop=*/true);
         return;
     }
     words_.push_back(word);
     ++pushed_;
+    if (tracer_ != nullptr)
+        traceDepth(/*drop=*/false);
+}
+
+void
+InterruptFifo::traceDepth(bool drop) const
+{
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::FifoDepth;
+    event.at = obsEvents_ != nullptr ? obsEvents_->now() : 0;
+    event.arg0 = words_.size();
+    event.track = traceTrack_;
+    event.aux = drop ? 1 : 0;
+    tracer_->record(event);
 }
 
 std::optional<InterruptWord>
@@ -34,6 +50,8 @@ InterruptFifo::pop()
         return std::nullopt;
     InterruptWord word = words_.front();
     words_.pop_front();
+    if (tracer_ != nullptr)
+        traceDepth(/*drop=*/false);
     return word;
 }
 

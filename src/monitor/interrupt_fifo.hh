@@ -16,6 +16,8 @@
 
 #include "mem/bus_types.hh"
 #include "mem/fault_hooks.hh"
+#include "obs/event_tracer.hh"
+#include "sim/event.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -61,12 +63,32 @@ class InterruptFifo
      */
     void setFaultHooks(mem::FaultHooks *hooks) { hooks_ = hooks; }
 
+    /**
+     * Attach (or detach, with nullptr) an event tracer; every push
+     * (including drops) and every successful pop records a FifoDepth
+     * counter sample on @p track, timestamped from @p events.
+     * Observation only — the FIFO's behavior is unchanged.
+     */
+    void
+    setTracer(obs::EventTracer *tracer, std::uint16_t track,
+              const EventQueue *events)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+        obsEvents_ = events;
+    }
+
     const Counter &pushed() const { return pushed_; }
     const Counter &dropped() const { return dropped_; }
 
   private:
+    void traceDepth(bool drop) const;
+
     std::size_t capacity_;
     mem::FaultHooks *hooks_ = nullptr;
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
+    const EventQueue *obsEvents_ = nullptr;
     std::deque<InterruptWord> words_;
     bool overflowed_ = false;
     Counter pushed_;

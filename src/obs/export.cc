@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Trace exporters: Chrome-trace JSON, time-series CSVs, text snapshot.
+ */
+
+#include "obs/export.hh"
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace vmp::obs
+{
+
+namespace
+{
+
+double
+usec(Tick ns)
+{
+    return static_cast<double>(ns) / 1000.0;
+}
+
+/** One Chrome-trace event skeleton with the common fields filled. */
+Json
+chromeEvent(const char *ph, const char *name, const TraceEvent &event)
+{
+    Json j = Json::object();
+    j["name"] = Json(name);
+    j["ph"] = Json(ph);
+    j["pid"] = Json(0);
+    j["tid"] = Json(std::uint64_t{event.track});
+    j["ts"] = Json(usec(event.at));
+    return j;
+}
+
+Json
+spanArgs(const TraceEvent &event)
+{
+    Json args = Json::object();
+    switch (event.kind) {
+      case EventKind::BusTx:
+      case EventKind::Copy:
+        args["addr"] = Json(event.addr);
+        args["tx_type"] = Json(std::uint64_t{event.aux & 0x7fu});
+        args["aborted"] = Json((event.aux & 0x80u) != 0);
+        args["master"] = Json(std::uint64_t{event.master});
+        if (event.kind == EventKind::BusTx)
+            args["queue_delay_ns"] = Json(event.arg1);
+        else
+            args["bus_time_ns"] = Json(event.arg1);
+        break;
+      case EventKind::Miss:
+        args["addr"] = Json(event.addr);
+        args["dirty"] = Json((event.aux & 1u) != 0);
+        args["kind"] = Json(std::string(missKindName(
+            static_cast<MissKind>(event.aux >> 1))));
+        args["retries"] = Json(event.arg1);
+        break;
+      case EventKind::Service:
+        args["words"] = Json(event.arg1);
+        break;
+      case EventKind::IbcFetch:
+        args["addr"] = Json(event.addr);
+        args["exclusive"] = Json((event.aux & 1u) != 0);
+        args["upgrade"] = Json((event.aux & 2u) != 0);
+        break;
+      case EventKind::Recovery:
+        args["dead_board"] = Json(std::uint64_t{event.master});
+        break;
+      default:
+        break;
+    }
+    return args;
+}
+
+} // namespace
+
+Json
+chromeTraceJson(const EventTracer &tracer)
+{
+    Json events = Json::array();
+    // Track-name metadata first, one per track, in track order.
+    for (std::uint16_t t = 0;
+         t < static_cast<std::uint16_t>(tracer.trackCount()); ++t) {
+        Json meta = Json::object();
+        meta["name"] = Json("thread_name");
+        meta["ph"] = Json("M");
+        meta["pid"] = Json(0);
+        meta["tid"] = Json(std::uint64_t{t});
+        Json args = Json::object();
+        args["name"] = Json(tracer.trackName(t));
+        meta["args"] = std::move(args);
+        events.push(std::move(meta));
+    }
+    for (const TraceEvent &event : tracer.allEvents()) {
+        if (isSpan(event.kind)) {
+            const char *name =
+                event.kind == EventKind::MissPhase
+                    ? missPhaseName(
+                          static_cast<MissPhase>(event.aux))
+                    : eventKindName(event.kind);
+            Json j = chromeEvent("X", name, event);
+            j["dur"] = Json(usec(event.arg0));
+            j["args"] = spanArgs(event);
+            events.push(std::move(j));
+        } else if (event.kind == EventKind::FifoDepth) {
+            Json j = chromeEvent("C", "fifo_depth", event);
+            Json args = Json::object();
+            args["depth"] = Json(event.arg0);
+            j["args"] = std::move(args);
+            events.push(std::move(j));
+        } else {
+            Json j =
+                chromeEvent("i", eventKindName(event.kind), event);
+            j["s"] = Json("t");
+            Json args = Json::object();
+            args["addr"] = Json(event.addr);
+            args["master"] = Json(std::uint64_t{event.master});
+            j["args"] = std::move(args);
+            events.push(std::move(j));
+        }
+    }
+    Json doc = Json::object();
+    doc["displayTimeUnit"] = Json("ns");
+    doc["traceEvents"] = std::move(events);
+    return doc;
+}
+
+void
+writeChromeTrace(const EventTracer &tracer, std::ostream &os)
+{
+    chromeTraceJson(tracer).write(os, 2);
+    os << '\n';
+}
+
+std::string
+busUtilizationCsv(const EventTracer &tracer, Tick bin_ns)
+{
+    if (bin_ns == 0)
+        bin_ns = 1;
+    // Collect BusTx spans per track; remember which tracks carry any.
+    struct Column
+    {
+        std::uint16_t track;
+        std::vector<TraceEvent> spans;
+    };
+    std::vector<Column> columns;
+    Tick end = 0;
+    for (std::uint16_t t = 0;
+         t < static_cast<std::uint16_t>(tracer.trackCount()); ++t) {
+        Column col;
+        col.track = t;
+        for (const TraceEvent &event : tracer.events(t)) {
+            if (event.kind != EventKind::BusTx)
+                continue;
+            col.spans.push_back(event);
+            if (event.at + event.arg0 > end)
+                end = event.at + event.arg0;
+        }
+        if (!col.spans.empty())
+            columns.push_back(std::move(col));
+    }
+    std::ostringstream os;
+    os << "t_us";
+    for (const Column &col : columns)
+        os << ',' << tracer.trackName(col.track);
+    os << '\n';
+    if (columns.empty())
+        return os.str();
+    const std::size_t bins =
+        static_cast<std::size_t>((end + bin_ns - 1) / bin_ns);
+    std::vector<std::vector<Tick>> busy(
+        columns.size(), std::vector<Tick>(bins, 0));
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        for (const TraceEvent &event : columns[c].spans) {
+            Tick lo = event.at;
+            const Tick hi = event.at + event.arg0;
+            while (lo < hi) {
+                const std::size_t bin =
+                    static_cast<std::size_t>(lo / bin_ns);
+                const Tick bin_end = (bin + 1) * bin_ns;
+                const Tick upto = hi < bin_end ? hi : bin_end;
+                busy[c][bin] += upto - lo;
+                lo = upto;
+            }
+        }
+    }
+    for (std::size_t bin = 0; bin < bins; ++bin) {
+        os << Json::numberToString(usec(bin * bin_ns));
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            os << ','
+               << Json::numberToString(
+                      static_cast<double>(busy[c][bin]) /
+                      static_cast<double>(bin_ns));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+fifoDepthCsv(const EventTracer &tracer)
+{
+    std::ostringstream os;
+    os << "t_us,track,depth,dropped\n";
+    for (const TraceEvent &event : tracer.allEvents()) {
+        if (event.kind != EventKind::FifoDepth)
+            continue;
+        os << Json::numberToString(usec(event.at)) << ','
+           << tracer.trackName(event.track) << ',' << event.arg0
+           << ',' << unsigned{event.aux} << '\n';
+    }
+    return os.str();
+}
+
+std::string
+metricsSnapshot(const EventTracer &tracer,
+                const MissProfiler *profiler)
+{
+    std::ostringstream os;
+    os << "obs snapshot: " << tracer.trackCount() << " tracks, "
+       << tracer.recorded() << " events recorded, "
+       << tracer.droppedOldest() << " overwritten (ring "
+       << tracer.ringCapacity() << ")\n";
+    std::array<std::uint64_t, kEventKinds> per_kind{};
+    for (std::uint16_t t = 0;
+         t < static_cast<std::uint16_t>(tracer.trackCount()); ++t) {
+        const auto events = tracer.events(t);
+        os << "  track " << t << " (" << tracer.trackName(t)
+           << "): " << events.size() << " retained, "
+           << tracer.droppedOn(t) << " overwritten\n";
+        for (const TraceEvent &event : events)
+            ++per_kind[static_cast<std::size_t>(event.kind)];
+    }
+    os << "  retained by kind:";
+    for (std::size_t k = 0; k < kEventKinds; ++k) {
+        if (per_kind[k] == 0)
+            continue;
+        os << ' ' << eventKindName(static_cast<EventKind>(k)) << '='
+           << per_kind[k];
+    }
+    os << '\n';
+    if (profiler != nullptr) {
+        os << "  miss profile: " << profiler->misses()
+           << " misses, " << profiler->phaseSumMismatches()
+           << " phase-sum mismatches (worst "
+           << profiler->worstMismatchNs() << " ns)\n";
+        for (std::size_t k = 0; k < kMissKinds; ++k) {
+            for (int dirty = 0; dirty < 2; ++dirty) {
+                const MissBreakdown &cls = profiler->breakdown(
+                    static_cast<MissKind>(k), dirty != 0);
+                if (cls.count == 0)
+                    continue;
+                char line[256];
+                std::snprintf(
+                    line, sizeof line,
+                    "    %-10s %-5s n=%-8llu elapsed=%8.2fus "
+                    "trap=%.2f lookup=%.2f wb=%.2f copy=%.2f "
+                    "wait=%.2f\n",
+                    missKindName(static_cast<MissKind>(k)),
+                    dirty != 0 ? "dirty" : "clean",
+                    static_cast<unsigned long long>(cls.count),
+                    cls.meanElapsedUs(),
+                    cls.meanPhaseUs(MissPhase::Trap),
+                    cls.meanPhaseUs(MissPhase::TableLookup),
+                    cls.meanPhaseUs(MissPhase::VictimWriteback),
+                    cls.meanPhaseUs(MissPhase::BlockCopy),
+                    cls.meanPhaseUs(MissPhase::ConsistencyWait));
+                os << line;
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace vmp::obs

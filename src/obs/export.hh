@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Exporters for recorded traces: Chrome-trace/Perfetto JSON (loadable
+ * in chrome://tracing or ui.perfetto.dev, one track per board/bus),
+ * Figure-5-style time-series CSVs (bus utilization, interrupt-FIFO
+ * depth), and a human-readable metrics snapshot.
+ *
+ * All exporters are deterministic: events are emitted in (tick, track)
+ * order and floating-point values go through Json::numberToString, so
+ * two runs with the same seeds produce byte-identical exports.
+ */
+
+#ifndef VMP_OBS_EXPORT_HH
+#define VMP_OBS_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/event_tracer.hh"
+#include "obs/miss_profiler.hh"
+#include "sim/json.hh"
+
+namespace vmp::obs
+{
+
+/**
+ * Chrome-trace JSON document: "M" thread_name metadata naming each
+ * track, "X" complete events for spans (ts/dur in microseconds), "i"
+ * instants, and "C" counter samples for FIFO depth. pid is always 0;
+ * tid is the tracer's track id.
+ */
+Json chromeTraceJson(const EventTracer &tracer);
+
+/** Write chromeTraceJson to @p os (2-space indent, trailing \n). */
+void writeChromeTrace(const EventTracer &tracer, std::ostream &os);
+
+/**
+ * Bus-utilization time series (Figure-5 style): one row per @p bin_ns
+ * bin, one column per track that carried BusTx spans, values the
+ * fraction of the bin the bus was busy. Header row names the tracks.
+ */
+std::string busUtilizationCsv(const EventTracer &tracer,
+                              Tick bin_ns = 100'000);
+
+/**
+ * Interrupt-FIFO depth time series, long format:
+ * `t_us,track,depth,dropped` — one row per FifoDepth sample.
+ */
+std::string fifoDepthCsv(const EventTracer &tracer);
+
+/**
+ * Human-readable snapshot: per-track record/drop totals, per-kind
+ * event counts, and (when @p profiler is non-null) the per-class miss
+ * phase table.
+ */
+std::string metricsSnapshot(const EventTracer &tracer,
+                            const MissProfiler *profiler = nullptr);
+
+} // namespace vmp::obs
+
+#endif // VMP_OBS_EXPORT_HH

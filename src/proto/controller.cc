@@ -93,6 +93,78 @@ CacheController::setFaultHooks(mem::FaultHooks *hooks)
 }
 
 void
+CacheController::setTracer(obs::EventTracer *tracer,
+                           std::uint16_t track)
+{
+    tracer_ = tracer;
+    traceTrack_ = track;
+    missOpen_ = false;
+    copier_.setTracer(tracer, track);
+}
+
+// --------------------------------------------------------------------
+// Tracing (pure observation; every helper is a no-op without a tracer)
+// --------------------------------------------------------------------
+
+void
+CacheController::traceMissBegin(Tick started, std::uint8_t kind)
+{
+    if (tracer_ == nullptr)
+        return;
+    missOpen_ = true;
+    missDirty_ = false;
+    missKindAux_ = kind;
+    missStartedAt_ = started;
+    phase_ = obs::MissPhase::Trap;
+    phaseStartedAt_ = started;
+}
+
+void
+CacheController::traceClosePhase()
+{
+    const Tick now = events_.now();
+    if (now == phaseStartedAt_)
+        return; // empty phase: contributes nothing
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::MissPhase;
+    event.at = phaseStartedAt_;
+    event.arg0 = now - phaseStartedAt_;
+    event.master = cpuId_;
+    event.track = traceTrack_;
+    event.aux = static_cast<std::uint8_t>(phase_);
+    tracer_->record(event);
+}
+
+void
+CacheController::tracePhase(obs::MissPhase phase)
+{
+    if (tracer_ == nullptr || !missOpen_ || phase_ == phase)
+        return;
+    traceClosePhase();
+    phase_ = phase;
+    phaseStartedAt_ = events_.now();
+}
+
+void
+CacheController::traceMissEnd()
+{
+    if (tracer_ == nullptr || !missOpen_)
+        return;
+    traceClosePhase();
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::Miss;
+    event.at = missStartedAt_;
+    event.arg0 = events_.now() - missStartedAt_;
+    event.arg1 = liveRetries_;
+    event.master = cpuId_;
+    event.track = traceTrack_;
+    event.aux = static_cast<std::uint8_t>((missDirty_ ? 1u : 0u) |
+                                          (missKindAux_ << 1));
+    tracer_->record(event);
+    missOpen_ = false;
+}
+
+void
 CacheController::watchdogCheck(const char *operation, Asid asid,
                                Addr vaddr, Addr paddr,
                                std::uint64_t attempts, Tick started)
@@ -193,6 +265,7 @@ CacheController::finishMiss(Tick started, const AccessDone &done)
 {
     missStall_ += events_.now() - started;
     retryHistogram_.sample(static_cast<double>(liveRetries_));
+    traceMissEnd();
     done(AccessOutcome::MissCompleted);
 }
 
@@ -256,13 +329,16 @@ CacheController::access(Asid asid, Addr vaddr, bool write,
     const Tick started = events_.now();
     switch (res.miss) {
       case cache::MissKind::NoMatch:
+        traceMissBegin(started, 0);
         handleFullMiss(req, started, std::move(done));
         break;
       case cache::MissKind::WriteShared:
         ++ownershipCount_;
+        traceMissBegin(started, 1);
         handleOwnershipMiss(req, *res.slot, started, std::move(done));
         break;
       case cache::MissKind::Protection:
+        traceMissBegin(started, 2);
         handleProtectionMiss(req, *res.slot, started, std::move(done));
         break;
       case cache::MissKind::None:
@@ -279,6 +355,7 @@ CacheController::retryAccess(const TranslateRequest &req, Tick started,
     // self-competition (alias) aborts.
     ++retryCount_;
     ++liveRetries_;
+    tracePhase(obs::MissPhase::ConsistencyWait);
     watchdogCheck("access", req.asid, req.vaddr, 0, liveRetries_,
                   started);
     if (deadOwnerCheck("access", req.vaddr, 0, liveRetries_, started)) {
@@ -323,6 +400,7 @@ void
 CacheController::handleFullMiss(TranslateRequest req, Tick started,
                                 AccessDone done)
 {
+    tracePhase(obs::MissPhase::Trap);
     afterSoftware(timing_.trapEntryNs, [this, req, started,
                                         done = std::move(done)] {
         translator_.translate(
@@ -360,8 +438,10 @@ CacheController::missWithTranslation(const TranslateRequest &req,
                                      Tick started, AccessDone done)
 {
     const cache::SlotIndex victim = cache_.victimFor(req.vaddr);
+    tracePhase(obs::MissPhase::VictimWriteback);
     retireVictim(victim, [this, req, result, victim, started,
                           done = std::move(done)] {
+        tracePhase(obs::MissPhase::TableLookup);
         afterSoftware(timing_.postNs,
                       [this, req, result, victim, started, done] {
                           issueFill(req, result, victim, started, done);
@@ -405,6 +485,7 @@ CacheController::retireVictim(cache::SlotIndex victim, Done done)
         // Dirty implies privately owned: write the page back,
         // releasing ownership (entry -> 00), overlapped with up to
         // overlapNs of bookkeeping.
+        missDirty_ = true; // observed by the tracer only
         auto buffer = std::make_shared<std::vector<std::uint8_t>>(
             slot.data);
         forgetSlot(victim);
@@ -494,6 +575,7 @@ CacheController::issueFill(const TranslateRequest &req,
 {
     const Addr base = frameBase(result.paddr);
     const std::uint64_t frame = frameOf(result.paddr);
+    tracePhase(obs::MissPhase::BlockCopy);
     auto staging =
         std::make_shared<std::vector<std::uint8_t>>(pageBytes());
 
@@ -558,6 +640,7 @@ CacheController::handleOwnershipMiss(TranslateRequest req,
     // access: this re-validates protection against a concurrent
     // mapping change and lets the VM system maintain the PTE modified
     // bit (Section 3.4).
+    tracePhase(obs::MissPhase::Trap);
     afterSoftware(timing_.trapEntryNs, [this, req, slot, frame, base,
                                         started,
                                         done = std::move(done)] {
@@ -584,6 +667,7 @@ CacheController::handleOwnershipMiss(TranslateRequest req,
                     retryAccess(req, started, done);
                     return;
                 }
+                tracePhase(obs::MissPhase::TableLookup);
                 afterSoftware(timing_.ownershipNs, [this, req, slot,
                                                     frame, base,
                                                     started, done] {
@@ -593,6 +677,7 @@ CacheController::handleOwnershipMiss(TranslateRequest req,
                     tx.paddr = base;
                     tx.newEntry = mem::ActionEntry::Protect;
                     tx.updatesTable = true;
+                    tracePhase(obs::MissPhase::ConsistencyWait);
                     bus_.request(tx, [this, req, slot, frame, started,
                                       done](const mem::TxResult &res) {
                         if (res.aborted) {
@@ -626,6 +711,7 @@ CacheController::handleProtectionMiss(TranslateRequest req,
                                       cache::SlotIndex slot,
                                       Tick started, AccessDone done)
 {
+    tracePhase(obs::MissPhase::Trap);
     afterSoftware(timing_.trapEntryNs, [this, req, slot, started,
                                         done = std::move(done)] {
         translator_.translate(
@@ -733,8 +819,20 @@ CacheController::serviceInterrupts(Done done)
         return;
     }
     const Tick started = events_.now();
-    auto finish = [this, started, done = std::move(done)] {
+    const std::uint64_t words_before = serviceCount_.value();
+    auto finish = [this, started, words_before,
+                   done = std::move(done)] {
         serviceStall_ += events_.now() - started;
+        if (tracer_ != nullptr) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::Service;
+            event.at = started;
+            event.arg0 = events_.now() - started;
+            event.arg1 = serviceCount_.value() - words_before;
+            event.master = cpuId_;
+            event.track = traceTrack_;
+            tracer_->record(event);
+        }
         done();
     };
 

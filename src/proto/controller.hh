@@ -38,6 +38,7 @@
 #include "mem/block_copier.hh"
 #include "mem/vme_bus.hh"
 #include "monitor/bus_monitor.hh"
+#include "obs/event_tracer.hh"
 #include "proto/dead_owner.hh"
 #include "proto/timing.hh"
 #include "sim/random.hh"
@@ -147,6 +148,18 @@ class CacheController
 
     /** Forward fault-injection hooks to this board's block copier. */
     void setFaultHooks(mem::FaultHooks *hooks);
+
+    /**
+     * Attach (or detach, with nullptr) an event tracer. The miss
+     * handler records, on @p track: one Miss span per completed miss,
+     * MissPhase spans forming a gapless serial partition of it (trap,
+     * action-table lookup, victim writeback, block copy, consistency
+     * wait), one Service span per interrupt-service burst, and the
+     * block copier's Copy spans. A null tracer costs one untaken
+     * branch per potential event; a non-null tracer only observes —
+     * the simulated timeline is bit-identical either way.
+     */
+    void setTracer(obs::EventTracer *tracer, std::uint16_t track);
 
     /** Dead-owner error upcall; see proto/dead_owner.hh. */
     using DeadOwnerHandler = std::function<void(const DeadOwnerError &)>;
@@ -374,6 +387,19 @@ class CacheController
      *  count into the histogram, and invoke the continuation. */
     void finishMiss(Tick started, const AccessDone &done);
 
+    // --- tracing (no-ops while tracer_ is null) ---
+
+    /** Open the Miss span and its first (Trap) phase at @p started.
+     *  @p kind: 0 full, 1 ownership, 2 protection. */
+    void traceMissBegin(Tick started, std::uint8_t kind);
+    /** Transition to @p phase: emit the span of the phase ending now
+     *  (no-op when @p phase is already current or no miss is open). */
+    void tracePhase(obs::MissPhase phase);
+    /** Emit the current phase's span ending now, if non-empty. */
+    void traceClosePhase();
+    /** Close the open miss: final phase span + the Miss span. */
+    void traceMissEnd();
+
     /**
      * Watchdog check for one retry loop: trips (once per starving
      * operation, at attempts == cap + 1) when @p attempts exceeds the
@@ -399,6 +425,15 @@ class CacheController
     Translator &translator_;
     SoftwareTiming timing_;
     Rng rng_;
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
+    /** True while a traced miss is open (between begin and finish). */
+    bool missOpen_ = false;
+    bool missDirty_ = false;
+    std::uint8_t missKindAux_ = 0;
+    Tick missStartedAt_ = 0;
+    obs::MissPhase phase_ = obs::MissPhase::Trap;
+    Tick phaseStartedAt_ = 0;
     FaultHandler faultHandler_;
     NotifyHandler notifyHandler_;
 

@@ -148,6 +148,15 @@ RecoveryManager::onDeclaredDead(std::uint32_t master)
     record->dead = true;
     record->declaredAt = events_.now();
     ++boardsDead_;
+    if (tracer_ != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::RecoveryBegin;
+        event.at = events_.now();
+        event.master = master;
+        event.track = traceTrack_;
+        event.aux = record->bridge ? 1 : 0;
+        tracer_->record(event);
+    }
 
     if (record->bridge) {
         // Liveness bookkeeping only: the bridge's global-side frames
@@ -230,6 +239,15 @@ RecoveryManager::reclaimNext(
                                          mem::ActionEntry::Ignore);
             ++framesReclaimed_;
             ++pagesLost_;
+            if (tracer_ != nullptr) {
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::Reclaim;
+                event.at = events_.now();
+                event.addr = frame * mem_.pageBytes();
+                event.master = target->master;
+                event.track = traceTrack_;
+                tracer_->record(event);
+            }
             VMP_DTRACE(debug::Recover, events_.now(), "reclaimed frame ",
                        frame, " from dead master ", target->master);
             restoreFrame(*target, frame, frames);
@@ -281,6 +299,15 @@ RecoveryManager::finishReclaim(Record &record)
     record.reclaiming = false;
     lastRecoveryNs_ = events_.now() - record.declaredAt;
     ++recoveries_;
+    if (tracer_ != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::Recovery;
+        event.at = record.declaredAt;
+        event.arg0 = lastRecoveryNs_;
+        event.master = record.master;
+        event.track = traceTrack_;
+        tracer_->record(event);
+    }
     VMP_DTRACE(debug::Recover, events_.now(), "master ", record.master,
                " reclaim complete in ", lastRecoveryNs_, " ns");
     if (postReclaimHook_)

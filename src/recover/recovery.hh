@@ -106,6 +106,19 @@ class RecoveryManager final : public proto::DeadOwnerOracle
     void setPostReclaimHook(std::function<void()> hook);
 
     /**
+     * Attach (or detach, with nullptr) an event tracer. On @p track:
+     * a RecoveryBegin instant at declaration, a Reclaim instant per
+     * reclaimed frame, and one Recovery span covering declaration to
+     * reclaim-complete. Observation only.
+     */
+    void
+    setTracer(obs::EventTracer *tracer, std::uint16_t track)
+    {
+        tracer_ = tracer;
+        traceTrack_ = track;
+    }
+
+    /**
      * A killed board hot-rejoined: trust it again. Fatal while its
      * reclaim is still in flight — the system must sequence rejoin
      * after recovery completes.
@@ -167,6 +180,8 @@ class RecoveryManager final : public proto::DeadOwnerOracle
     std::deque<Record> records_;
     vm::BackingStore *backing_ = nullptr;
     Asid backingAsid_ = 0;
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t traceTrack_ = 0;
     std::function<void()> postReclaimHook_;
     Tick lastRecoveryNs_ = 0;
 

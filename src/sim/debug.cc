@@ -37,6 +37,7 @@ flagName(Flag flag)
       case Fault: return "Fault";
       case Check: return "Check";
       case Recover: return "Recover";
+      case Obs: return "Obs";
       default: return "?";
     }
 }
@@ -70,10 +71,12 @@ parseFlags(const std::string &spec)
             result |= Check;
         } else if (token == "Recover") {
             result |= Recover;
+        } else if (token == "Obs") {
+            result |= Obs;
         } else {
             fatal("unknown debug flag '", token,
                   "' (known: Bus, Cache, Monitor, Proto, Vm, Cpu, "
-                  "Fault, Check, Recover, all)");
+                  "Fault, Check, Recover, Obs, all)");
         }
     }
     return result;

@@ -32,6 +32,7 @@ enum Flag : std::uint32_t
     Fault = 1u << 6,    //!< fault injection decisions
     Check = 1u << 7,    //!< coherence-invariant checker
     Recover = 1u << 8,  //!< failure detection and ownership reclaim
+    Obs = 1u << 9,      //!< tracing/profiling lifecycle and exports
     All = 0xffffffff,
 };
 

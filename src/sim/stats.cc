@@ -61,9 +61,30 @@ Histogram::mean() const
 }
 
 void
+StatGroup::checkUnique(const std::string &name) const
+{
+    for (const auto &c : counters_) {
+        if (c.name == name)
+            panic("stat group \"", name_, "\": duplicate stat name \"",
+                  name, "\"");
+    }
+    for (const auto &s : scalars_) {
+        if (s.name == name)
+            panic("stat group \"", name_, "\": duplicate stat name \"",
+                  name, "\"");
+    }
+    for (const auto &h : histograms_) {
+        if (h.name == name)
+            panic("stat group \"", name_, "\": duplicate stat name \"",
+                  name, "\"");
+    }
+}
+
+void
 StatGroup::addCounter(const std::string &name, const std::string &desc,
                       const Counter &counter)
 {
+    checkUnique(name);
     counters_.push_back({name, desc, &counter});
 }
 
@@ -71,6 +92,7 @@ void
 StatGroup::addScalar(const std::string &name, const std::string &desc,
                      const Scalar &scalar)
 {
+    checkUnique(name);
     scalars_.push_back({name, desc, &scalar});
 }
 
@@ -79,6 +101,7 @@ StatGroup::addHistogram(const std::string &name,
                         const std::string &desc,
                         const Histogram &histogram)
 {
+    checkUnique(name);
     histograms_.push_back({name, desc, &histogram});
 }
 

@@ -135,6 +135,9 @@ class StatGroup
     }
 
   private:
+    /** Panics if @p name is already registered in this group. */
+    void checkUnique(const std::string &name) const;
+
     std::string name_;
     std::vector<CounterRef> counters_;
     std::vector<ScalarRef> scalars_;

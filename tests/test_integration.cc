@@ -279,7 +279,7 @@ TEST(Integration, StatsDumpMentionsEveryBoard)
     EXPECT_NE(out.find("bus.transactions"), std::string::npos);
     EXPECT_NE(out.find("cpu0.misses"), std::string::npos);
     EXPECT_NE(out.find("cpu1.misses"), std::string::npos);
-    EXPECT_NE(out.find("cpu0.hits"), std::string::npos);
+    EXPECT_NE(out.find("cpu0.cache_hits"), std::string::npos);
 }
 
 TEST(Integration, DmaDeviceCoexistsWithTraceTraffic)

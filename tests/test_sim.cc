@@ -290,6 +290,25 @@ TEST(Stats, StatGroupDump)
     EXPECT_NE(out.find("cache misses"), std::string::npos);
 }
 
+TEST(Stats, StatGroupRejectsDuplicateNames)
+{
+    Counter c;
+    Scalar s;
+    Histogram h(4, 1.0);
+    StatGroup g("cpu0");
+    g.addCounter("misses", "cache misses", c);
+    // Duplicates are rejected across all three stat kinds: a second
+    // "misses" would silently shadow the first in dumps and JSON.
+    EXPECT_THROW(g.addCounter("misses", "again", c), PanicError);
+    EXPECT_THROW(g.addScalar("misses", "as a scalar", s), PanicError);
+    EXPECT_THROW(g.addHistogram("misses", "as a histogram", h),
+                 PanicError);
+    g.addScalar("busy", "busy fraction", s);
+    EXPECT_THROW(g.addCounter("busy", "as a counter", c), PanicError);
+    g.addHistogram("delay", "queue delay", h);
+    EXPECT_THROW(g.addHistogram("delay", "again", h), PanicError);
+}
+
 TEST(Stats, TableWriterRendersAlignedRows)
 {
     TableWriter t("Table 1");
