@@ -11,6 +11,7 @@
 #ifndef VMP_BENCH_BENCH_UTIL_HH
 #define VMP_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analytic/models.hh"
 #include "core/fast_sim.hh"
 #include "core/sweep.hh"
 #include "core/system.hh"
@@ -39,8 +41,10 @@ inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
  *  coordinator's and failure detector's counters, verbatim). v1.3
  *  added the observability bench (bench_obs) and the "obs" stat group
  *  (event-tracer ring and miss-profiler counters) emitted by any bench
- *  run with tracing armed. */
-inline constexpr double kArtifactSchemaVersion = 1.3;
+ *  run with tracing armed. v1.4 added the closed-queuing (MVA) model
+ *  overlay columns (mva_* metrics plus per-model "in_domain" flags),
+ *  the "arbitration" config key, and the bus_upgrades metric. */
+inline constexpr double kArtifactSchemaVersion = 1.4;
 
 /** Build-time git revision (configure-time snapshot; "unknown" when
  *  the build tree was configured outside a git checkout). */
@@ -59,6 +63,8 @@ struct BenchOptions
     unsigned threads = 0;
     /** Base RNG seed for synthetic workloads (--seed-base N). */
     std::uint64_t seedBase = 1000;
+    /** Bus arbitration discipline (--arbitration NAME). */
+    mem::ArbitrationConfig arbitration{};
 };
 
 /**
@@ -67,6 +73,9 @@ struct BenchOptions
  *   --no-json                           suppress the artifact
  *   --threads N | --threads=N           sweep worker threads
  *   --seed-base N | --seed-base=N       synthetic-workload seed base
+ *   --arbitration NAME                  bus arbitration discipline
+ *                                       (fifo | priority | rr)
+ *   --priority-levels N                 bus-request levels (priority)
  *   --help | -h                         print usage and exit
  * Unrecognized arguments are left in argv (bench_simperf forwards
  * them to google-benchmark); @p argc is adjusted accordingly.
@@ -103,6 +112,12 @@ parseBenchOptions(const std::string &bench_name, int &argc, char **argv)
                 static_cast<unsigned>(std::stoul(value));
         } else if (valueOf("--seed-base", value)) {
             opts.seedBase = std::stoull(value);
+        } else if (valueOf("--arbitration", value)) {
+            opts.arbitration.discipline =
+                mem::arbitrationFromName(value);
+        } else if (valueOf("--priority-levels", value)) {
+            opts.arbitration.priorityLevels =
+                static_cast<unsigned>(std::stoul(value));
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "bench_" << bench_name << " [options]\n"
@@ -112,6 +127,10 @@ parseBenchOptions(const std::string &bench_name, int &argc, char **argv)
                 << "  --threads N      sweep worker threads (0=auto)\n"
                 << "  --seed-base N    synthetic-workload seed base "
                    "(default 1000)\n"
+                << "  --arbitration NAME  bus discipline: fifo | "
+                   "priority | rr (default fifo)\n"
+                << "  --priority-levels N bus-request levels "
+                   "(priority; default 4)\n"
                 << "  --help, -h       this message\n"
                 << "Unrecognized arguments are forwarded (only "
                    "bench_simperf consumes them).\n";
@@ -280,7 +299,48 @@ runResultJson(const core::RunResult &result)
     j["bus_utilization"] = Json(result.busUtilization);
     j["bus_aborts"] = Json(result.busAborts);
     j["write_backs"] = Json(result.writeBacks);
+    j["bus_upgrades"] = Json(result.busUpgrades);
     return j;
+}
+
+/**
+ * The measured bus-load shape of a run, ready to feed the MVA model.
+ * Falls back to the paper's assumptions (no upgrades, 25% write-backs)
+ * when the run took no misses.
+ */
+inline analytic::BusLoadProfile
+loadProfileOf(const core::RunResult &result)
+{
+    analytic::BusLoadProfile load;
+    load.missRatio = result.missRatio;
+    if (result.totalMisses > 0) {
+        // Clamp: bridge boards (and retried upgrades under heavy
+        // contention) can push the bus-side counts past the
+        // CPU-side miss count.
+        load.upgradeFraction = std::min(
+            1.0,
+            static_cast<double>(result.busUpgrades) /
+                static_cast<double>(result.totalMisses));
+        load.writeBackRatio = std::min(
+            1.0,
+            static_cast<double>(result.writeBacks) /
+                static_cast<double>(result.totalMisses));
+    }
+    return load;
+}
+
+/** Model-prediction columns for one bench row: prediction, relative
+ *  error vs the measured value, and the domain flags. */
+inline void
+modelColumnsJson(Json &metrics, const std::string &prefix,
+                 double predicted, double measured,
+                 const analytic::ModelDomain &domain)
+{
+    metrics[prefix + "_performance"] = Json(predicted);
+    metrics[prefix + "_error"] = Json(
+        measured == 0.0 ? 0.0 : (predicted - measured) / measured);
+    metrics[prefix + "_in_domain"] = Json(domain.inDomain());
+    metrics[prefix + "_rho"] = Json(domain.rho);
 }
 
 /** Banner naming the artifact being regenerated. */
@@ -355,12 +415,14 @@ inline core::RunResult
 runVmpSystem(std::uint32_t processors, std::uint64_t refs_per_cpu,
              const cache::CacheConfig &cache_cfg,
              std::uint64_t seed_base = 1000, bool share_kernel = false,
-             Json *stats_out = nullptr)
+             Json *stats_out = nullptr,
+             const mem::ArbitrationConfig &arbitration = {})
 {
     core::VmpConfig cfg;
     cfg.processors = processors;
     cfg.cache = cache_cfg;
     cfg.memBytes = MiB(8);
+    cfg.arbitration = arbitration;
     core::VmpSystem system(cfg);
 
     std::vector<std::unique_ptr<trace::SyntheticGen>> gens;

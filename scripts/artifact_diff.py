@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts, ignoring the run-environment bits.
+
+Usage: artifact_diff.py GOLDEN CURRENT [--rtol X] [--atol Y]
+
+The artifact schema (bench/bench_util.hh) is deterministic for a fixed
+seed except for the "meta" object (git sha, compiler, thread count) and
+the "wall_clock_s" stopwatch, which this tool skips. Numbers compare
+with a relative tolerance so a golden survives harmless float-printing
+differences; everything else must match exactly. Exit status 0 = same,
+1 = regression (each difference is printed with its JSON path).
+"""
+
+import argparse
+import json
+import sys
+
+IGNORED_KEYS = {"meta", "host", "wall_clock_s"}
+
+
+def compare(golden, current, path, rtol, atol, diffs):
+    if isinstance(golden, dict) and isinstance(current, dict):
+        for key in sorted(set(golden) | set(current)):
+            if key in IGNORED_KEYS:
+                continue
+            sub = f"{path}.{key}" if path else key
+            if key not in golden:
+                diffs.append(f"{sub}: unexpected key (not in golden)")
+            elif key not in current:
+                diffs.append(f"{sub}: missing key")
+            else:
+                compare(golden[key], current[key], sub, rtol, atol,
+                        diffs)
+    elif isinstance(golden, list) and isinstance(current, list):
+        if len(golden) != len(current):
+            diffs.append(f"{path}: length {len(golden)} != "
+                         f"{len(current)}")
+            return
+        for i, (g, c) in enumerate(zip(golden, current)):
+            compare(g, c, f"{path}[{i}]", rtol, atol, diffs)
+    elif isinstance(golden, bool) or isinstance(current, bool):
+        # bool is an int subclass; keep it out of the numeric branch.
+        if golden is not current:
+            diffs.append(f"{path}: {golden} != {current}")
+    elif isinstance(golden, (int, float)) and \
+            isinstance(current, (int, float)):
+        if abs(golden - current) > atol + rtol * abs(golden):
+            diffs.append(f"{path}: {golden!r} != {current!r}")
+    elif golden != current:
+        diffs.append(f"{path}: {golden!r} != {current!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two bench artifacts")
+    parser.add_argument("golden")
+    parser.add_argument("current")
+    parser.add_argument("--rtol", type=float, default=1e-9)
+    parser.add_argument("--atol", type=float, default=1e-12)
+    args = parser.parse_args()
+
+    with open(args.golden) as f:
+        golden = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    diffs = []
+    compare(golden, current, "", args.rtol, args.atol, diffs)
+    if diffs:
+        print(f"{args.current} regressed against {args.golden}:")
+        for diff in diffs[:50]:
+            print(f"  {diff}")
+        if len(diffs) > 50:
+            print(f"  ... and {len(diffs) - 50} more")
+        return 1
+    print(f"{args.current} matches {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Run one bench binary in a scratch directory and diff the BENCH_*.json
+# it writes against the committed golden (scripts/artifact_diff.py).
+# Registered as the "golden"-labeled ctest entries; any change to a
+# deterministic artifact section fails the gate until the golden is
+# regenerated on purpose (run the bench, inspect, copy over the file
+# in tests/goldens/).
+#
+# Usage: golden_gate.sh BENCH_BINARY GOLDEN_JSON [bench args...]
+set -e
+
+bench=$1
+golden=$2
+shift 2
+diff_py=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)/artifact_diff.py
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+out=$tmp/$(basename "$golden")
+
+"$bench" --json-out "$out" "$@" >/dev/null
+python3 "$diff_py" "$golden" "$out"

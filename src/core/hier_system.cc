@@ -19,6 +19,7 @@ HierConfig::clusterConfig() const
     cfg.cache = cache;
     cfg.memBytes = memBytes;
     cfg.busTiming = localBusTiming;
+    cfg.arbitration = localArbitration;
     cfg.swTiming = swTiming;
     cfg.cpuTiming = cpuTiming;
     cfg.fifoCapacity = fifoCapacity;
@@ -38,6 +39,8 @@ HierConfig::check() const
               "page size");
     if (fifoCapacity == 0 || ibcFifoCapacity == 0)
         fatal("hier: FIFO capacities must be positive");
+    localArbitration.check();
+    globalArbitration.check();
 }
 
 std::string
@@ -60,7 +63,7 @@ struct HierVmpSystem::Cluster
             EventQueue &events, mem::VmeBus &global_bus,
             proto::Translator &translator)
         : image(cfg.memBytes, cfg.cache.pageBytes),
-          bus(events, image, cfg.localBusTiming),
+          bus(events, image, cfg.localBusTiming, cfg.localArbitration),
           ibc(index, cfg.totalCpus() + index, events, bus, global_bus,
               image, cfg.ibcTiming, cfg.ibcFifoCapacity)
     {
@@ -81,7 +84,8 @@ struct HierVmpSystem::Cluster
 HierVmpSystem::HierVmpSystem(const HierConfig &config,
                              proto::Translator *translator)
     : cfg_(config), memory_(config.memBytes, config.cache.pageBytes),
-      globalBus_(events_, memory_, config.globalBusTiming)
+      globalBus_(events_, memory_, config.globalBusTiming,
+                 config.globalArbitration)
 {
     cfg_.check();
     if (translator == nullptr) {
@@ -516,6 +520,8 @@ HierVmpSystem::collect(const std::vector<cpu::TraceCpu *> &cpus) const
         }
         const double util = cluster->bus.utilization();
         local_util_sum += util;
+        result.busUpgrades +=
+            cluster->bus.countOf(mem::TxType::AssertOwnership).value();
         result.peakLocalBusUtilization =
             std::max(result.peakLocalBusUtilization, util);
         result.globalFetches += cluster->ibc.globalFetches();

@@ -45,6 +45,10 @@ struct HierConfig
     mem::BusTiming localBusTiming{};
     /** Global bus timing. */
     mem::BusTiming globalBusTiming{};
+    /** Arbitration discipline of every local bus. */
+    mem::ArbitrationConfig localArbitration{};
+    /** Arbitration discipline of the global bus. */
+    mem::ArbitrationConfig globalArbitration{};
     proto::SoftwareTiming swTiming{};
     cpu::M68020Timing cpuTiming{};
     /** Processor bus-monitor FIFO depth. */

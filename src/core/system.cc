@@ -21,6 +21,7 @@ VmpConfig::check() const
               "page size");
     if (fifoCapacity == 0)
         fatal("system: FIFO capacity must be positive");
+    arbitration.check();
 }
 
 ProcessorBoard::ProcessorBoard(CpuId id, EventQueue &events,
@@ -52,7 +53,7 @@ RunResult::toString() const
 VmpSystem::VmpSystem(const VmpConfig &config,
                      proto::Translator *translator)
     : cfg_(config), memory_(config.memBytes, config.cache.pageBytes),
-      bus_(events_, memory_, config.busTiming)
+      bus_(events_, memory_, config.busTiming, config.arbitration)
 {
     cfg_.check();
     if (translator == nullptr) {
@@ -437,6 +438,8 @@ VmpSystem::collect(const std::vector<cpu::TraceCpu *> &cpus) const
         cpus.empty() ? 0.0 : perf_sum / static_cast<double>(cpus.size());
     result.busUtilization = bus_.utilization();
     result.busAborts = bus_.aborts().value();
+    result.busUpgrades =
+        bus_.countOf(mem::TxType::AssertOwnership).value();
     return result;
 }
 

@@ -49,6 +49,8 @@ struct VmpConfig
     std::uint64_t memBytes = MiB(8);
     /** Bus and memory-board timing. */
     mem::BusTiming busTiming{};
+    /** Bus arbitration discipline (default: plain FIFO). */
+    mem::ArbitrationConfig arbitration{};
     /** Software miss-handler instruction budget. */
     proto::SoftwareTiming swTiming{};
     /** Processor execution rate. */
@@ -84,6 +86,10 @@ struct RunResult
     double busUtilization = 0.0;
     std::uint64_t busAborts = 0;
     std::uint64_t writeBacks = 0;
+    /** Completed AssertOwnership transactions (upgrade misses); with
+     *  writeBacks and missRatio this is the measured
+     *  analytic::BusLoadProfile of the run. */
+    std::uint64_t busUpgrades = 0;
 
     std::string toString() const;
 };

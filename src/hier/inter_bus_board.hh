@@ -175,6 +175,9 @@ class InterBusBoard : public mem::BusWatcher
     const Counter &globalWriteBacks() const { return globalWriteBacks_; }
     const Counter &retries() const { return retries_; }
     const Counter &spuriousWords() const { return spurious_; }
+    const Counter &wordsLocal() const { return wordsLocal_; }
+    const Counter &wordsGlobal() const { return wordsGlobal_; }
+    const Counter &localAborts() const { return localAborts_; }
     const Counter &protocolViolations() const { return violations_; }
     const Counter &overflowRecoveries() const { return recoveries_; }
     void registerStats(StatGroup &group) const;

@@ -1,6 +1,7 @@
 #include "mem/vme_bus.hh"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "sim/debug.hh"
@@ -29,6 +30,37 @@ txIndex(TxType type)
 }
 
 } // namespace
+
+const char *
+arbitrationName(Arbitration discipline)
+{
+    switch (discipline) {
+      case Arbitration::Fifo: return "fifo";
+      case Arbitration::Priority: return "priority";
+      case Arbitration::RoundRobin: return "round-robin";
+    }
+    return "?";
+}
+
+Arbitration
+arbitrationFromName(const std::string &name)
+{
+    if (name == "fifo")
+        return Arbitration::Fifo;
+    if (name == "priority")
+        return Arbitration::Priority;
+    if (name == "rr" || name == "round-robin")
+        return Arbitration::RoundRobin;
+    fatal("unknown arbitration discipline '", name,
+          "' (want fifo, priority, rr)");
+}
+
+void
+ArbitrationConfig::check() const
+{
+    if (priorityLevels == 0 || priorityLevels > 8)
+        fatal("arbitration: priority levels must be in [1, 8]");
+}
 
 const char *
 txTypeName(TxType type)
@@ -88,9 +120,77 @@ BusTiming::occupancy(TxType type, std::uint32_t bytes) const
 }
 
 VmeBus::VmeBus(EventQueue &events, PhysMem &memory,
-               const BusTiming &timing)
-    : events_(events), mem_(memory), timing_(timing)
+               const BusTiming &timing,
+               const ArbitrationConfig &arbitration)
+    : events_(events), mem_(memory), timing_(timing), arb_(arbitration)
 {
+    arb_.check();
+    if (arb_.discipline == Arbitration::Priority) {
+        for (unsigned l = 0; l < arb_.priorityLevels; ++l) {
+            levelDelays_.emplace_back(64, 1.0);
+            levelGrants_.emplace_back();
+        }
+    }
+}
+
+void
+VmeBus::setMasterLevel(std::uint32_t id, unsigned level)
+{
+    if (level >= arb_.priorityLevels)
+        fatal("bus-request level ", level, " out of range (",
+              arb_.priorityLevels, " levels configured)");
+    for (auto &[existing, l] : levelOverrides_) {
+        if (existing == id) {
+            l = level;
+            return;
+        }
+    }
+    levelOverrides_.emplace_back(id, level);
+}
+
+unsigned
+VmeBus::levelOf(std::uint32_t id) const
+{
+    for (const auto &[existing, level] : levelOverrides_) {
+        if (existing == id)
+            return level;
+    }
+    return id % arb_.priorityLevels;
+}
+
+std::deque<VmeBus::Pending>::iterator
+VmeBus::selectNext()
+{
+    switch (arb_.discipline) {
+      case Arbitration::Fifo:
+        return queue_.begin();
+      case Arbitration::Priority: {
+        // Highest bus-request level wins; arrival order (the
+        // daisy-chain) breaks ties, so strict > keeps the earliest.
+        auto best = queue_.begin();
+        for (auto it = std::next(best); it != queue_.end(); ++it) {
+            if (levelOf(it->tx.requester) >
+                levelOf(best->tx.requester))
+                best = it;
+        }
+        return best;
+      }
+      case Arbitration::RoundRobin: {
+        // Smallest cyclic distance from the previous holder wins;
+        // among requests of the same master, arrival order.
+        const auto distance = [this](std::uint32_t id) {
+            return static_cast<std::uint32_t>(id - lastMaster_ - 1);
+        };
+        auto best = queue_.begin();
+        for (auto it = std::next(best); it != queue_.end(); ++it) {
+            if (distance(it->tx.requester) <
+                distance(best->tx.requester))
+                best = it;
+        }
+        return best;
+      }
+    }
+    panic("unreachable arbitration discipline");
 }
 
 void
@@ -125,9 +225,11 @@ VmeBus::grant()
         return;
     }
     busy_ = true;
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
+    const auto next = selectNext();
+    Pending pending = std::move(*next);
+    queue_.erase(next);
     const BusTransaction &tx = pending.tx;
+    lastMaster_ = tx.requester;
     const Tick queue_delay = events_.now() - pending.queuedAt;
 
     // Consistency check: every attached monitor observes the
@@ -173,10 +275,14 @@ VmeBus::grant()
                bus_time);
 
     ++transactions_;
-    queueDelays_.sample(toUsec(queue_delay));
     if (aborted) {
         ++aborts_;
         ++typeAborts_[txIndex(tx.type)];
+        // The wait of an aborted grant is kept out of queueDelays_
+        // (below) for the same completed-only reason as the per-type
+        // counters: a retried transaction must account its arbitration
+        // wait once per *completed* grant, not once per attempt.
+        abortedQueueDelays_.sample(toUsec(queue_delay));
     } else {
         // Per-type counts are *completed* transactions only. An
         // aborted-then-retried transaction would otherwise be counted
@@ -184,6 +290,12 @@ VmeBus::grant()
         // aborted grants are visible via aborts()/abortsOf() and still
         // contribute to transactions_ and bus occupancy.
         ++typeCounts_[txIndex(tx.type)];
+        queueDelays_.sample(toUsec(queue_delay));
+        if (arb_.discipline == Arbitration::Priority) {
+            const unsigned level = levelOf(tx.requester);
+            levelDelays_[level].sample(toUsec(queue_delay));
+            ++levelGrants_[level];
+        }
     }
     // Busy time is charged at *completion* (see complete()); while the
     // transaction is in flight utilization() pro-rates it from these
@@ -300,6 +412,24 @@ VmeBus::abortsOf(TxType type) const
     return typeAborts_[txIndex(type)];
 }
 
+const Histogram &
+VmeBus::queueDelaysOfLevel(unsigned level) const
+{
+    if (level >= levelDelays_.size())
+        panic("bus-request level ", level, " has no delay histogram (",
+              levelDelays_.size(), " levels tracked)");
+    return levelDelays_[level];
+}
+
+const Counter &
+VmeBus::grantsOfLevel(unsigned level) const
+{
+    if (level >= levelGrants_.size())
+        panic("bus-request level ", level, " has no grant counter (",
+              levelGrants_.size(), " levels tracked)");
+    return levelGrants_[level];
+}
+
 void
 VmeBus::registerStats(StatGroup &group) const
 {
@@ -324,8 +454,24 @@ VmeBus::registerStats(StatGroup &group) const
     group.addCounter("board_mask", "recovery board-mask transactions",
                      countOf(TxType::BoardMask));
     group.addHistogram("queue_delay_us",
-                       "arbitration queueing delay distribution (us)",
+                       "arbitration queueing delay distribution of "
+                       "completed grants (us)",
                        queueDelays_);
+    group.addHistogram("aborted_queue_delay_us",
+                       "arbitration queueing delay distribution of "
+                       "aborted grants (us)",
+                       abortedQueueDelays_);
+    for (std::size_t l = 0; l < levelDelays_.size(); ++l) {
+        const std::string suffix = std::to_string(l);
+        group.addHistogram("queue_delay_us_br" + suffix,
+                           "completed-grant queueing delays on "
+                           "bus-request level " + suffix + " (us)",
+                           levelDelays_[l]);
+        group.addCounter("grants_br" + suffix,
+                         "completed grants on bus-request level " +
+                             suffix,
+                         levelGrants_[l]);
+    }
 }
 
 } // namespace vmp::mem

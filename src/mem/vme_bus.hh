@@ -1,12 +1,14 @@
 /**
  * @file
- * The shared VMEbus model: single-master-at-a-time FIFO arbitration,
- * block transfers at the paper's sequential-access timing (300 ns first
- * 32-bit word, 100 ns per subsequent word, ~40 MB/s), a 150 ns
- * consistency-check/action-table-update interval overlapped with the
- * transfer, and abort semantics (an aborted transaction terminates at
- * the end of the current memory reference and moves no architected
- * data — write-back is the only transaction that modifies main memory).
+ * The shared VMEbus model: single-master-at-a-time arbitration under a
+ * selectable discipline (plain FIFO, VME-style static priority levels,
+ * or round-robin), block transfers at the paper's sequential-access
+ * timing (300 ns first 32-bit word, 100 ns per subsequent word,
+ * ~40 MB/s), a 150 ns consistency-check/action-table-update interval
+ * overlapped with the transfer, and abort semantics (an aborted
+ * transaction terminates at the end of the current memory reference and
+ * moves no architected data — write-back is the only transaction that
+ * modifies main memory).
  *
  * Bus monitors attach as BusWatcher instances; every watcher — including
  * the requester's own, which is what makes the alias "competing against
@@ -21,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "mem/bus_types.hh"
@@ -33,6 +36,52 @@
 
 namespace vmp::mem
 {
+
+/**
+ * Bus arbitration discipline. The VMEbus spec offers both a
+ * prioritized scheme (four bus-request lines BR0-BR3, daisy-chained
+ * within a level) and fairness options; the comparison of service
+ * disciplines for a shared-bus multiprocessor with private caches is
+ * the subject of arXiv 1004.3560.
+ */
+enum class Arbitration : std::uint8_t
+{
+    /** First-come first-served over all masters (seed behavior). */
+    Fifo,
+    /**
+     * VME-style static priority: each master is assigned a bus-request
+     * level; a higher level always wins arbitration, and requests on
+     * the same level are served in arrival (daisy-chain) order.
+     * Arbitration is non-preemptive — the transaction on the bus always
+     * completes.
+     */
+    Priority,
+    /**
+     * Round-robin: the arbiter grants the requesting master that
+     * follows the previous holder in cyclic master-id order, so no
+     * master can capture the bus while others are waiting.
+     */
+    RoundRobin,
+};
+
+const char *arbitrationName(Arbitration discipline);
+/** Parse "fifo" / "priority" / "rr" (or "round-robin"). */
+Arbitration arbitrationFromName(const std::string &name);
+
+/** Arbitration configuration of one bus. */
+struct ArbitrationConfig
+{
+    Arbitration discipline = Arbitration::Fifo;
+    /**
+     * Number of bus-request levels (Priority only; VME has four,
+     * BR0-BR3). A master's default level is id % priorityLevels with
+     * *higher* numeric level winning, like BR3 > BR0; override with
+     * VmeBus::setMasterLevel.
+     */
+    unsigned priorityLevels = 4;
+
+    void check() const;
+};
 
 /** Timing parameters of bus and memory (Sections 2, 4 and 5.1). */
 struct BusTiming
@@ -94,7 +143,8 @@ class VmeBus
     using Completion = std::function<void(const TxResult &)>;
 
     VmeBus(EventQueue &events, PhysMem &memory,
-           const BusTiming &timing = {});
+           const BusTiming &timing = {},
+           const ArbitrationConfig &arbitration = {});
 
     /**
      * Register @p watcher as the bus monitor of master @p id. Masters
@@ -105,8 +155,9 @@ class VmeBus
 
     /**
      * Queue a transaction. The completion callback fires when the
-     * transaction leaves the bus (successfully or aborted). FIFO
-     * arbitration.
+     * transaction leaves the bus (successfully or aborted); the
+     * configured arbitration discipline picks among queued requests
+     * each time the bus frees.
      */
     void request(const BusTransaction &tx, Completion done);
 
@@ -114,6 +165,16 @@ class VmeBus
     bool busy() const { return busy_; }
 
     const BusTiming &timing() const { return timing_; }
+    const ArbitrationConfig &arbitration() const { return arb_; }
+
+    /**
+     * Override the bus-request level of master @p id (Priority
+     * discipline; higher level wins). Without an override a master
+     * requests on level id % priorityLevels.
+     */
+    void setMasterLevel(std::uint32_t id, unsigned level);
+    /** Effective bus-request level of master @p id. */
+    unsigned levelOf(std::uint32_t id) const;
 
     /** Event queue the bus schedules on (for components that share
      *  its timeline, e.g. a stalled block copier). */
@@ -179,8 +240,29 @@ class VmeBus
     const Counter &abortsOf(TxType type) const;
     /** Aborts forced by the fault-injection hook (subset of aborts). */
     const Counter &injectedAborts() const { return injectedAborts_; }
-    /** Distribution of arbitration queueing delays (us buckets). */
+    /**
+     * Distribution of arbitration queueing delays (us buckets) of
+     * *completed* grants. An aborted-then-retried transaction samples
+     * once per grant that completes — consistent with the
+     * completed-only per-TxType counters — while the waits of its
+     * aborted attempts land in abortedQueueDelays(). (Sampling every
+     * grant here used to skew the distribution during recovery storms:
+     * each retry chain contributed one sample per attempt.)
+     */
     const Histogram &queueDelays() const { return queueDelays_; }
+    /** Queueing delays of grants that ended in an abort. */
+    const Histogram &abortedQueueDelays() const
+    {
+        return abortedQueueDelays_;
+    }
+    /**
+     * Queueing-delay distribution of completed grants issued on
+     * bus-request level @p level (Priority discipline only — empty
+     * under FIFO and round-robin).
+     */
+    const Histogram &queueDelaysOfLevel(unsigned level) const;
+    /** Completed grants per bus-request level (Priority only). */
+    const Counter &grantsOfLevel(unsigned level) const;
     void registerStats(StatGroup &group) const;
 
   private:
@@ -192,15 +274,22 @@ class VmeBus
     };
 
     void grant();
+    /** Pick the next queued request under the configured discipline. */
+    std::deque<Pending>::iterator selectNext();
     void complete(Pending pending, bool aborted, Tick queue_delay,
                   Tick bus_time);
 
     EventQueue &events_;
     PhysMem &mem_;
     BusTiming timing_;
+    ArbitrationConfig arb_;
     std::vector<std::pair<std::uint32_t, BusWatcher *>> watchers_;
+    /** Per-master level overrides (Priority discipline). */
+    std::vector<std::pair<std::uint32_t, unsigned>> levelOverrides_;
     std::deque<Pending> queue_;
     bool busy_ = false;
+    /** Master granted most recently (round-robin rotation point). */
+    std::uint32_t lastMaster_ = 0;
     FaultHooks *hooks_ = nullptr;
     std::vector<TxObserver> txObservers_;
     obs::EventTracer *tracer_ = nullptr;
@@ -213,6 +302,11 @@ class VmeBus
     Counter typeAborts_[kTxTypes];
     /** Queue delay in microseconds, 1 us buckets up to 64 us. */
     Histogram queueDelays_{64, 1.0};
+    Histogram abortedQueueDelays_{64, 1.0};
+    /** Per-bus-request-level delays/grants (Priority only; one slot
+     *  per configured level). */
+    std::vector<Histogram> levelDelays_;
+    std::vector<Counter> levelGrants_;
     Tick busyTicks_ = 0;
     /** Issue tick of the transaction on the bus (valid while busy_). */
     Tick txStartTick_ = 0;

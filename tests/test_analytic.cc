@@ -310,5 +310,200 @@ TEST(HierQueuingModel, RefsPerSecondScalesWithThroughput)
                 tput * full_refs_per_s, 1.0);
 }
 
+// ------------------------------------------------ Open-model domain
+
+TEST(QueuingModel, PredictMatchesScalarApiAndFlagsSaturation)
+{
+    QueuingModel model;
+    // In-domain point: the prediction is the scalar API's number.
+    const auto light = model.predict(256, 0.002, 2);
+    EXPECT_FALSE(light.domain.saturated);
+    EXPECT_TRUE(light.domain.inDomain());
+    EXPECT_DOUBLE_EQ(light.perProcessorPerformance,
+                     model.perProcessorPerformance(256, 0.002, 2));
+    // Sixteen 1%-miss processors offer more work than one VMEbus
+    // serves: the open-arrival assumption is broken and the clamped
+    // answer must say so instead of being silently returned.
+    const auto heavy = model.predict(256, 0.01, 16);
+    EXPECT_TRUE(heavy.domain.saturated);
+    EXPECT_FALSE(heavy.domain.inDomain());
+    EXPECT_GE(model.offeredLoad(256, 0.01, 16), 1.0);
+    // Saturated or not, the clamped number stays finite and positive.
+    EXPECT_GT(heavy.perProcessorPerformance, 0.0);
+    EXPECT_LT(heavy.perProcessorPerformance,
+              light.perProcessorPerformance);
+}
+
+// --------------------------------------------------- MVA (flat bus)
+
+TEST(MvaModel, SingleCustomerNeverQueues)
+{
+    MvaModel mva;
+    BusLoadProfile load;
+    load.missRatio = 0.01;
+    const auto p = mva.predict(256, load, 1);
+    EXPECT_NEAR(p.waitUs, 0.0, 1e-12);
+    EXPECT_LT(p.busUtilization, 1.0);
+    EXPECT_TRUE(p.domain.inDomain());
+}
+
+TEST(MvaModel, LightLoadReducesToOpenEstimate)
+{
+    // With the bus nearly idle both models see (almost) no queueing,
+    // so the closed MVA network and the open M/M/1 estimate agree.
+    MvaModel mva;
+    QueuingModel open;
+    BusLoadProfile load;
+    load.missRatio = 0.0004;
+    for (unsigned n : {1u, 2u, 4u}) {
+        const auto closed_p = mva.predict(256, load, n);
+        const auto open_p = open.predict(256, load.missRatio, n);
+        EXPECT_TRUE(open_p.domain.inDomain());
+        EXPECT_NEAR(closed_p.perProcessorPerformance,
+                    open_p.perProcessorPerformance, 0.002)
+            << "n=" << n;
+        // The open estimate counts a customer's own load in rho, so it
+        // overestimates the wait by that self-term (visible at n = 1,
+        // where the closed network correctly predicts zero wait).
+        EXPECT_LE(closed_p.waitUs, open_p.waitUs + 1e-12) << "n=" << n;
+        EXPECT_LT(open_p.waitUs, 0.5) << "n=" << n;
+    }
+}
+
+TEST(MvaModel, StaysInDomainWhereOpenModelSaturates)
+{
+    // The closed network has no saturation limit: a full bus throttles
+    // the miss rate, exactly like the simulated system. Utilization
+    // approaches (but never exceeds) 1 and throughput levels off.
+    MvaModel mva;
+    QueuingModel open;
+    BusLoadProfile load;
+    load.missRatio = 0.01;
+    EXPECT_TRUE(open.predict(256, load.missRatio, 16).domain.saturated);
+    const auto p16 = mva.predict(256, load, 16);
+    const auto p32 = mva.predict(256, load, 32);
+    EXPECT_TRUE(p16.domain.inDomain());
+    EXPECT_TRUE(p32.domain.inDomain());
+    EXPECT_LE(p16.busUtilization, 1.0);
+    EXPECT_LE(p32.busUtilization, 1.0);
+    EXPECT_GT(p16.busUtilization, 0.9);
+    // Doubling the processors on a full bus cannot double throughput.
+    EXPECT_LT(p32.systemThroughput, 1.1 * p16.systemThroughput);
+    EXPECT_GE(p32.systemThroughput, 0.99 * p16.systemThroughput);
+}
+
+TEST(MvaModel, UpgradesAreCheaperThanFetches)
+{
+    // An ownership upgrade occupies the bus for one short transaction
+    // instead of a block transfer, so a heavier upgrade mix lowers the
+    // per-miss bus demand and raises performance.
+    MvaModel mva;
+    BusLoadProfile fetch_heavy;
+    fetch_heavy.missRatio = 0.01;
+    fetch_heavy.upgradeFraction = 0.0;
+    BusLoadProfile upgrade_heavy = fetch_heavy;
+    upgrade_heavy.upgradeFraction = 0.5;
+    EXPECT_LT(mva.serviceDemandUs(256, upgrade_heavy),
+              mva.serviceDemandUs(256, fetch_heavy));
+    EXPECT_GT(mva.perProcessorPerformance(256, upgrade_heavy, 8),
+              mva.perProcessorPerformance(256, fetch_heavy, 8));
+}
+
+TEST(MvaModel, PriorityWaitSplitConservesAggregateMean)
+{
+    // Arbitration cannot create or destroy bus work: the per-level
+    // HOL waits, weighted by level population, must average back to
+    // the discipline-independent mean.
+    const unsigned n = 8, levels = 4;
+    MvaModel mva(mem::Arbitration::Priority, levels);
+    BusLoadProfile load;
+    load.missRatio = 0.008;
+    const auto p = mva.predict(256, load, n);
+    ASSERT_EQ(p.levelWaitUs.size(), levels);
+    ASSERT_EQ(p.levelPerformance.size(), levels);
+    double weighted = 0.0;
+    for (unsigned l = 0; l < levels; ++l) {
+        const double pop = static_cast<double>(n / levels);
+        weighted += pop / n * p.levelWaitUs[l];
+        EXPECT_GT(p.levelWaitUs[l], 0.0);
+        EXPECT_GT(p.levelPerformance[l], 0.0);
+    }
+    EXPECT_NEAR(weighted, p.waitUs, 1e-9);
+    // Higher bus-request level = higher priority = shorter wait.
+    for (unsigned l = 1; l < levels; ++l)
+        EXPECT_LT(p.levelWaitUs[l], p.levelWaitUs[l - 1]) << l;
+    // FIFO and round-robin report the uniform mean only.
+    MvaModel rr(mem::Arbitration::RoundRobin);
+    EXPECT_TRUE(rr.predict(256, load, n).levelWaitUs.empty());
+}
+
+// ---------------------------------------------- MVA (two-level)
+
+TEST(HierQueuingModel, PredictMvaReducesToFlatMva)
+{
+    // One cluster, no global traffic: the board and global-bus centers
+    // idle and the three-center fixed point must reproduce the flat
+    // closed model exactly, not merely approximately.
+    HierQueuingModel hier;
+    MvaModel flat;
+    BusLoadProfile load;
+    load.missRatio = 0.01;
+    load.upgradeFraction = 0.2;
+    load.writeBackRatio = 0.2;
+    for (unsigned n : {1u, 4u, 8u}) {
+        const auto h = hier.predictMva(256, load, 0.0, 1, n);
+        const auto f = flat.predict(256, load, n);
+        EXPECT_NEAR(h.perProcessorPerformance,
+                    f.perProcessorPerformance, 1e-9)
+            << "n=" << n;
+        EXPECT_NEAR(h.localWaitUs, f.waitUs, 1e-9) << "n=" << n;
+        EXPECT_NEAR(h.globalWaitUs, 0.0, 1e-12);
+        EXPECT_NEAR(h.ibcWaitUs, 0.0, 1e-12);
+        EXPECT_FALSE(h.retryCascade);
+        EXPECT_TRUE(h.domain.converged);
+    }
+}
+
+TEST(HierQueuingModel, PredictMvaGlobalTrafficHurts)
+{
+    HierQueuingModel hier;
+    BusLoadProfile load;
+    load.missRatio = 0.02;
+    load.upgradeFraction = 0.18;
+    load.writeBackRatio = 0.15;
+    double last = 2.0;
+    for (double g : {0.0, 0.05, 0.1, 0.2}) {
+        const auto p = hier.predictMva(256, load, g, 4, 2);
+        EXPECT_LT(p.perProcessorPerformance, last) << "g=" << g;
+        EXPECT_GT(p.perProcessorPerformance, 0.0) << "g=" << g;
+        EXPECT_TRUE(p.domain.converged) << "g=" << g;
+        last = p.perProcessorPerformance;
+    }
+}
+
+TEST(HierQueuingModel, PredictMvaFlagsRetryCascade)
+{
+    // The bench_hier operating points: light hierarchies stay in the
+    // single-retry regime; the 32-CPU 8x4 cell drives the single-
+    // server inter-bus boards into the retry cascade the mean-value
+    // loop estimate cannot follow, and must be flagged out-of-domain.
+    HierQueuingModel hier;
+    BusLoadProfile load;
+    load.missRatio = 0.0196;
+    load.upgradeFraction = 0.1794;
+    load.writeBackRatio = 0.15;
+    const auto light = hier.predictMva(256, load, 0.1768, 2, 2);
+    EXPECT_FALSE(light.retryCascade);
+    EXPECT_TRUE(light.domain.converged);
+    EXPECT_GE(light.loopsPerGlobalMiss, 1.0);
+
+    load.missRatio = 0.0207;
+    load.upgradeFraction = 0.1812;
+    const auto heavy = hier.predictMva(256, load, 0.1664, 8, 4);
+    EXPECT_TRUE(heavy.retryCascade);
+    EXPECT_TRUE(heavy.domain.converged);
+    EXPECT_GT(heavy.loopsPerGlobalMiss, light.loopsPerGlobalMiss);
+}
+
 } // namespace
 } // namespace vmp::analytic
