@@ -43,8 +43,12 @@ inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
  *  (event-tracer ring and miss-profiler counters) emitted by any bench
  *  run with tracing armed. v1.4 added the closed-queuing (MVA) model
  *  overlay columns (mva_* metrics plus per-model "in_domain" flags),
- *  the "arbitration" config key, and the bus_upgrades metric. */
-inline constexpr double kArtifactSchemaVersion = 1.4;
+ *  the "arbitration" config key, and the bus_upgrades metric. v1.5
+ *  added the memory-tier bench (bench_memtier) with its "backing.tier"
+ *  and "backing.budget" stat groups, the seed-sweep aggregate emitted
+ *  by scripts/seed_sweep.py (mean/ci95 columns over --seed-base runs),
+ *  and the checkpoint-enabled bench_recover point. */
+inline constexpr double kArtifactSchemaVersion = 1.5;
 
 /** Build-time git revision (configure-time snapshot; "unknown" when
  *  the build tree was configured outside a git checkout). */

@@ -5,7 +5,10 @@ Usage: artifact_diff.py GOLDEN CURRENT [--rtol X] [--atol Y]
 
 The artifact schema (bench/bench_util.hh) is deterministic for a fixed
 seed except for the "meta" object (git sha, compiler, thread count) and
-the "wall_clock_s" stopwatch, which this tool skips. Numbers compare
+the "wall_clock_s" stopwatch, which this tool skips. As of schema v1.5
+the "meta" *key set* is still compared — the values are volatile per
+build, but a provenance field silently disappearing (or appearing only
+in one artifact) is a schema change and fails the gate. Numbers compare
 with a relative tolerance so a golden survives harmless float-printing
 differences; everything else must match exactly. Exit status 0 = same,
 1 = regression (each difference is printed with its JSON path).
@@ -15,13 +18,35 @@ import argparse
 import json
 import sys
 
-IGNORED_KEYS = {"meta", "host", "wall_clock_s"}
+IGNORED_KEYS = {"host", "wall_clock_s"}
+# Values are build-volatile; only the key set is compared.
+KEYSET_ONLY_KEYS = {"meta"}
+
+
+def compare_keyset(golden, current, path, diffs):
+    if not isinstance(golden, dict) or not isinstance(current, dict):
+        if type(golden) is not type(current):
+            diffs.append(f"{path}: type {type(golden).__name__} != "
+                         f"{type(current).__name__}")
+        return
+    for key in sorted(set(golden) ^ set(current)):
+        where = "golden" if key in golden else "current"
+        diffs.append(f"{path}.{key}: key only in {where}")
 
 
 def compare(golden, current, path, rtol, atol, diffs):
     if isinstance(golden, dict) and isinstance(current, dict):
         for key in sorted(set(golden) | set(current)):
             if key in IGNORED_KEYS:
+                continue
+            if key in KEYSET_ONLY_KEYS:
+                if key in golden and key in current:
+                    compare_keyset(golden[key], current[key],
+                                   f"{path}.{key}" if path else key,
+                                   diffs)
+                else:
+                    where = ("golden" if key in golden else "current")
+                    diffs.append(f"{key}: key only in {where}")
                 continue
             sub = f"{path}.{key}" if path else key
             if key not in golden:

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Re-run one bench binary over several seed bases and aggregate.
+
+Usage: seed_sweep.py BENCH_BINARY [--seeds N] [--seed-base B]
+                     [--json-out OUT] [-- extra bench args]
+
+The stochastic benches (bench_fault, bench_recover) derive every
+workload and injector seed from --seed-base, so a single run is one
+sample from the seed distribution. This driver runs the bench N times
+with seed bases B, B+1000, B+2000, ... (spaced far apart so the
+per-run seed offsets never collide), collects each run's BENCH_*.json
+artifact, and emits one aggregate artifact whose metrics carry
+mean / ci95 / min / max columns per numeric metric. The 95% CI uses
+Student's t on n-1 degrees of freedom (two-sided), so it is honest for
+the small N this is meant for.
+
+The aggregate keeps the vmp-bench-artifact schema (v1.5): same
+"results" shape as the underlying bench, label-for-label, with each
+numeric metric M replaced by M_mean / M_ci95 / M_min / M_max. Gates in
+CI can diff it with artifact_diff.py --rtol like any other artifact.
+
+Exit status: 0 on success, 1 if any bench run fails (the bench's own
+acceptance gates are part of its exit status and are honored).
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+# Two-sided 95% Student's t critical values, indexed by degrees of
+# freedom (1-based); runs longer than 30 seeds fall back to the normal
+# approximation.
+T95 = [None, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+       2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+       2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+       2.052, 2.048, 2.045, 2.042]
+T95_INF = 1.960
+
+
+def t95(df):
+    if df < 1:
+        return 0.0
+    return T95[df] if df < len(T95) else T95_INF
+
+
+def numeric_leaves(node, path=""):
+    """Yield (dotted-path, value) for every numeric leaf."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield path, float(node)
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            sub = f"{path}.{key}" if path else key
+            yield from numeric_leaves(value, sub)
+    # Lists (histogram buckets etc.) are run-shape data, not metrics.
+
+
+def aggregate(samples):
+    """mean/ci95/min/max of one metric across runs."""
+    n = len(samples)
+    mean = sum(samples) / n
+    if n > 1:
+        var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+        ci95 = t95(n - 1) * math.sqrt(var / n)
+    else:
+        ci95 = 0.0
+    return {"mean": mean, "ci95": ci95,
+            "min": min(samples), "max": max(samples)}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="seed-sweep a bench binary and aggregate its "
+                    "artifact across runs")
+    parser.add_argument("bench", help="bench binary to run")
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="number of seed bases (default 5)")
+    parser.add_argument("--seed-base", type=int, default=1000,
+                        help="first seed base (default 1000)")
+    parser.add_argument("--seed-stride", type=int, default=1000,
+                        help="spacing between seed bases "
+                             "(default 1000)")
+    parser.add_argument("--json-out", default=None,
+                        help="aggregate artifact path (default "
+                             "BENCH_<bench>_seedsweep.json)")
+    parser.add_argument("extra", nargs="*",
+                        help="extra args forwarded to the bench")
+    args = parser.parse_args()
+
+    runs = []
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for k in range(args.seeds):
+            base = args.seed_base + k * args.seed_stride
+            out = os.path.join(tmp, f"run{k}.json")
+            cmd = [args.bench, "--json-out", out,
+                   "--seed-base", str(base)] + args.extra
+            print(f"[seed_sweep] run {k + 1}/{args.seeds} "
+                  f"(seed base {base})", flush=True)
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                print(f"[seed_sweep] FAIL: seed base {base} exited "
+                      f"{proc.returncode}")
+                failures += 1
+            with open(out) as f:
+                runs.append(json.load(f))
+
+    first = runs[0]
+    bench_name = first.get("bench", os.path.basename(args.bench))
+    by_label = []
+    for i, row in enumerate(first.get("results", [])):
+        label = row.get("label", f"result[{i}]")
+        series = {}
+        for run in runs:
+            result = run["results"][i]
+            if result.get("label") != label:
+                print(f"[seed_sweep] result order mismatch at "
+                      f"{label}; aborting")
+                return 1
+            for path, value in numeric_leaves(
+                    result.get("metrics", {})):
+                series.setdefault(path, []).append(value)
+        metrics = {}
+        for path, samples in sorted(series.items()):
+            stats = aggregate(samples)
+            for stat, value in stats.items():
+                metrics[f"{path}_{stat}"] = value
+        by_label.append({"label": label,
+                         "config": row.get("config", {}),
+                         "metrics": metrics})
+
+    doc = {
+        "schema": first.get("schema", "vmp-bench-artifact"),
+        "schema_version": first.get("schema_version", 1.5),
+        "bench": f"{bench_name}_seedsweep",
+        "meta": dict(first.get("meta", {}),
+                     seeds=args.seeds,
+                     seed_base=args.seed_base,
+                     seed_stride=args.seed_stride),
+        "results": by_label,
+        "notes": [
+            f"aggregate of {args.seeds} runs of {bench_name} with "
+            f"seed bases {args.seed_base}..+{args.seed_stride}*"
+            f"{args.seeds - 1}",
+            "each numeric metric M becomes M_mean/M_ci95/M_min/"
+            "M_max (95% Student's t CI)",
+        ],
+        "host": {"failed_runs": failures},
+    }
+    out_path = args.json_out or f"BENCH_{bench_name}_seedsweep.json"
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"[seed_sweep] wrote {out_path}")
+
+    # Headline table: the first few metrics of each label.
+    for row in by_label:
+        shown = 0
+        print(f"  {row['label']}:")
+        for key in sorted(row["metrics"]):
+            if not key.endswith("_mean"):
+                continue
+            base_key = key[:-5]
+            mean = row["metrics"][key]
+            ci = row["metrics"].get(base_key + "_ci95", 0.0)
+            print(f"    {base_key}: {mean:.6g} +/- {ci:.3g}")
+            shown += 1
+            if shown >= 6:
+                break
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,200 @@
+#include "backing/budget.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace vmp::backing
+{
+
+BudgetController::BudgetController(EventQueue &events,
+                                   const BudgetConfig &config)
+    : events_(events), cfg_(config)
+{
+    if (cfg_.totalFrames == 0)
+        panic("budget controller: zero total frames");
+    if (cfg_.epochNs == 0)
+        panic("budget controller: zero epoch");
+}
+
+std::uint32_t
+BudgetController::addClient(const std::string &name)
+{
+    for (const auto &client : clients_) {
+        if (client.name == name)
+            panic("budget controller: duplicate client \"", name,
+                  "\"");
+    }
+    Client client;
+    client.name = name;
+    clients_.push_back(std::move(client));
+    splitEvenly();
+    return static_cast<std::uint32_t>(clients_.size() - 1);
+}
+
+const std::string &
+BudgetController::clientName(std::uint32_t client) const
+{
+    return clients_.at(client).name;
+}
+
+void
+BudgetController::splitEvenly()
+{
+    const auto n = static_cast<std::uint32_t>(clients_.size());
+    const std::uint32_t share = cfg_.totalFrames / n;
+    const std::uint32_t rem = cfg_.totalFrames % n;
+    for (std::uint32_t i = 0; i < n; ++i)
+        clients_[i].grant = share + (i < rem ? 1 : 0);
+}
+
+void
+BudgetController::noteFault(std::uint32_t client)
+{
+    ++clients_.at(client).epochFaults;
+}
+
+void
+BudgetController::noteUse(std::uint32_t client, std::int32_t delta)
+{
+    Client &c = clients_.at(client);
+    if (delta < 0 &&
+        c.used < static_cast<std::uint32_t>(-delta))
+        panic("budget controller: occupancy of \"", c.name,
+              "\" would go negative");
+    c.used = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(c.used) + delta);
+}
+
+std::uint32_t
+BudgetController::grantOf(std::uint32_t client) const
+{
+    return clients_.at(client).grant;
+}
+
+std::uint32_t
+BudgetController::usedOf(std::uint32_t client) const
+{
+    return clients_.at(client).used;
+}
+
+bool
+BudgetController::overGrant(std::uint32_t client) const
+{
+    const Client &c = clients_.at(client);
+    return c.used > c.grant;
+}
+
+void
+BudgetController::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    scheduleEpoch();
+}
+
+void
+BudgetController::scheduleEpoch()
+{
+    events_.scheduleIn(
+        cfg_.epochNs,
+        [this] {
+            if (!running_)
+                return;
+            rebalance();
+            scheduleEpoch();
+        },
+        "budget-epoch");
+}
+
+void
+BudgetController::rebalance()
+{
+    ++epochs_;
+    if (clients_.empty())
+        return;
+    const auto n = static_cast<std::uint32_t>(clients_.size());
+
+    // The floor comes off the top; the rest is split by sqrt-pressure
+    // shares with deterministic largest-remainder rounding.
+    const std::uint32_t floor_total =
+        std::min(cfg_.totalFrames, cfg_.minGrant * n);
+    const std::uint32_t floor_each = floor_total / n;
+    const std::uint32_t pool = cfg_.totalFrames - floor_each * n;
+
+    double total_weight = 0.0;
+    std::vector<double> weight(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        weight[i] = std::sqrt(
+            static_cast<double>(clients_[i].epochFaults) + 1.0);
+        total_weight += weight[i];
+    }
+
+    std::vector<std::uint32_t> grant(n);
+    std::vector<double> fraction(n);
+    std::uint32_t assigned = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const double exact =
+            static_cast<double>(pool) * weight[i] / total_weight;
+        grant[i] = static_cast<std::uint32_t>(exact);
+        fraction[i] = exact - static_cast<double>(grant[i]);
+        assigned += grant[i];
+    }
+    // Hand leftover frames to the largest fractional shares, ties
+    // broken by client id — fully deterministic.
+    std::vector<std::uint32_t> order(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&fraction](std::uint32_t a, std::uint32_t b) {
+                         return fraction[a] > fraction[b];
+                     });
+    for (std::uint32_t i = 0; assigned < pool; ++i)
+        ++grant[order[i]], ++assigned;
+
+    std::uint64_t changed = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t next = floor_each + grant[i];
+        Client &c = clients_[i];
+        if (next != c.grant) {
+            c.grant = next;
+            ++grantChanges_;
+            ++changed;
+        }
+        grantSpread_.sample(static_cast<double>(c.grant));
+        c.epochFaults = 0;
+        if (c.used > c.grant) {
+            ++shrinks_;
+            if (shrink_)
+                shrink_(i, c.grant);
+        }
+    }
+
+    if (tracer_ != nullptr) {
+        obs::TraceEvent event;
+        event.at = events_.now();
+        event.arg0 = n;
+        event.arg1 = changed;
+        event.track = track_;
+        event.kind = obs::EventKind::BudgetEpoch;
+        tracer_->record(event);
+    }
+}
+
+void
+BudgetController::registerStats(StatGroup &group) const
+{
+    group.addCounter("epochs", "controller epochs run", epochs_);
+    group.addCounter("grant_changes",
+                     "per-client grant adjustments applied",
+                     grantChanges_);
+    group.addCounter("shrinks",
+                     "epochs that left a client over its grant",
+                     shrinks_);
+    group.addHistogram("grants", "grant sizes sampled each epoch",
+                       grantSpread_);
+}
+
+} // namespace vmp::backing

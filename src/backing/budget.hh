@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Global memory-budget controller in the MemoryBalancer style: a
+ * fixed pool of page frames is divided into per-client `max_memory`
+ * grants, and a periodic controller epoch rebalances the grants from
+ * each client's observed fault pressure since the last epoch. Shares
+ * follow the square root of pressure — the classic miss-ratio-curve
+ * approximation that moving a frame to the client with the steeper
+ * curve buys more than it costs — with a floor so no client is starved
+ * outright.
+ *
+ * Clients are abstract ids (the vm layer registers one per address
+ * space; a hierarchical system could register one per cluster). The
+ * controller only *advises*: the vm eviction policy prefers victims
+ * from over-grant clients, and a shrink hook tells clients their grant
+ * fell below current occupancy so they can page out proactively.
+ */
+
+#ifndef VMP_BACKING_BUDGET_HH
+#define VMP_BACKING_BUDGET_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/event_tracer.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+
+namespace vmp::backing
+{
+
+/** Budget-controller knobs. */
+struct BudgetConfig
+{
+    /** Controller epoch (grant recomputation period). */
+    Tick epochNs = usec(2000);
+    /** Total frames to divide among clients. */
+    std::uint32_t totalFrames = 0;
+    /** No grant falls below this floor. */
+    std::uint32_t minGrant = 4;
+};
+
+/** The grant arbiter. */
+class BudgetController
+{
+  public:
+    /** Called when a rebalance leaves a client's grant below its
+     *  current occupancy (the client should shed pages). */
+    using ShrinkHook =
+        std::function<void(std::uint32_t client, std::uint32_t grant)>;
+
+    BudgetController(EventQueue &events, const BudgetConfig &config);
+
+    const BudgetConfig &config() const { return cfg_; }
+
+    /** Register a client; the pool is re-split evenly on entry. */
+    std::uint32_t addClient(const std::string &name);
+
+    std::size_t clientCount() const { return clients_.size(); }
+    const std::string &clientName(std::uint32_t client) const;
+
+    /** One fault charged to @p client (pressure input). */
+    void noteFault(std::uint32_t client);
+    /** Occupancy delta for @p client (+1 page in, -1 page out). */
+    void noteUse(std::uint32_t client, std::int32_t delta);
+
+    std::uint32_t grantOf(std::uint32_t client) const;
+    std::uint32_t usedOf(std::uint32_t client) const;
+    /** True when the client occupies more frames than granted. */
+    bool overGrant(std::uint32_t client) const;
+
+    void setShrinkHook(ShrinkHook hook) { shrink_ = std::move(hook); }
+
+    /** Start/stop the recurring controller epoch. */
+    void start();
+    void stop() { running_ = false; }
+    bool running() const { return running_; }
+
+    /**
+     * Recompute grants from the pressure observed since the last
+     * call: share_i proportional to sqrt(faults_i + 1) over the pool
+     * above the per-client floor, remainders distributed in client-id
+     * order (deterministic). Fault counters reset afterwards.
+     */
+    void rebalance();
+
+    void
+    setTracer(obs::EventTracer *tracer, std::uint16_t track)
+    {
+        tracer_ = tracer;
+        track_ = track;
+    }
+
+    const Counter &epochs() const { return epochs_; }
+    const Counter &grantChanges() const { return grantChanges_; }
+    const Counter &shrinks() const { return shrinks_; }
+    void registerStats(StatGroup &group) const;
+
+  private:
+    struct Client
+    {
+        std::string name;
+        std::uint32_t grant = 0;
+        std::uint32_t used = 0;
+        std::uint64_t epochFaults = 0;
+    };
+
+    void scheduleEpoch();
+    void splitEvenly();
+
+    EventQueue &events_;
+    BudgetConfig cfg_;
+    std::vector<Client> clients_;
+    ShrinkHook shrink_;
+    bool running_ = false;
+
+    obs::EventTracer *tracer_ = nullptr;
+    std::uint16_t track_ = 0;
+
+    Counter epochs_;
+    Counter grantChanges_;
+    Counter shrinks_;
+    Histogram grantSpread_{16, 8};
+};
+
+} // namespace vmp::backing
+
+#endif // VMP_BACKING_BUDGET_HH

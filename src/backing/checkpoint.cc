@@ -1,0 +1,64 @@
+#include "backing/checkpoint.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::backing
+{
+
+FrameCheckpointer::FrameCheckpointer(mem::PhysMem &memory,
+                                     PageStore &images, Asid asid)
+    : mem_(memory), images_(images), asid_(asid)
+{
+    if (images_.pageBytes() != mem_.pageBytes())
+        panic("frame checkpointer: image granule ",
+              images_.pageBytes(), " != cache page ",
+              mem_.pageBytes());
+}
+
+void
+FrameCheckpointer::install(mem::VmeBus &bus)
+{
+    if (installed_)
+        panic("frame checkpointer: installed twice");
+    installed_ = true;
+    bus.addTxObserver([this](const mem::BusTransaction &tx,
+                             const mem::TxResult &result) {
+        observe(tx, result);
+    });
+}
+
+void
+FrameCheckpointer::observe(const mem::BusTransaction &tx,
+                           const mem::TxResult &result)
+{
+    if (result.aborted)
+        return;
+    const bool acquire = tx.type == mem::TxType::ReadPrivate ||
+        tx.type == mem::TxType::AssertOwnership;
+    const bool writeback = tx.type == mem::TxType::WriteBack;
+    if (!acquire && !writeback)
+        return;
+
+    const std::uint32_t page = mem_.pageBytes();
+    const std::uint64_t frame = tx.paddr / page;
+    const Addr base = static_cast<Addr>(frame) * page;
+    std::vector<std::uint8_t> image(page);
+    mem_.readBlock(base, image.data(), page);
+    images_.store(asid_, frame, std::move(image));
+    if (acquire)
+        ++checkpoints_;
+    else
+        ++refreshes_;
+}
+
+void
+FrameCheckpointer::registerStats(StatGroup &group) const
+{
+    group.addCounter("frame_checkpoints",
+                     "frames snapshotted at ownership acquisition",
+                     checkpoints_);
+    group.addCounter("checkpoint_refreshes",
+                     "snapshots refreshed at write-back", refreshes_);
+}
+
+} // namespace vmp::backing

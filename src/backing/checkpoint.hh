@@ -1,0 +1,78 @@
+/**
+ * @file
+ * FrameCheckpointer: keeps the memory tier's image plane a live shadow
+ * of physical memory, frame by frame, so board recovery can restore
+ * every orphaned frame instead of zero-filling it (pages_lost == 0 by
+ * construction).
+ *
+ * The model is an NVRAM-shadowed memory board: the board mirrors
+ * writes into stable storage as they land, so shadowing adds no
+ * simulated time and no bus traffic. The attach point is the bus
+ * TxObserver, which fires after a transaction's data movement and
+ * side-effect updates but before the requester's completion — the
+ * exact instants at which main memory is authoritative for a frame:
+ *
+ *  - ReadPrivate / AssertOwnership completing means every other cache
+ *    flushed or discarded its copy; memory now holds the last written
+ *    image, and from here on the new owner may dirty it silently. We
+ *    snapshot at that handoff.
+ *  - WriteBack completing means the owner pushed its dirty data;
+ *    memory is current again. We refresh the snapshot.
+ *
+ * Between those points an owner's cache may be ahead of memory — but
+ * that is precisely the data a failstop loses anyway; recovery's
+ * contract (PR 4) is to restore the last *globally visible* image,
+ * which is what this checkpoint holds.
+ */
+
+#ifndef VMP_BACKING_CHECKPOINT_HH
+#define VMP_BACKING_CHECKPOINT_HH
+
+#include <cstdint>
+
+#include "backing/page_store.hh"
+#include "mem/phys_mem.hh"
+#include "mem/vme_bus.hh"
+#include "sim/stats.hh"
+
+namespace vmp::backing
+{
+
+/** Shadows ownership-transfer points of a bus into a PageStore. */
+class FrameCheckpointer
+{
+  public:
+    /**
+     * Snapshots of @p memory are stored in @p images keyed
+     * <@p asid, frame-number> — the RecoveryManager convention
+     * (vpn == physical frame). @p asid should be a reserved space id
+     * so checkpoints never collide with paging images.
+     */
+    FrameCheckpointer(mem::PhysMem &memory, PageStore &images,
+                      Asid asid);
+
+    /** Hook @p bus; call once. */
+    void install(mem::VmeBus &bus);
+
+    Asid asid() const { return asid_; }
+    const Counter &checkpoints() const { return checkpoints_; }
+    const Counter &refreshes() const { return refreshes_; }
+    void registerStats(StatGroup &group) const;
+
+  private:
+    void observe(const mem::BusTransaction &tx,
+                 const mem::TxResult &result);
+
+    mem::PhysMem &mem_;
+    PageStore &images_;
+    Asid asid_;
+    bool installed_ = false;
+    /** First snapshot of a frame (ownership acquisition). */
+    Counter checkpoints_;
+    /** Snapshot refresh on write-back. */
+    Counter refreshes_;
+};
+
+} // namespace vmp::backing
+
+#endif // VMP_BACKING_CHECKPOINT_HH

@@ -1,0 +1,190 @@
+#include "backing/frame_arena.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace vmp::backing
+{
+
+FrameArena::FrameArena(std::uint32_t frames, std::uint32_t page_bytes)
+    : capacity_(frames), pageBytes_(page_bytes), frames_(frames)
+{
+    if (frames == 0)
+        panic("frame arena: zero frames");
+    for (std::uint32_t i = 0; i < frames; ++i)
+        freeList_.push_back(i);
+}
+
+std::optional<std::uint32_t>
+FrameArena::lookup(Asid asid, std::uint64_t vpn) const
+{
+    const auto it = index_.find({asid, vpn});
+    if (it == index_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::uint32_t
+FrameArena::insert(Asid asid, std::uint64_t vpn,
+                   std::vector<std::uint8_t> data, bool dirty,
+                   bool prefetched)
+{
+    if (freeList_.empty())
+        panic("frame arena: insert with no free slot");
+    if (data.size() != pageBytes_)
+        panic("frame arena: image of ", data.size(),
+              " bytes (expected ", pageBytes_, ")");
+    if (index_.count({asid, vpn}) != 0)
+        panic("frame arena: <", asid, ",", vpn, "> already resident");
+
+    const std::uint32_t slot = freeList_.front();
+    freeList_.pop_front();
+    ArenaFrame &f = at(slot);
+    f.asid = asid;
+    f.vpn = vpn;
+    f.valid = true;
+    f.dirty = dirty;
+    f.prefetched = prefetched;
+    f.stamp = nextStamp_++;
+    f.data = std::move(data);
+    index_[{asid, vpn}] = slot;
+    ++used_;
+    peakUsed_ = std::max(peakUsed_, used_);
+    if (dirty) {
+        ++dirty_;
+        ++f.dirtyEpoch;
+        dirtyFifo_.push_back(slot);
+    } else {
+        cleanFifo_.push_back(slot);
+    }
+    return slot;
+}
+
+void
+FrameArena::overwrite(std::uint32_t slot, std::vector<std::uint8_t> data)
+{
+    ArenaFrame &f = at(slot);
+    if (!f.valid)
+        panic("frame arena: overwrite of invalid slot ", slot);
+    if (data.size() != pageBytes_)
+        panic("frame arena: image of ", data.size(),
+              " bytes (expected ", pageBytes_, ")");
+    f.data = std::move(data);
+    f.prefetched = false;
+    ++f.dirtyEpoch;
+    if (!f.dirty) {
+        f.dirty = true;
+        ++dirty_;
+        eraseFrom(cleanFifo_, slot);
+        dirtyFifo_.push_back(slot);
+    } else {
+        // Already dirty: if still queued, keep its queue position; if
+        // mid-drain (not queued), re-queue so the new image drains too.
+        if (std::find(dirtyFifo_.begin(), dirtyFifo_.end(), slot) ==
+            dirtyFifo_.end())
+            dirtyFifo_.push_back(slot);
+    }
+}
+
+void
+FrameArena::markClean(std::uint32_t slot)
+{
+    ArenaFrame &f = at(slot);
+    if (!f.valid || !f.dirty)
+        panic("frame arena: markClean of non-dirty slot ", slot);
+    f.dirty = false;
+    --dirty_;
+    eraseFrom(dirtyFifo_, slot);
+    cleanFifo_.push_back(slot);
+}
+
+void
+FrameArena::markDemanded(std::uint32_t slot)
+{
+    ArenaFrame &f = at(slot);
+    if (!f.valid)
+        panic("frame arena: markDemanded of invalid slot ", slot);
+    f.prefetched = false;
+}
+
+void
+FrameArena::release(std::uint32_t slot)
+{
+    ArenaFrame &f = at(slot);
+    if (!f.valid)
+        panic("frame arena: release of invalid slot ", slot);
+    index_.erase({f.asid, f.vpn});
+    if (f.dirty) {
+        --dirty_;
+        eraseFrom(dirtyFifo_, slot);
+    } else {
+        eraseFrom(cleanFifo_, slot);
+    }
+    f.valid = false;
+    f.dirty = false;
+    f.prefetched = false;
+    f.stamp = nextStamp_++;
+    f.data.clear();
+    --used_;
+    freeList_.push_back(slot);
+}
+
+std::optional<std::uint32_t>
+FrameArena::reclaimOldestClean()
+{
+    if (cleanFifo_.empty())
+        return std::nullopt;
+    const std::uint32_t slot = cleanFifo_.front();
+    release(slot);
+    return slot;
+}
+
+std::vector<std::uint32_t>
+FrameArena::takeDirtyBatch(std::uint32_t max)
+{
+    std::vector<std::uint32_t> batch;
+    while (batch.size() < max && !dirtyFifo_.empty()) {
+        batch.push_back(dirtyFifo_.front());
+        dirtyFifo_.pop_front();
+    }
+    return batch;
+}
+
+std::vector<std::uint32_t>
+FrameArena::slotsOf(Asid asid) const
+{
+    std::vector<std::uint32_t> slots;
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+        if (frames_[i].valid && frames_[i].asid == asid)
+            slots.push_back(i);
+    }
+    return slots;
+}
+
+const ArenaFrame &
+FrameArena::frame(std::uint32_t slot) const
+{
+    if (slot >= capacity_)
+        panic("frame arena: slot ", slot, " out of range");
+    return frames_[slot];
+}
+
+ArenaFrame &
+FrameArena::at(std::uint32_t slot)
+{
+    if (slot >= capacity_)
+        panic("frame arena: slot ", slot, " out of range");
+    return frames_[slot];
+}
+
+void
+FrameArena::eraseFrom(std::deque<std::uint32_t> &fifo,
+                      std::uint32_t slot)
+{
+    const auto it = std::find(fifo.begin(), fifo.end(), slot);
+    if (it != fifo.end())
+        fifo.erase(it);
+}
+
+} // namespace vmp::backing

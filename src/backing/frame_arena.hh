@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bounded pool of local page frames on the memory-tier node, with
+ * explicit occupancy accounting. Incoming page-outs land here (dirty)
+ * and are drained to the configured backend by the reclaim engine;
+ * fetched and prefetched images are cached here (clean) until the
+ * space is needed. Clean frames are reclaimable instantly; dirty
+ * frames pin their slot until drained.
+ *
+ * All replacement orders are FIFO queues, so arena behavior is fully
+ * deterministic for a given request sequence.
+ */
+
+#ifndef VMP_BACKING_FRAME_ARENA_HH
+#define VMP_BACKING_FRAME_ARENA_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace vmp::backing
+{
+
+/** One node-local frame. */
+struct ArenaFrame
+{
+    Asid asid = 0;
+    std::uint64_t vpn = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Installed by the prefetcher and not yet demanded. */
+    bool prefetched = false;
+    /** Bumped on release/insert: in-flight drain work captures the
+     *  stamp and skips frames that were reassigned meanwhile. */
+    std::uint64_t stamp = 0;
+    /** Bumped on every markDirty: a drain only cleans the frame if no
+     *  newer page-out landed while the batch was in flight. */
+    std::uint64_t dirtyEpoch = 0;
+    std::vector<std::uint8_t> data;
+};
+
+/** The bounded frame pool. */
+class FrameArena
+{
+  public:
+    FrameArena(std::uint32_t frames, std::uint32_t page_bytes);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t pageBytes() const { return pageBytes_; }
+    std::uint32_t used() const { return used_; }
+    std::uint32_t freeSlots() const { return capacity_ - used_; }
+    std::uint32_t dirtyCount() const { return dirty_; }
+    std::uint32_t cleanCount() const { return used_ - dirty_; }
+    /** High-water mark of used frames over the run. */
+    std::uint32_t peakUsed() const { return peakUsed_; }
+
+    /** Slot holding <asid, vpn>, if resident. */
+    std::optional<std::uint32_t> lookup(Asid asid,
+                                        std::uint64_t vpn) const;
+
+    bool hasFree() const { return used_ < capacity_; }
+
+    /** Install a page into a free slot (panics when full — callers
+     *  must make room first). Returns the slot. */
+    std::uint32_t insert(Asid asid, std::uint64_t vpn,
+                         std::vector<std::uint8_t> data, bool dirty,
+                         bool prefetched = false);
+
+    /** Overwrite a resident page's image and mark it dirty. */
+    void overwrite(std::uint32_t slot, std::vector<std::uint8_t> data);
+
+    /** Mark a drained frame clean (reclaimable). */
+    void markClean(std::uint32_t slot);
+
+    /** Clear the prefetched flag (first demand hit on the frame). */
+    void markDemanded(std::uint32_t slot);
+
+    /** Invalidate a slot, returning it to the free pool. */
+    void release(std::uint32_t slot);
+
+    /** Oldest clean frame released to make room; nullopt if none. */
+    std::optional<std::uint32_t> reclaimOldestClean();
+
+    /**
+     * Pop up to @p max dirty frames, oldest first, for one drain
+     * batch. The frames stay dirty (and resident) until markClean();
+     * they simply leave the drain queue so the next batch doesn't
+     * collect them twice.
+     */
+    std::vector<std::uint32_t> takeDirtyBatch(std::uint32_t max);
+
+    /** Dirty frames currently queued for drain (not yet batched). */
+    std::size_t drainQueueDepth() const { return dirtyFifo_.size(); }
+
+    /** All resident slots of an address space. */
+    std::vector<std::uint32_t> slotsOf(Asid asid) const;
+
+    const ArenaFrame &frame(std::uint32_t slot) const;
+
+  private:
+    ArenaFrame &at(std::uint32_t slot);
+    static void eraseFrom(std::deque<std::uint32_t> &fifo,
+                          std::uint32_t slot);
+
+    std::uint32_t capacity_;
+    std::uint32_t pageBytes_;
+    std::uint32_t used_ = 0;
+    std::uint32_t dirty_ = 0;
+    std::uint32_t peakUsed_ = 0;
+    std::uint64_t nextStamp_ = 1;
+    std::vector<ArenaFrame> frames_;
+    std::deque<std::uint32_t> freeList_;
+    /** Dirty frames awaiting a drain batch, oldest first. */
+    std::deque<std::uint32_t> dirtyFifo_;
+    /** Clean frames in reclaim order, oldest first. */
+    std::deque<std::uint32_t> cleanFifo_;
+    std::map<std::pair<Asid, std::uint64_t>, std::uint32_t> index_;
+};
+
+} // namespace vmp::backing
+
+#endif // VMP_BACKING_FRAME_ARENA_HH

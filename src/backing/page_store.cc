@@ -1,0 +1,58 @@
+#include "backing/page_store.hh"
+
+#include "sim/logging.hh"
+
+namespace vmp::backing
+{
+
+void
+PageStore::store(Asid asid, std::uint64_t vpn,
+                 std::vector<std::uint8_t> data)
+{
+    if (data.size() != pageBytes_)
+        panic("page store: image of ", data.size(), " bytes (expected ",
+              pageBytes_, ")");
+    pages_[{asid, vpn}] = std::move(data);
+    ++stores_;
+}
+
+const std::vector<std::uint8_t> *
+PageStore::fetch(Asid asid, std::uint64_t vpn)
+{
+    const auto it = pages_.find({asid, vpn});
+    if (it == pages_.end())
+        return nullptr;
+    ++fetches_;
+    return &it->second;
+}
+
+std::optional<std::vector<std::uint8_t>>
+PageStore::take(Asid asid, std::uint64_t vpn)
+{
+    const auto it = pages_.find({asid, vpn});
+    if (it == pages_.end())
+        return std::nullopt;
+    ++fetches_;
+    std::vector<std::uint8_t> image = std::move(it->second);
+    pages_.erase(it);
+    return image;
+}
+
+bool
+PageStore::contains(Asid asid, std::uint64_t vpn) const
+{
+    return pages_.find({asid, vpn}) != pages_.end();
+}
+
+void
+PageStore::dropSpace(Asid asid)
+{
+    for (auto it = pages_.begin(); it != pages_.end();) {
+        if (it->first.first == asid)
+            it = pages_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace vmp::backing

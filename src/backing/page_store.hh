@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Durable page-image plane of the memory tier: page-sized blobs keyed
+ * by <asid, vpn>. This is the storage the tier's backends drain into
+ * and recovery restores from; the *timing* of getting a page here
+ * (arena, batching, backend latency) lives in backing::MemoryTier.
+ *
+ * fetch() hands out a pointer to the stored image rather than a copy:
+ * a 4 KiB blob per page-in is real memcpy traffic on the host, and the
+ * callers (page-in DMA, recovery restore) only ever read the image
+ * once before it goes stale. The stores()/fetches() counters count
+ * exactly one per successful operation — regression-tested, since the
+ * tier's eviction batching must not double-count them.
+ */
+
+#ifndef VMP_BACKING_PAGE_STORE_HH
+#define VMP_BACKING_PAGE_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace vmp::backing
+{
+
+/** Image granule when none is configured (the 4 KiB vm page). */
+inline constexpr std::uint32_t kDefaultPageBytes = 4096;
+
+/** Keyed page-image store. */
+class PageStore
+{
+  public:
+    explicit PageStore(Tick latency_ns = usec(500),
+                       std::uint32_t page_bytes = kDefaultPageBytes)
+        : latency_(latency_ns), pageBytes_(page_bytes)
+    {}
+
+    /** Simulated access latency for one page transfer (flat model;
+     *  the tier's backend models refine this). */
+    Tick latency() const { return latency_; }
+
+    /** Size every stored image must have. */
+    std::uint32_t pageBytes() const { return pageBytes_; }
+
+    /** Save a page image (page-out / checkpoint). */
+    void store(Asid asid, std::uint64_t vpn,
+               std::vector<std::uint8_t> data);
+
+    /**
+     * Borrow a page image, if this page was ever stored. The pointer
+     * stays valid until the next store()/take()/dropSpace() for the
+     * same page. Counts one fetch when the page is present.
+     */
+    const std::vector<std::uint8_t> *fetch(Asid asid,
+                                           std::uint64_t vpn);
+
+    /** Move a page image out (and erase it). Counts one fetch. */
+    std::optional<std::vector<std::uint8_t>> take(Asid asid,
+                                                  std::uint64_t vpn);
+
+    /** True if an image exists; counts nothing (policy probes). */
+    bool contains(Asid asid, std::uint64_t vpn) const;
+
+    /** Drop all pages of an address space. */
+    void dropSpace(Asid asid);
+
+    std::size_t pagesHeld() const { return pages_.size(); }
+    const Counter &stores() const { return stores_; }
+    const Counter &fetches() const { return fetches_; }
+
+  private:
+    Tick latency_;
+    std::uint32_t pageBytes_;
+    std::map<std::pair<Asid, std::uint64_t>,
+             std::vector<std::uint8_t>> pages_;
+    Counter stores_;
+    Counter fetches_;
+};
+
+} // namespace vmp::backing
+
+#endif // VMP_BACKING_PAGE_STORE_HH

@@ -326,6 +326,9 @@ HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
         });
         if (tracer_)
             manager->setTracer(tracer_.get(), recoverTrack_);
+        if (k < clusterCheckpointStores_.size())
+            manager->setBackingStore(clusterCheckpointStores_[k].get(),
+                                     clusterCheckpointers_[k]->asid());
         manager->install();
         clusterRecoveries_.push_back(std::move(manager));
     }
@@ -345,7 +348,42 @@ HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
     });
     if (tracer_)
         globalRecovery_->setTracer(tracer_.get(), recoverTrack_);
+    if (globalCheckpointStore_)
+        globalRecovery_->setBackingStore(globalCheckpointStore_.get(),
+                                         globalCheckpointer_->asid());
     globalRecovery_->install();
+}
+
+void
+HierVmpSystem::enableFrameCheckpoint(Asid asid)
+{
+    if (globalCheckpointer_)
+        fatal("hier: frame checkpoint enabled twice");
+    // One shadow store per cluster image, written off the local bus,
+    // plus one for main memory off the global bus. All are latency-0
+    // PageStores: the shadow write rides the memory board's own store
+    // path; recovery still pays the restore DMA.
+    for (std::uint32_t k = 0; k < cfg_.clusters; ++k) {
+        Cluster &cluster = *clusters_[k];
+        clusterCheckpointStores_.push_back(
+            std::make_unique<backing::PageStore>(
+                0, cluster.image.pageBytes()));
+        clusterCheckpointers_.push_back(
+            std::make_unique<backing::FrameCheckpointer>(
+                cluster.image, *clusterCheckpointStores_.back(), asid));
+        clusterCheckpointers_.back()->install(cluster.bus);
+        if (k < clusterRecoveries_.size())
+            clusterRecoveries_[k]->setBackingStore(
+                clusterCheckpointStores_.back().get(), asid);
+    }
+    globalCheckpointStore_ = std::make_unique<backing::PageStore>(
+        0, memory_.pageBytes());
+    globalCheckpointer_ = std::make_unique<backing::FrameCheckpointer>(
+        memory_, *globalCheckpointStore_, asid);
+    globalCheckpointer_->install(globalBus_);
+    if (globalRecovery_)
+        globalRecovery_->setBackingStore(globalCheckpointStore_.get(),
+                                         asid);
 }
 
 recover::RecoveryManager &
@@ -593,6 +631,16 @@ HierVmpSystem::dumpStats(std::ostream &os) const
         globalRecovery_->registerStats(recover_group);
         recover_group.dump(os);
     }
+    for (std::size_t k = 0; k < clusterCheckpointers_.size(); ++k) {
+        StatGroup backing_group("c" + std::to_string(k) + ".backing");
+        clusterCheckpointers_[k]->registerStats(backing_group);
+        backing_group.dump(os);
+    }
+    if (globalCheckpointer_) {
+        StatGroup backing_group("backing.global");
+        globalCheckpointer_->registerStats(backing_group);
+        backing_group.dump(os);
+    }
     if (tracer_) {
         StatGroup obs_group("obs");
         tracer_->registerStats(obs_group);
@@ -656,6 +704,17 @@ HierVmpSystem::statsJson() const
     if (globalRecovery_) {
         groups.push_back(std::make_unique<StatGroup>("recover.global"));
         globalRecovery_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    for (std::size_t k = 0; k < clusterCheckpointers_.size(); ++k) {
+        groups.push_back(std::make_unique<StatGroup>(
+            "c" + std::to_string(k) + ".backing"));
+        clusterCheckpointers_[k]->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (globalCheckpointer_) {
+        groups.push_back(std::make_unique<StatGroup>("backing.global"));
+        globalCheckpointer_->registerStats(*groups.back());
         registry.add(*groups.back());
     }
     if (tracer_) {

@@ -175,6 +175,23 @@ class HierVmpSystem
     }
 
     /**
+     * Install NVRAM-shadowed frame checkpoints at both levels: one
+     * per cluster (shadowing the cluster image off its local bus) and
+     * one global (shadowing main memory off the global bus). Recovery
+     * managers — installed before or after — restore reclaimed frames
+     * from the matching store, driving pages_lost to zero at every
+     * level. @p asid as in VmpSystem::enableFrameCheckpoint. At most
+     * once, before any traffic.
+     */
+    void enableFrameCheckpoint(Asid asid = 0xFE);
+
+    /** True once enableFrameCheckpoint() ran. */
+    bool frameCheckpointEnabled() const
+    {
+        return globalCheckpointer_ != nullptr;
+    }
+
+    /**
      * Arm the observability subsystem over the whole hierarchy: tracks
      * "global_bus", per-cluster "cK.bus" and "cK.ibc", per-CPU "cpuN",
      * and one shared "recover" track. Same guarantees as the flat
@@ -250,6 +267,12 @@ class HierVmpSystem
     std::vector<std::unique_ptr<recover::RecoveryManager>>
         clusterRecoveries_;
     std::unique_ptr<recover::RecoveryManager> globalRecovery_;
+    std::vector<std::unique_ptr<backing::PageStore>>
+        clusterCheckpointStores_;
+    std::vector<std::unique_ptr<backing::FrameCheckpointer>>
+        clusterCheckpointers_;
+    std::unique_ptr<backing::PageStore> globalCheckpointStore_;
+    std::unique_ptr<backing::FrameCheckpointer> globalCheckpointer_;
     std::unique_ptr<obs::EventTracer> tracer_;
     std::unique_ptr<obs::MissProfiler> profiler_;
     /** Track id recovery events land on (valid while tracer_ != null). */

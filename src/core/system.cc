@@ -243,8 +243,29 @@ VmpSystem::enableRecovery(recover::RecoveryConfig options)
         if (checker_)
             checker_->checkOwnersSweep();
     });
+    if (checkpointStore_) {
+        recovery_->setBackingStore(checkpointStore_.get(),
+                                   checkpointer_->asid());
+    }
     recovery_->install();
     return *recovery_;
+}
+
+backing::PageStore &
+VmpSystem::enableFrameCheckpoint(Asid asid)
+{
+    if (checkpointer_)
+        fatal("system: frame checkpoint enabled twice");
+    // Latency 0: the shadow is written as part of the memory board's
+    // own store path; recovery still pays its restore DMA.
+    checkpointStore_ = std::make_unique<backing::PageStore>(
+        0, memory_.pageBytes());
+    checkpointer_ = std::make_unique<backing::FrameCheckpointer>(
+        memory_, *checkpointStore_, asid);
+    checkpointer_->install(bus_);
+    if (recovery_)
+        recovery_->setBackingStore(checkpointStore_.get(), asid);
+    return *checkpointStore_;
 }
 
 void
@@ -364,6 +385,11 @@ VmpSystem::dumpStats(std::ostream &os) const
         recovery_->registerStats(recover_group);
         recover_group.dump(os);
     }
+    if (checkpointer_) {
+        StatGroup backing_group("backing");
+        checkpointer_->registerStats(backing_group);
+        backing_group.dump(os);
+    }
     if (tracer_) {
         StatGroup obs_group("obs");
         tracer_->registerStats(obs_group);
@@ -404,6 +430,11 @@ VmpSystem::statsJson() const
     if (recovery_) {
         groups.push_back(std::make_unique<StatGroup>("recover"));
         recovery_->registerStats(*groups.back());
+        registry.add(*groups.back());
+    }
+    if (checkpointer_) {
+        groups.push_back(std::make_unique<StatGroup>("backing"));
+        checkpointer_->registerStats(*groups.back());
         registry.add(*groups.back());
     }
     if (tracer_) {

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "backing/checkpoint.hh"
+#include "backing/page_store.hh"
 #include "cache/cache.hh"
 #include "check/coherence_checker.hh"
 #include "cpu/program_cpu.hh"
@@ -189,6 +191,25 @@ class VmpSystem
     recover::RecoveryManager *recoveryManager() { return recovery_.get(); }
 
     /**
+     * Install an NVRAM-shadowed frame checkpoint: a cache-page-granule
+     * backing::PageStore kept a live shadow of memory by a
+     * FrameCheckpointer snapshotting every completed ownership
+     * transfer on the bus (zero simulated cost — the memory board
+     * mirrors writes into stable storage). If recovery is installed
+     * (before or after), it restores reclaimed frames from this store,
+     * driving recover.pages_lost to zero by construction. @p asid is
+     * the reserved space id frames are keyed under. May be called at
+     * most once, before any traffic.
+     */
+    backing::PageStore &enableFrameCheckpoint(Asid asid = 0xFE);
+
+    /** The installed checkpointer, or null if none. */
+    backing::FrameCheckpointer *frameCheckpointer()
+    {
+        return checkpointer_.get();
+    }
+
+    /**
      * Arm the observability subsystem: a per-board ring-buffer event
      * tracer over the bus, every monitor/FIFO, every controller's miss
      * phases and block copier, and (if installed) the recovery
@@ -265,6 +286,8 @@ class VmpSystem
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<check::CoherenceChecker> checker_;
     std::unique_ptr<recover::RecoveryManager> recovery_;
+    std::unique_ptr<backing::PageStore> checkpointStore_;
+    std::unique_ptr<backing::FrameCheckpointer> checkpointer_;
     std::unique_ptr<obs::EventTracer> tracer_;
     std::unique_ptr<obs::MissProfiler> profiler_;
     /** Raw CPU handles while runTraces is in flight (for kill/rejoin

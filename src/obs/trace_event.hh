@@ -4,7 +4,8 @@
  *
  * The vocabulary is deliberately small and flat: one POD struct whose
  * meaning depends on its @ref EventKind. Span-like kinds (BusTx, Miss,
- * MissPhase, Service, Copy, IbcFetch, Recovery) are emitted ONCE at the
+ * MissPhase, Service, Copy, IbcFetch, Recovery, TierFetch, TierStore,
+ * TierEvict) are emitted ONCE at the
  * END of the interval they describe, with @ref TraceEvent::at set to the
  * interval's start tick and @ref TraceEvent::arg0 to its duration in
  * ns. Emitting spans as completed intervals (rather than begin/end
@@ -67,11 +68,26 @@ enum class EventKind : std::uint8_t
     RecoveryBegin,
     /** [instant] One orphaned frame reclaimed during recovery. */
     Reclaim,
+    /** [span] One memory-tier page-in, request to image ready;
+     *  master = asid, arg1 = vpn, aux = 1 for zero-fill. */
+    TierFetch,
+    /** [span] One memory-tier page-out, request to arena accept;
+     *  master = asid, arg1 = vpn, aux = 1 when it stalled. */
+    TierStore,
+    /** [span] One dirty arena frame drained to the backend;
+     *  master = asid, arg1 = vpn, aux = BackendKind. */
+    TierEvict,
+    /** [instant] One prefetched page installed in the arena;
+     *  master = asid, arg1 = vpn. */
+    TierPrefetch,
+    /** [instant] One budget-controller epoch; arg0 = clients,
+     *  arg1 = grants changed. */
+    BudgetEpoch,
 };
 
 /** Number of event kinds (array-sizing constant). */
 inline constexpr std::size_t kEventKinds =
-    static_cast<std::size_t>(EventKind::Reclaim) + 1;
+    static_cast<std::size_t>(EventKind::BudgetEpoch) + 1;
 
 /** Miss-handler phases profiled per miss (stored in MissPhase aux). */
 enum class MissPhase : std::uint8_t
@@ -110,6 +126,11 @@ eventKindName(EventKind kind)
       case EventKind::IbcWriteBack: return "ibc_writeback";
       case EventKind::RecoveryBegin: return "recovery_begin";
       case EventKind::Reclaim: return "reclaim";
+      case EventKind::TierFetch: return "tier_fetch";
+      case EventKind::TierStore: return "tier_store";
+      case EventKind::TierEvict: return "tier_evict";
+      case EventKind::TierPrefetch: return "tier_prefetch";
+      case EventKind::BudgetEpoch: return "budget_epoch";
     }
     return "unknown";
 }
@@ -140,6 +161,9 @@ isSpan(EventKind kind)
       case EventKind::Copy:
       case EventKind::IbcFetch:
       case EventKind::Recovery:
+      case EventKind::TierFetch:
+      case EventKind::TierStore:
+      case EventKind::TierEvict:
         return true;
       default:
         return false;

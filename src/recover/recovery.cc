@@ -238,7 +238,6 @@ RecoveryManager::reclaimNext(
             target->monitor->table().set(frame,
                                          mem::ActionEntry::Ignore);
             ++framesReclaimed_;
-            ++pagesLost_;
             if (tracer_ != nullptr) {
                 obs::TraceEvent event;
                 event.kind = obs::EventKind::Reclaim;
@@ -260,19 +259,25 @@ RecoveryManager::restoreFrame(
     Record &record, std::uint64_t frame,
     std::shared_ptr<std::deque<std::uint64_t>> frames)
 {
+    // A frame with no usable image is genuinely lost; with the
+    // FrameCheckpointer shadowing ownership transfers, every Protect
+    // entry has one, and pages_lost stays zero by construction.
     if (backing_ == nullptr) {
+        ++pagesLost_;
         reclaimNext(record, std::move(frames));
         return;
     }
-    auto image = backing_->fetch(backingAsid_, frame);
-    if (!image.has_value() || image->size() != mem_.pageBytes()) {
+    const auto *image = backing_->fetch(backingAsid_, frame);
+    if (image == nullptr || image->size() != mem_.pageBytes()) {
+        ++pagesLost_;
         reclaimNext(record, std::move(frames));
         return;
     }
     // The last checkpointed image of the lost page: stream it back to
-    // the memory board after the backing-store fetch latency.
-    auto buffer = std::make_shared<std::vector<std::uint8_t>>(
-        std::move(*image));
+    // the memory board after the backing-store fetch latency. Copy
+    // now — the borrowed pointer goes stale at the next store.
+    auto buffer =
+        std::make_shared<std::vector<std::uint8_t>>(*image);
     Record *target = &record;
     events_.scheduleIn(backing_->latency(),
                        [this, target, frame, frames, buffer] {

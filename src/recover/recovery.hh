@@ -16,10 +16,11 @@
  *  4. for each Protect frame, after reclaimServiceNs of coordinator
  *     service time, broadcast a Reclaim transaction and clear the
  *     entry. The only valid copy of a Protect frame lived in the dead
- *     board's cache, so its contents are *lost* (recover.pages_lost);
- *     if a backing store is attached, the coordinator re-fetches the
- *     last image written out and DMA-restores it to memory
- *     (recover.pages_restored);
+ *     board's cache; if an image store is attached (e.g. the memory
+ *     tier shadowed by a backing::FrameCheckpointer), the coordinator
+ *     re-fetches the last globally visible image and DMA-restores it
+ *     to memory (recover.pages_restored) — a frame with no usable
+ *     image is counted lost (recover.pages_lost);
  *  5. record time-to-recover and fire the post-reclaim hook — wired by
  *     the system to an immediate CoherenceChecker owners sweep.
  *

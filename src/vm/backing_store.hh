@@ -1,57 +1,24 @@
 /**
  * @file
- * Simulated backing store ("paging disk") for the virtual-memory
- * system: page-sized blobs keyed by <asid, vpn>, with a configurable
- * access latency standing in for disk + DMA time.
+ * Compatibility alias: the passive per-<asid, vpn> page-image store
+ * grew into the backing/ memory-tier subsystem. The durable image
+ * plane (what `vm::BackingStore` used to be) is backing::PageStore;
+ * the timing model around it is backing::MemoryTier.
  */
 
 #ifndef VMP_VM_BACKING_STORE_HH
 #define VMP_VM_BACKING_STORE_HH
 
-#include <cstdint>
-#include <map>
-#include <optional>
-#include <vector>
-
-#include "sim/stats.hh"
-#include "sim/types.hh"
+#include "backing/page_store.hh"
+#include "vm/page_table.hh"
 
 namespace vmp::vm
 {
 
-/** Paging store. */
-class BackingStore
-{
-  public:
-    explicit BackingStore(Tick latency_ns = usec(500))
-        : latency_(latency_ns)
-    {}
+using BackingStore = backing::PageStore;
 
-    /** Simulated access latency for one page transfer. */
-    Tick latency() const { return latency_; }
-
-    /** Save a page image (page-out). */
-    void store(Asid asid, std::uint64_t vpn,
-               std::vector<std::uint8_t> data);
-
-    /** Load a page image, if this page was ever stored. */
-    std::optional<std::vector<std::uint8_t>> fetch(Asid asid,
-                                                   std::uint64_t vpn);
-
-    /** Drop all pages of an address space. */
-    void dropSpace(Asid asid);
-
-    std::size_t pagesHeld() const { return pages_.size(); }
-    const Counter &stores() const { return stores_; }
-    const Counter &fetches() const { return fetches_; }
-
-  private:
-    Tick latency_;
-    std::map<std::pair<Asid, std::uint64_t>,
-             std::vector<std::uint8_t>> pages_;
-    Counter stores_;
-    Counter fetches_;
-};
+static_assert(vmPageBytes == backing::kDefaultPageBytes,
+              "vm page and default image granule must agree");
 
 } // namespace vmp::vm
 

@@ -1,6 +1,7 @@
 #include "vm/vm_system.hh"
 
 #include <memory>
+#include <string>
 
 #include "sim/debug.hh"
 #include "sim/logging.hh"
@@ -17,6 +18,16 @@ breakLoop(EventQueue &events,
           const std::shared_ptr<std::function<void()>> &loop)
 {
     events.scheduleIn(0, [loop] { *loop = nullptr; }, "vm-loop-gc");
+}
+
+/** Tier config with the legacy VmConfig knobs folded in. */
+backing::TierConfig
+tierConfigOf(const VmConfig &config)
+{
+    backing::TierConfig tier = config.tier;
+    tier.diskLatencyNs = config.diskLatencyNs;
+    tier.pageBytes = vmPageBytes;
+    return tier;
 }
 
 } // namespace
@@ -91,7 +102,7 @@ VmSystem::VmSystem(EventQueue &events, mem::PhysMem &memory,
                    const VmConfig &config)
     : events_(events), memory_(memory), cfg_(config),
       allocator_(memory.size(), config.reservedFrames),
-      store_(config.diskLatencyNs)
+      tier_(events, tierConfigOf(config))
 {
 }
 
@@ -212,6 +223,7 @@ VmSystem::handleFault(proto::CacheController &ctl,
     const auto pte_paddr = pteAddr(req.asid, req.vaddr);
     if (!pte_paddr) {
         ++faults_;
+        noteBudgetFault(req.asid);
         pageIn(ctl, req.asid, vpnOf(req.vaddr), std::move(retry));
         return;
     }
@@ -230,6 +242,7 @@ VmSystem::handleFault(proto::CacheController &ctl,
                       std::hex, req.vaddr);
             }
             ++faults_;
+            noteBudgetFault(req.asid);
             VMP_DTRACE(debug::Vm, events_.now(), "fault asid=",
                        unsigned{req.asid}, " va=0x", std::hex,
                        req.vaddr, std::dec);
@@ -243,24 +256,26 @@ VmSystem::pageIn(proto::CacheController &ctl, Asid asid,
 {
     const auto go = [this, &ctl, asid, vpn,
                      done = std::move(done)](std::uint32_t frame) {
-        // Disk transfer (or zero-fill) into the frame; this models the
-        // DMA path, so it bypasses the bus model and is bracketed by
-        // the pageout/flush protocol that guarantees no cached copies
-        // of a free frame exist.
-        const Tick latency = store_.latency();
-        events_.scheduleIn(latency, [this, &ctl, asid, vpn, frame,
-                                     done] {
-            const Addr base = static_cast<Addr>(frame) * vmPageBytes;
-            const auto image = store_.fetch(asid, vpn);
-            if (image) {
-                memory_.initBlock(base, image->data(), vmPageBytes);
-            } else {
-                memory_.zeroInit(base, vmPageBytes);
-            }
-            ++pageIns_;
-            mapPage(ctl, asid, vpn * vmPageBytes, frame, true, true,
-                    true, done);
-        }, "page-in");
+        // Tier transfer (or zero-fill) into the frame; the host-side
+        // copy bypasses the bus model (unless the tier has a DMA
+        // engine attached) and is bracketed by the pageout/flush
+        // protocol that guarantees no cached copies of a free frame
+        // exist.
+        const Addr base = static_cast<Addr>(frame) * vmPageBytes;
+        tier_.fetchPage(
+            asid, vpn, base,
+            [this, &ctl, asid, vpn, frame, base,
+             done](const std::vector<std::uint8_t> *image) {
+                if (image) {
+                    memory_.initBlock(base, image->data(),
+                                      vmPageBytes);
+                } else {
+                    memory_.zeroInit(base, vmPageBytes);
+                }
+                ++pageIns_;
+                mapPage(ctl, asid, vpn * vmPageBytes, frame, true,
+                        true, true, done);
+            });
     };
 
     const auto frame = allocator_.alloc();
@@ -268,8 +283,15 @@ VmSystem::pageIn(proto::CacheController &ctl, Asid asid,
         go(*frame);
         return;
     }
-    // Memory pressure: run pageout, then retry the allocation.
-    pageOutUntilTarget(ctl, [this, go] {
+    // Memory pressure: run pageout, then retry the allocation. The
+    // wait here is the miss-path eviction stall bench_memtier gates
+    // on — with the async tier it ends at arena accept, not at
+    // backend write-back.
+    const Tick stall_start = events_.now();
+    pageOutUntilTarget(ctl, [this, go, stall_start] {
+        evictionStallNs_ +=
+            static_cast<double>(events_.now() - stall_start);
+        ++stalledPageIns_;
         const auto frame = allocator_.alloc();
         if (!frame)
             fatal("out of memory: pageout reclaimed nothing");
@@ -340,6 +362,7 @@ VmSystem::mapPage(proto::CacheController &ctl, Asid asid, Addr vaddr,
                          [this, asid, vpn, frame, done] {
                              resident_.push_back(
                                  ResidentPage{asid, vpn, frame});
+                             noteBudgetUse(asid, +1);
                              ++mapOps_;
                              done();
                          });
@@ -351,6 +374,7 @@ VmSystem::mapPage(proto::CacheController &ctl, Asid asid, Addr vaddr,
                      it != resident_.end(); ++it) {
                     if (it->asid == asid && it->vpn == vpn) {
                         resident_.erase(it);
+                        noteBudgetUse(asid, -1);
                         break;
                     }
                 }
@@ -385,6 +409,7 @@ VmSystem::unmapPage(
                  ++it) {
                 if (it->asid == asid && it->vpn == vpn) {
                     resident_.erase(it);
+                    noteBudgetUse(asid, -1);
                     break;
                 }
             }
@@ -437,7 +462,7 @@ VmSystem::destroySpace(proto::CacheController &ctl, Asid asid,
                 allocator_.free(frame);
             root.clear();
             spaces_.erase(asid);
-            store_.dropSpace(asid);
+            tier_.dropSpace(asid);
             breakLoop(events_, step);
             done();
             return;
@@ -455,9 +480,60 @@ VmSystem::destroySpace(proto::CacheController &ctl, Asid asid,
 }
 
 void
+VmSystem::evictPage(proto::CacheController &ctl,
+                    const ResidentPage &page, Addr pte_paddr,
+                    std::function<void(bool)> done)
+{
+    // Evict: flush all caches, then save to the tier and invalidate.
+    flushVmFrame(ctl, page.frame, [this, &ctl, page, pte_paddr,
+                                   done = std::move(done)] {
+        const Addr base = static_cast<Addr>(page.frame) * vmPageBytes;
+        std::vector<std::uint8_t> image(vmPageBytes);
+        memory_.readBlock(base, image.data(), vmPageBytes);
+        tier_.storePage(
+            page.asid, page.vpn, base, std::move(image),
+            [this, &ctl, page, pte_paddr, done] {
+                writePte(ctl, pte_paddr, Pte{},
+                         [this, page, done] {
+                             allocator_.free(page.frame);
+                             ++pageOuts_;
+                             noteBudgetUse(page.asid, -1);
+                             VMP_DTRACE(debug::Vm, events_.now(),
+                                        "pageout asid=",
+                                        unsigned{page.asid},
+                                        " vpn=", page.vpn,
+                                        " frame=", page.frame);
+                             done(true);
+                         });
+            });
+    });
+}
+
+void
 VmSystem::pageOutOne(proto::CacheController &ctl,
                      std::function<void(bool)> done)
 {
+    // Budget arbitration: prefer victims of spaces running over their
+    // controller grant, bypassing the second chance — the grant says
+    // the space must shed pages now.
+    if (budget_ != nullptr) {
+        for (auto it = resident_.begin(); it != resident_.end();
+             ++it) {
+            const auto client = budgetClient_.find(it->asid);
+            if (client == budgetClient_.end() ||
+                !budget_->overGrant(client->second))
+                continue;
+            const ResidentPage page = *it;
+            const auto pte_paddr =
+                pteAddr(page.asid, page.vpn * vmPageBytes);
+            if (!pte_paddr)
+                continue;
+            resident_.erase(it);
+            evictPage(ctl, page, *pte_paddr, std::move(done));
+            return;
+        }
+    }
+
     // Clock algorithm over the resident list: skip-and-clear
     // referenced pages for at most two sweeps, then give up.
     auto scanned = std::make_shared<std::size_t>(0);
@@ -494,36 +570,11 @@ VmSystem::pageOutOne(proto::CacheController &ctl,
                     writePte(ctl, pte_paddr, pte, *step);
                     return;
                 }
-                // Evict: flush all caches, then save and invalidate.
-                flushVmFrame(ctl, page.frame, [this, &ctl, page,
-                                               pte_paddr, step, done] {
-                    const Addr base =
-                        static_cast<Addr>(page.frame) * vmPageBytes;
-                    std::vector<std::uint8_t> image(vmPageBytes);
-                    memory_.readBlock(base, image.data(), vmPageBytes);
-                    events_.scheduleIn(
-                        store_.latency(),
-                        [this, &ctl, page, pte_paddr, step, done,
-                         image = std::move(image)]() mutable {
-                            store_.store(page.asid, page.vpn,
-                                         std::move(image));
-                            writePte(ctl, pte_paddr, Pte{},
-                                     [this, page, step, done] {
-                                         allocator_.free(page.frame);
-                                         ++pageOuts_;
-                                         VMP_DTRACE(debug::Vm,
-                                                    events_.now(),
-                                                    "pageout asid=",
-                                                    unsigned{page.asid},
-                                                    " vpn=", page.vpn,
-                                                    " frame=",
-                                                    page.frame);
-                                         breakLoop(events_, step);
-                                         done(true);
-                                     });
-                        },
-                        "page-out");
-                });
+                evictPage(ctl, page, pte_paddr,
+                          [this, step, done](bool evicted) {
+                              breakLoop(events_, step);
+                              done(evicted);
+                          });
             });
     };
     (*step)();
@@ -551,6 +602,32 @@ VmSystem::pageOutUntilTarget(proto::CacheController &ctl, Done done)
     (*loop)();
 }
 
+std::uint32_t
+VmSystem::budgetClientOf(Asid asid)
+{
+    const auto it = budgetClient_.find(asid);
+    if (it != budgetClient_.end())
+        return it->second;
+    const auto id =
+        budget_->addClient("asid" + std::to_string(asid));
+    budgetClient_[asid] = id;
+    return id;
+}
+
+void
+VmSystem::noteBudgetFault(Asid asid)
+{
+    if (budget_ != nullptr)
+        budget_->noteFault(budgetClientOf(asid));
+}
+
+void
+VmSystem::noteBudgetUse(Asid asid, std::int32_t delta)
+{
+    if (budget_ != nullptr)
+        budget_->noteUse(budgetClientOf(asid), delta);
+}
+
 void
 VmSystem::registerStats(StatGroup &group) const
 {
@@ -561,6 +638,12 @@ VmSystem::registerStats(StatGroup &group) const
     group.addCounter("page_outs", "pages evicted to the store",
                      pageOuts_);
     group.addCounter("map_ops", "pmap map operations", mapOps_);
+    group.addCounter("stalled_page_ins",
+                     "page-ins that waited on eviction",
+                     stalledPageIns_);
+    group.addScalar("eviction_stall_ns",
+                    "total ns the miss path waited on eviction",
+                    evictionStallNs_);
 }
 
 } // namespace vmp::vm

@@ -24,6 +24,8 @@
 #include <optional>
 #include <vector>
 
+#include "backing/budget.hh"
+#include "backing/memory_tier.hh"
 #include "mem/phys_mem.hh"
 #include "proto/controller.hh"
 #include "proto/translator.hh"
@@ -45,10 +47,15 @@ struct VmConfig
 {
     /** Low frames reserved for uncached use (locks, mailboxes). */
     std::uint32_t reservedFrames = 4;
-    /** Backing-store latency per page transfer. */
+    /** Backing-store latency per page transfer. Overrides
+     *  tier.diskLatencyNs (legacy knob; keeps old configs working). */
     Tick diskLatencyNs = usec(500);
     /** Pageout stops once this many frames are free. */
     std::uint32_t freeTarget = 8;
+    /** Memory-tier behavior. The default (Mirror mode) reproduces the
+     *  legacy passive store bit-for-bit; tier.pageBytes and
+     *  tier.diskLatencyNs are overridden from this config. */
+    backing::TierConfig tier;
 };
 
 /** Allocator of vm-page frames over physical memory. */
@@ -118,8 +125,22 @@ class VmSystem
 
     const VmConfig &config() const { return cfg_; }
     FrameAllocator &allocator() { return allocator_; }
-    BackingStore &backingStore() { return store_; }
+    /** The tier's durable image plane (legacy accessor). */
+    BackingStore &backingStore() { return tier_.images(); }
+    /** The modeled memory-tier node behind demand paging. */
+    backing::MemoryTier &tier() { return tier_; }
     AddressSpace &space(Asid asid);
+
+    /**
+     * Arbitrate frame usage through @p budget: faults and occupancy
+     * are reported per address space (clients auto-register as
+     * "asidN"), and pageout prefers victims of over-grant spaces.
+     * Null detaches. The controller is not owned.
+     */
+    void setBudgetController(backing::BudgetController *budget)
+    {
+        budget_ = budget;
+    }
 
     /**
      * Install this VM system as @p controller's fault handler. The
@@ -196,6 +217,10 @@ class VmSystem
     const Counter &pageIns() const { return pageIns_; }
     const Counter &pageOuts() const { return pageOuts_; }
     const Counter &mapOps() const { return mapOps_; }
+    /** Page-ins that had to wait for eviction before allocating. */
+    const Counter &stalledPageIns() const { return stalledPageIns_; }
+    /** Total ns the miss path spent waiting on eviction. */
+    double evictionStallNs() const { return evictionStallNs_.value(); }
     void registerStats(StatGroup &group) const;
 
     /** Used by VmTranslator. */
@@ -212,6 +237,15 @@ class VmSystem
     /** Allocate (paging out if needed), fill and map a page. */
     void pageIn(proto::CacheController &ctl, Asid asid,
                 std::uint64_t vpn, Done done);
+    /** Flush, save to the tier and unmap one resident page (already
+     *  removed from the resident list). */
+    void evictPage(proto::CacheController &ctl,
+                   const ResidentPage &page, Addr pte_paddr,
+                   std::function<void(bool)> done);
+    /** Budget-controller client id of @p asid (registers lazily). */
+    std::uint32_t budgetClientOf(Asid asid);
+    void noteBudgetFault(Asid asid);
+    void noteBudgetUse(Asid asid, std::int32_t delta);
     /** Ensure the page-table page for <asid, vaddr> exists. */
     std::uint32_t ensurePtPage(Asid asid, Addr vaddr);
     /** Flush all cache frames of vm frame @p frame from all caches. */
@@ -225,7 +259,9 @@ class VmSystem
     mem::PhysMem &memory_;
     VmConfig cfg_;
     FrameAllocator allocator_;
-    BackingStore store_;
+    backing::MemoryTier tier_;
+    backing::BudgetController *budget_ = nullptr;
+    std::map<Asid, std::uint32_t> budgetClient_;
     std::map<Asid, AddressSpace> spaces_;
     std::deque<ResidentPage> resident_;
 
@@ -233,6 +269,8 @@ class VmSystem
     Counter pageIns_;
     Counter pageOuts_;
     Counter mapOps_;
+    Counter stalledPageIns_;
+    Scalar evictionStallNs_;
 };
 
 } // namespace vmp::vm

@@ -397,11 +397,11 @@ TEST(Reclaim, FullFlowMasksDrainsReclaimsAndRestores)
     EXPECT_EQ(monitor.table().get(3), ActionEntry::Ignore);
     EXPECT_EQ(monitor.table().get(5), ActionEntry::Ignore);
 
-    // One Protect frame reclaimed (lost + restored from the backing
-    // store), one Shared frame dropped silently.
+    // One Protect frame reclaimed and restored from the image store —
+    // nothing lost — and one Shared frame dropped silently.
     EXPECT_EQ(manager.framesReclaimed().value(), 1u);
     EXPECT_EQ(manager.sharedDropped().value(), 1u);
-    EXPECT_EQ(manager.pagesLost().value(), 1u);
+    EXPECT_EQ(manager.pagesLost().value(), 0u);
     EXPECT_EQ(manager.pagesRestored().value(), 1u);
     EXPECT_EQ(rig.bus.countOf(TxType::BoardMask).value(), 1u);
     EXPECT_EQ(rig.bus.countOf(TxType::Reclaim).value(), 1u);

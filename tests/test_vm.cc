@@ -191,14 +191,20 @@ TEST(BackingStore, StoreFetchDrop)
     EXPECT_EQ(store.latency(), usec(100));
     std::vector<std::uint8_t> page(vmPageBytes, 0xaa);
     store.store(3, 7, page);
-    const auto got = store.fetch(3, 7);
-    ASSERT_TRUE(got.has_value());
+    const auto *got = store.fetch(3, 7);
+    ASSERT_NE(got, nullptr);
     EXPECT_EQ((*got)[0], 0xaa);
-    EXPECT_FALSE(store.fetch(3, 8).has_value());
+    EXPECT_EQ(store.fetch(3, 8), nullptr);
     store.dropSpace(3);
-    EXPECT_FALSE(store.fetch(3, 7).has_value());
+    EXPECT_EQ(store.fetch(3, 7), nullptr);
     EXPECT_THROW(store.store(1, 1, std::vector<std::uint8_t>(10)),
                  PanicError);
+    // Counter exactness: one store, one successful fetch — misses and
+    // the rejected store count nothing (regression for the old
+    // fetch-by-value API and for tier batching double-counts).
+    EXPECT_EQ(store.stores().value(), 1u);
+    EXPECT_EQ(store.fetches().value(), 1u);
+    EXPECT_FALSE(store.contains(3, 7));
 }
 
 // ------------------------------------------------------ demand paging
@@ -493,8 +499,7 @@ TEST_F(VmFixture, DestroySpaceFlushesDirtyPagesToNowhere)
     events.run();
     ASSERT_TRUE(done);
     // The backing store holds nothing for the destroyed space.
-    EXPECT_FALSE(vm.backingStore().fetch(1, vpnOf(userBase))
-                     .has_value());
+    EXPECT_EQ(vm.backingStore().fetch(1, vpnOf(userBase)), nullptr);
     // No cache still owns the old frame (two-state invariant).
     EXPECT_EQ(ctl(0).frameInfo(0x0), nullptr);
 }
