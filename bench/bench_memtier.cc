@@ -42,6 +42,9 @@ namespace
 
 using namespace vmp;
 
+/** Bus-master id of the tier's drain DMA engine (clear of the CPUs). */
+constexpr std::uint32_t kDmaMaster = 64;
+
 /** Two-CPU paging rig (the bench_vm rig with a configurable tier). */
 struct VmRig
 {
@@ -51,6 +54,11 @@ struct VmRig
           vm(events, memory, vm_cfg)
     {
         translator.bind(vm);
+        // Async drains ride the bus model by default: page transfers
+        // go through a DMA engine and contend with miss traffic, as
+        // on the real machine. Mirror mode ignores the attachment.
+        if (vm_cfg.tier.mode == backing::TierMode::Async)
+            vm.tier().attachDma(bus, kDmaMaster);
         for (CpuId id = 0; id < 2; ++id) {
             caches.push_back(std::make_unique<cache::Cache>(
                 cache::CacheConfig{page_bytes, 4, 64, true}));

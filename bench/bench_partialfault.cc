@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Partial failures: detection latency and degraded-mode throughput
+ * when a board gets sick rather than dying cleanly. The paper's
+ * protocol assumes a monitor either services its FIFO or the board is
+ * gone; this bench quantifies the health-witness + fencing pipeline
+ * (PR: partial-failure model) against the three gray-failure modes it
+ * covers:
+ *
+ *   - a wedged monitor (service loop frozen, FIFO filling) one
+ *     simulated millisecond into a four-processor hot-sharing run;
+ *   - a babbling FIFO, swept across spurious-word rates;
+ *   - a fail-slow board, swept across service-latency inflation
+ *     factors.
+ *
+ * For each severity the bench reports how long the sick board stayed
+ * undetected (fence tick minus onset tick) and what aggregate
+ * throughput the surviving boards sustained behind the fence,
+ * normalized per board against the fault-free baseline.
+ *
+ * Acceptance (encoded in the exit status):
+ *   - zero missed detections: every injected partial failure is
+ *     fenced — the sick board, and only it, never a failstop
+ *     declaration, and never a baseline fence;
+ *   - detection latency at most 2 ms after onset for wedge and
+ *     babble; for fail-slow the budget grows modestly with the
+ *     inflation factor (each latency-EWMA sample arrives a factor
+ *     slower);
+ *   - zero post-fence single-owner violations and zero watchdog
+ *     trips everywhere;
+ *   - fenced-mode throughput per surviving board (measured over the
+ *     post-fence window only) at least 70% of the fault-free
+ *     per-board baseline.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "check/coherence_checker.hh"
+#include "core/system.hh"
+#include "fault/injector.hh"
+#include "recover/recovery.hh"
+#include "sim/debug.hh"
+#include "sim/stats.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace vmp;
+
+constexpr std::uint32_t kCpus = 4;
+constexpr std::uint64_t kRefsPerCpu = 12'000;
+constexpr std::uint32_t kVictim = kCpus - 1;
+constexpr Tick kOnset = msec(1);
+/** Acceptance bound on fence tick minus onset tick (wedge/babble). */
+constexpr Tick kDetectBudget = msec(2);
+/** Survivor-progress sampling period (fenced-throughput window). */
+constexpr Tick kSamplePeriod = usec(100);
+/** Hard stop for the sampler: guarantees the event queue drains even
+ *  if the survivors never hit their reference target. */
+constexpr Tick kSampleHorizon = msec(500);
+
+/** Seed base every run seed derives from (--seed-base; set in main). */
+std::uint64_t gSeedBase = 1000;
+
+/** One partial-failure severity (or the fault-free baseline). */
+struct Severity
+{
+    fault::FaultKind kind = fault::FaultKind::BusAbort; // == baseline
+    double rate = 0.0;         //!< babble words per observed tx
+    std::uint64_t factor = 0;  //!< fail-slow service inflation
+
+    bool faulted() const { return kind != fault::FaultKind::BusAbort; }
+
+    /** Detection-latency acceptance bound. Fail-slow detection needs
+     *  the sick board to complete a few service words — each arrives
+     *  a factor slower — so its budget grows with the inflation
+     *  factor, but stays tight enough to catch the witness being
+     *  starved until the run winds down (tens of ms). Babble
+     *  detection needs babbleSweeps consecutive over-threshold
+     *  windows, and the closer the injected rate sits to the 0.6
+     *  spurious-fraction threshold the more windows dip below it and
+     *  reset the strike count — so its budget grows as the rate
+     *  approaches the threshold from above. */
+    Tick
+    detectBudget() const
+    {
+        if (kind == fault::FaultKind::SlowBoard)
+            return kDetectBudget +
+                static_cast<Tick>(factor) * usec(50);
+        if (kind == fault::FaultKind::FifoBabble)
+            return kDetectBudget +
+                static_cast<Tick>((1.0 - rate) * 2e7);
+        return kDetectBudget;
+    }
+
+    std::string
+    label() const
+    {
+        std::ostringstream os;
+        switch (kind) {
+          case fault::FaultKind::MonitorWedge:
+            os << "wedge";
+            break;
+          case fault::FaultKind::FifoBabble:
+            os << "babble/" << rate;
+            break;
+          case fault::FaultKind::SlowBoard:
+            os << "slow/" << factor;
+            break;
+          default:
+            os << "baseline";
+            break;
+        }
+        return os.str();
+    }
+};
+
+/** One measured run (or a seed-average of runs). */
+struct Point
+{
+    core::RunResult run;
+    /** Aggregate survivor throughput (victim excluded), refs/sim-s. */
+    double survivorRefsPerSimSec = 0.0;
+    /** Survivor throughput measured behind the fence only (from the
+     *  first progress sample after the fence tick to the last). */
+    double fencedRefsPerSimSec = 0.0;
+    /** Mean fence tick minus onset tick; worst seed in detectMaxNs. */
+    double detectMeanNs = 0.0;
+    Tick detectMaxNs = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t fencedBoards = 0;
+    std::uint64_t victimFenced = 0;
+    std::uint64_t boardsDead = 0;
+    std::uint64_t falseSuspicions = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t sweepViolations = 0;
+    std::uint64_t watchdogTrips = 0;
+};
+
+Point
+runPoint(const Severity &sev, std::uint64_t seed)
+{
+    core::VmpConfig cfg;
+    cfg.processors = kCpus;
+    cfg.cache = cache::CacheConfig{256, 2, 16, true};
+    cfg.memBytes = MiB(1);
+    // Bound the fenced board's stranded in-flight access: survivors
+    // abandon retries against the quarantined owner after this long.
+    cfg.swTiming.deadOwnerTimeoutNs = msec(1);
+    core::VmpSystem system(cfg);
+
+    fault::FaultSchedule schedule;
+    schedule.seed = seed;
+    switch (sev.kind) {
+      case fault::FaultKind::MonitorWedge:
+        schedule.wedgeMonitor(kVictim, kOnset); // never clears
+        break;
+      case fault::FaultKind::FifoBabble:
+        schedule.babbleFifo(kVictim, kOnset, sev.rate);
+        break;
+      case fault::FaultKind::SlowBoard:
+        schedule.slowBoard(kVictim, kOnset, sev.factor);
+        break;
+      default:
+        break; // baseline: no schedule at all
+    }
+    fault::FaultInjector *injector = nullptr;
+    if (!schedule.empty())
+        injector = &system.enableFaultInjection(schedule);
+    auto &checker = system.enableCoherenceChecker();
+    recover::RecoveryConfig rc;
+    rc.detector.sweepPeriod = 32;
+    rc.detector.deadlineNs = 20'000;
+    auto &manager = system.enableRecovery(rc);
+    Point point;
+    system.setWatchdog(1'000, [&](const proto::WatchdogReport &) {
+        ++point.watchdogTrips;
+    });
+
+    const auto survivorRefsNow = [&system] {
+        std::uint64_t refs = 0;
+        for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+            if (cpu == kVictim)
+                continue;
+            const auto &cache = system.board(cpu).cache;
+            refs += cache.hits().value() + cache.misses().value();
+        }
+        return refs;
+    };
+
+    // Periodic survivor-progress samples, so degraded throughput can
+    // be measured over the post-fence window alone (the run aggregate
+    // also includes the pre-detection window, where a sick-but-alive
+    // owner drags everyone). The sampler stops itself once the
+    // survivors retire their traces so the event queue still drains.
+    struct Sample
+    {
+        Tick tick;
+        std::uint64_t refs;
+    };
+    std::vector<Sample> samples;
+    std::function<void()> sampler = [&] {
+        const std::uint64_t refs = survivorRefsNow();
+        samples.push_back({system.events().now(), refs});
+        if (refs < std::uint64_t{kCpus - 1} * kRefsPerCpu &&
+            system.events().now() < kSampleHorizon)
+            system.events().scheduleIn(kSamplePeriod, sampler,
+                                       "bench-sample");
+    };
+    if (sev.faulted())
+        system.events().schedule(kOnset, sampler, "bench-sample");
+
+    std::vector<std::unique_ptr<trace::SyntheticGen>> gens;
+    std::vector<trace::RefSource *> sources;
+    for (std::uint32_t i = 0; i < kCpus; ++i) {
+        // atum3: hot sharing, so the witness sweep sees steady
+        // consistency traffic and stranded accesses surface fast.
+        auto workload = trace::workloadConfig("atum3");
+        workload.totalRefs = kRefsPerCpu;
+        workload.seed = seed * 1000 + i;
+        gens.push_back(
+            std::make_unique<trace::SyntheticGen>(workload));
+        sources.push_back(gens.back().get());
+    }
+
+    point.run = system.runTraces(sources);
+
+    const std::uint64_t survivorRefs = survivorRefsNow();
+    point.survivorRefsPerSimSec = point.run.elapsed == 0
+        ? 0.0
+        : static_cast<double>(survivorRefs) /
+            (static_cast<double>(point.run.elapsed) * 1e-9);
+
+    if (injector != nullptr)
+        point.injected = injector->injected(sev.kind).value();
+    point.fencedBoards = manager.fencedBoards();
+    point.victimFenced = manager.isFenced(kVictim) ? 1 : 0;
+    point.boardsDead = manager.boardsDeclaredDead().value();
+    point.falseSuspicions =
+        manager.detector().falseSuspicions().value();
+    if (sev.faulted() && manager.lastFenceAt() >= kOnset) {
+        const Tick latency = manager.lastFenceAt() - kOnset;
+        point.detectMeanNs = static_cast<double>(latency);
+        point.detectMaxNs = latency;
+
+        // Fenced-mode throughput: from the first sample at or after
+        // the fence tick to the last sample that still saw progress
+        // (trailing idle samples would dilute the rate).
+        const Tick fenceAt = manager.lastFenceAt();
+        std::size_t i0 = samples.size();
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            if (samples[i].tick >= fenceAt) {
+                i0 = i;
+                break;
+            }
+        }
+        std::size_t i1 = i0;
+        for (std::size_t i = i0 + 1; i < samples.size(); ++i)
+            if (samples[i].refs > samples[i - 1].refs)
+                i1 = i;
+        if (i1 > i0 && samples[i1].tick > samples[i0].tick)
+            point.fencedRefsPerSimSec =
+                static_cast<double>(samples[i1].refs -
+                                    samples[i0].refs) /
+                (static_cast<double>(samples[i1].tick -
+                                     samples[i0].tick) * 1e-9);
+    }
+
+    if (sev.faulted()) {
+        // The victim stays fenced (its monitor is masked), so a full
+        // quiesce is impossible; the owners sweep checks the
+        // single-owner invariant over the surviving boards.
+        point.sweepViolations = checker.checkOwnersSweep();
+    } else {
+        system.attachIdleServicers();
+        for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+            system.controller(cpu).serviceInterrupts([] {});
+            system.events().run();
+        }
+        point.sweepViolations = checker.checkFull();
+    }
+    point.violations = checker.violations().value();
+    return point;
+}
+
+/** Average one severity over several seeds (counters summed, rates
+ *  and latencies meaned; detectMaxNs is the worst seed). */
+Point
+runAveragedPoint(const Severity &sev, std::uint64_t seeds = 3)
+{
+    Point mean;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+        Point p = runPoint(sev, gSeedBase + s);
+        mean.run = p.run; // representative (last seed) run summary
+        mean.survivorRefsPerSimSec +=
+            p.survivorRefsPerSimSec / static_cast<double>(seeds);
+        mean.fencedRefsPerSimSec +=
+            p.fencedRefsPerSimSec / static_cast<double>(seeds);
+        mean.detectMeanNs +=
+            p.detectMeanNs / static_cast<double>(seeds);
+        mean.detectMaxNs = std::max(mean.detectMaxNs, p.detectMaxNs);
+        mean.injected += p.injected;
+        mean.fencedBoards += p.fencedBoards;
+        mean.victimFenced += p.victimFenced;
+        mean.boardsDead += p.boardsDead;
+        mean.falseSuspicions += p.falseSuspicions;
+        mean.violations += p.violations;
+        mean.sweepViolations += p.sweepViolations;
+        mean.watchdogTrips += p.watchdogTrips;
+    }
+    return mean;
+}
+
+Json
+pointMetrics(const Point &point)
+{
+    Json metrics = bench::runResultJson(point.run);
+    metrics["survivor_refs_per_sim_s"] =
+        Json(point.survivorRefsPerSimSec);
+    metrics["fenced_refs_per_sim_s"] =
+        Json(point.fencedRefsPerSimSec);
+    metrics["detect_latency_us"] = Json(point.detectMeanNs * 1e-3);
+    metrics["detect_latency_max_us"] =
+        Json(toUsec(point.detectMaxNs));
+    metrics["injected"] = Json(point.injected);
+    metrics["boards_fenced"] = Json(point.fencedBoards);
+    metrics["boards_declared_dead"] = Json(point.boardsDead);
+    metrics["false_suspicions"] = Json(point.falseSuspicions);
+    metrics["violations"] =
+        Json(point.violations + point.sweepViolations);
+    metrics["watchdog_trips"] = Json(point.watchdogTrips);
+    return metrics;
+}
+
+Json
+pointConfig(const Severity &sev)
+{
+    Json config = Json::object();
+    config["mode"] = Json(sev.label());
+    config["processors"] = Json(std::uint64_t{kCpus});
+    config["refs_per_cpu"] = Json(kRefsPerCpu);
+    config["onset_us"] = Json(sev.faulted() ? toUsec(kOnset) : 0.0);
+    if (sev.kind == fault::FaultKind::FifoBabble)
+        config["babble_rate"] = Json(sev.rate);
+    if (sev.kind == fault::FaultKind::SlowBoard)
+        config["slow_factor"] = Json(sev.factor);
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmp;
+    debug::initFromEnvironment(); // VMP_DEBUG=Recover traces fencing
+    const auto opts =
+        bench::parseBenchOptions("partialfault", argc, argv);
+    gSeedBase = opts.seedBase;
+    bench::Artifact artifact("partialfault", opts);
+
+    bench::banner("Partial failures",
+                  "detection latency and fenced-mode throughput for "
+                  "wedged / babbling / fail-slow boards (4 CPUs, "
+                  "atum3, checker armed)");
+
+    // Baseline first, then every severity: the wedge (binary), the
+    // babble-rate curve, and the fail-slow factor curve. Babble rates
+    // bracket the witness threshold from above; slow factors start at
+    // the smallest inflation the default EWMA gate can see.
+    std::vector<Severity> severities;
+    severities.push_back({}); // baseline
+    severities.push_back({fault::FaultKind::MonitorWedge, 0.0, 0});
+    for (const double rate : {0.7, 0.8, 0.95})
+        severities.push_back({fault::FaultKind::FifoBabble, rate, 0});
+    for (const std::uint64_t factor : {32ull, 64ull, 128ull})
+        severities.push_back(
+            {fault::FaultKind::SlowBoard, 0.0, factor});
+
+    TableWriter table("Detection latency and degraded throughput");
+    table.columns({"Severity", "Detect us", "Worst us", "Fenced",
+                   "Dead", "refs/s surv", "refs/s fenced",
+                   "Violations"});
+
+    std::vector<Point> points;
+    for (const Severity &sev : severities) {
+        const Point point = runAveragedPoint(sev);
+        points.push_back(point);
+        table.row()
+            .cell(sev.label())
+            .cell(point.detectMeanNs * 1e-3, 1)
+            .cell(toUsec(point.detectMaxNs), 1)
+            .cell(point.fencedBoards)
+            .cell(point.boardsDead)
+            .cell(point.survivorRefsPerSimSec, 0)
+            .cell(point.fencedRefsPerSimSec, 0)
+            .cell(point.violations + point.sweepViolations);
+        artifact.add("severity/" + sev.label(), pointConfig(sev),
+                     pointMetrics(point));
+    }
+    table.print(std::cout);
+
+    // ------------------------------------------------- acceptance
+    bool pass = true;
+    const auto fail = [&pass](const std::string &what) {
+        std::cout << "[acceptance] FAIL: " << what << "\n";
+        pass = false;
+    };
+
+    const Point &baseline = points[0];
+    for (std::size_t i = 0; i < severities.size(); ++i) {
+        const Severity &sev = severities[i];
+        const Point &p = points[i];
+        const std::string at = " at " + sev.label();
+        if (p.violations != 0 || p.sweepViolations != 0)
+            fail("invariant violations" + at);
+        if (p.watchdogTrips != 0)
+            fail("watchdog tripped" + at);
+        if (p.boardsDead != 0)
+            fail("partial failure escalated to a failstop "
+                 "declaration" + at);
+        if (!sev.faulted())
+            continue;
+        // Zero missed detections: each of the 3 seeds injected the
+        // fault and fenced the sick board — and only it.
+        if (p.injected == 0)
+            fail("schedule never fired" + at);
+        if (p.fencedBoards != 3 || p.victimFenced != 3)
+            fail("missed detection (" +
+                 std::to_string(p.victimFenced) +
+                 "/3 seeds fenced the sick board)" + at);
+        if (p.detectMaxNs > sev.detectBudget())
+            fail("detection latency " +
+                 std::to_string(toUsec(p.detectMaxNs)) +
+                 " us over the " +
+                 std::to_string(toUsec(sev.detectBudget())) +
+                 " us budget" + at);
+    }
+    if (baseline.fencedBoards != 0)
+        fail("baseline fenced a healthy board");
+
+    // Fenced-mode throughput: survivors behind the fence sustain at
+    // least 70% of the fault-free per-board rate.
+    const double perBoardBaseline =
+        baseline.survivorRefsPerSimSec / (kCpus - 1);
+    if (perBoardBaseline <= 0.0) {
+        fail("fault-free throughput is zero");
+    } else {
+        for (std::size_t i = 0; i < severities.size(); ++i) {
+            if (!severities[i].faulted())
+                continue;
+            const double perBoard =
+                points[i].fencedRefsPerSimSec / (kCpus - 1);
+            const double frac = perBoard / perBoardBaseline;
+            std::cout << "[acceptance] " << severities[i].label()
+                      << " fenced-mode throughput: " << frac * 100
+                      << "% of fault-free per board\n";
+            if (frac < 0.70)
+                fail("fenced-mode throughput below 70% of "
+                     "fault-free at " + severities[i].label());
+        }
+    }
+
+    artifact.note("acceptance: every partial failure fenced (never "
+                  "declared dead) within budget — 2 ms of onset for "
+                  "wedge/babble, factor-scaled for fail-slow; zero "
+                  "violations and watchdog trips; post-fence survivor "
+                  "throughput >=70% of fault-free per board");
+    artifact.note("seed_base " + std::to_string(gSeedBase) +
+                  " (--seed-base; seed_sweep.py aggregates)");
+    artifact.note(pass ? "acceptance: PASS" : "acceptance: FAIL");
+    artifact.write();
+    std::cout << (pass ? "[acceptance] PASS\n" : "[acceptance] FAIL\n");
+    return pass ? 0 : 1;
+}

@@ -47,8 +47,13 @@ inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
  *  added the memory-tier bench (bench_memtier) with its "backing.tier"
  *  and "backing.budget" stat groups, the seed-sweep aggregate emitted
  *  by scripts/seed_sweep.py (mean/ci95 columns over --seed-base runs),
- *  and the checkpoint-enabled bench_recover point. */
-inline constexpr double kArtifactSchemaVersion = 1.5;
+ *  and the checkpoint-enabled bench_recover point. v1.6 added the
+ *  partial-failure bench (bench_partialfault: detection latency and
+ *  fenced-mode survivor throughput across wedge/babble/fail-slow
+ *  severities) and the fencing counters in the "recovery" stat group
+ *  (boards_fenced / boards_unfenced, wedge/babble/slow suspicion and
+ *  stuck-table escalation counters). */
+inline constexpr double kArtifactSchemaVersion = 1.6;
 
 /** Build-time git revision (configure-time snapshot; "unknown" when
  *  the build tree was configured outside a git checkout). */

@@ -251,7 +251,87 @@ HierVmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
                 rejoinBoard(crash.board, crash.rejoinAt);
         }
     }
+    // Partial failures (wedge/stuck/slow) are likewise time-driven;
+    // babble is opportunity-driven through the injectFifoBabble seam.
+    for (const auto &part : injector_->schedule().partials)
+        armPartialFault(part);
     return *injector_;
+}
+
+void
+HierVmpSystem::armPartialFault(const fault::PartialFaultSpec &spec)
+{
+    if (spec.interBus) {
+        // Wedged-IBC variant: the bridge's service pump stops draining
+        // both FIFOs while its global monitor keeps aborting.
+        if (spec.kind != fault::FaultKind::MonitorWedge)
+            fatal("hier: only wedgeInterBus() partial faults target "
+                  "inter-bus boards");
+        if (spec.board >= cfg_.clusters)
+            fatal("hier: wedgeInterBus(", spec.board, ") out of range");
+        const std::uint32_t k = spec.board;
+        events_.schedule(spec.at, [this, k] {
+            hier::InterBusBoard &ibc = clusters_[k]->ibc;
+            if (ibc.dead())
+                return;
+            VMP_DTRACE(debug::Fault, events_.now(), "cluster ", k,
+                       " inter-bus board wedged");
+            ibc.setWedged(true);
+            injector_->notePartialFault(fault::FaultKind::MonitorWedge);
+        }, "partial-fault");
+        if (spec.clearAt != 0) {
+            events_.schedule(spec.clearAt, [this, k] {
+                clusters_[k]->ibc.setWedged(false);
+            }, "partial-clear");
+        }
+        return;
+    }
+    if (spec.board >= cfg_.totalCpus())
+        fatal("hier: partial fault on board ", spec.board,
+              " out of range");
+    if (spec.kind == fault::FaultKind::FifoBabble)
+        return; // drawn per bus transaction inside the injector
+    const std::uint32_t cpu = spec.board;
+    events_.schedule(spec.at, [this, cpu, spec] {
+        ProcessorBoard &b = board(cpu);
+        if (b.controller.dead())
+            return;
+        VMP_DTRACE(debug::Fault, events_.now(), "board ", cpu,
+                   " partial fault onset: ",
+                   fault::faultKindName(spec.kind));
+        switch (spec.kind) {
+        case fault::FaultKind::MonitorWedge:
+            b.controller.setWedged(true);
+            break;
+        case fault::FaultKind::ActionTableStuck:
+            b.monitor.setTableStuck(true);
+            break;
+        case fault::FaultKind::SlowBoard:
+            b.controller.setServiceSlowdown(spec.factor);
+            break;
+        default:
+            fatal("hier: unexpected partial fault kind");
+        }
+        injector_->notePartialFault(spec.kind);
+    }, "partial-fault");
+    if (spec.clearAt == 0)
+        return;
+    events_.schedule(spec.clearAt, [this, cpu, spec] {
+        ProcessorBoard &b = board(cpu);
+        switch (spec.kind) {
+        case fault::FaultKind::MonitorWedge:
+            b.controller.setWedged(false);
+            break;
+        case fault::FaultKind::ActionTableStuck:
+            b.monitor.setTableStuck(false);
+            break;
+        case fault::FaultKind::SlowBoard:
+            b.controller.setServiceSlowdown(1);
+            break;
+        default:
+            break;
+        }
+    }, "partial-clear");
 }
 
 obs::EventTracer &
@@ -309,6 +389,7 @@ HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
             events_, cluster.bus, cluster.image, options);
         for (std::uint32_t i = 0; i < cfg_.cpusPerCluster; ++i) {
             auto *controller = &cluster.boards[i]->controller;
+            auto *monitor = &cluster.boards[i]->monitor;
             const auto cpu =
                 static_cast<std::uint32_t>(k * cfg_.cpusPerCluster + i);
             manager->addBoard(cpu, cluster.boards[i]->monitor,
@@ -316,7 +397,49 @@ HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
                                   return !controller->dead();
                               });
             controller->setDeadOwnerOracle(manager.get());
+            manager->detector().setHealthFn(
+                cpu, [controller, monitor] {
+                    recover::HealthReport report;
+                    report.alive = !controller->dead();
+                    report.responsive =
+                        !controller->dead() && !controller->wedged();
+                    report.progressEpoch = controller->serviceEpoch();
+                    report.pendingWords =
+                        monitor->fifo().size() +
+                        (monitor->fifo().overflowed() ? 1 : 0);
+                    report.wordsServiced =
+                        controller->wordsServiced().value();
+                    report.spuriousWords =
+                        controller->spuriousWords().value();
+                    report.serviceBusyNs =
+                        controller->serviceCpuTicks();
+                    report.fifoPushed =
+                        monitor->fifo().pushed().value();
+                    return report;
+                });
         }
+        // Quarantine hooks mirror the flat system's: park the fenced
+        // CPU's reference stream, cold-restart on unfence.
+        manager->setFenceHooks(
+            [this](std::uint32_t cpu) {
+                if (cpu < activeCpus_.size() &&
+                    activeCpus_[cpu] != nullptr) {
+                    activeCpus_[cpu]->requestFailstop();
+                }
+            },
+            [this](std::uint32_t cpu) {
+                ProcessorBoard &b = board(cpu);
+                while (b.monitor.fifo().pop().has_value()) {
+                }
+                b.monitor.fifo().clearOverflow();
+                if (!b.controller.dead())
+                    b.controller.failstop();
+                b.controller.rejoin();
+                if (cpu < activeCpus_.size() &&
+                    activeCpus_[cpu] != nullptr) {
+                    activeCpus_[cpu]->resume();
+                }
+            });
         auto *ibc = &cluster.ibc;
         manager->addBridge(ibc->localMasterId(),
                            [ibc] { return !ibc->dead(); });
@@ -341,6 +464,23 @@ HierVmpSystem::enableRecovery(recover::RecoveryConfig options)
         globalRecovery_->addBoard(ibc->clusterIndex(),
                                   ibc->globalMonitor(),
                                   [ibc] { return !ibc->dead(); });
+        // Wedged-IBC witness: a wedged pump answers alive but its
+        // progress epoch freezes while words pend. No latency or
+        // babble witness for bridges (serviceBusyNs stays 0).
+        globalRecovery_->detector().setHealthFn(
+            ibc->clusterIndex(), [ibc] {
+                recover::HealthReport report;
+                report.alive = !ibc->dead();
+                report.responsive = !ibc->dead() && !ibc->wedged();
+                report.progressEpoch = ibc->serviceEpoch();
+                report.pendingWords = ibc->pendingWords();
+                report.wordsServiced = ibc->wordsLocal().value() +
+                    ibc->wordsGlobal().value();
+                report.spuriousWords = ibc->spuriousWords().value();
+                report.fifoPushed =
+                    ibc->globalMonitor().fifo().pushed().value();
+                return report;
+            });
     }
     globalRecovery_->setPostReclaimHook([this] {
         if (globalChecker_)
@@ -384,6 +524,32 @@ HierVmpSystem::enableFrameCheckpoint(Asid asid)
     if (globalRecovery_)
         globalRecovery_->setBackingStore(globalCheckpointStore_.get(),
                                          asid);
+}
+
+backing::BudgetController &
+HierVmpSystem::enableClusterBudget(backing::BudgetConfig config)
+{
+    if (budget_)
+        fatal("hier: cluster budget enabled twice");
+    if (config.totalFrames == 0) {
+        config.totalFrames = static_cast<std::uint32_t>(
+            cfg_.memBytes / cfg_.cache.pageBytes);
+    }
+    budget_ = std::make_unique<backing::BudgetController>(events_,
+                                                          config);
+    for (std::uint32_t k = 0; k < cfg_.clusters; ++k) {
+        const std::uint32_t client =
+            budget_->addClient("cluster" + std::to_string(k));
+        auto *controller = budget_.get();
+        clusters_[k]->ibc.setBudgetClient(
+            [controller, client] { controller->noteFault(client); },
+            [controller, client](std::int32_t delta) {
+                controller->noteUse(client, delta);
+            });
+    }
+    // Deliberately not start()ed: unarmed epochs would add recurring
+    // events (and the run would never drain). Callers opt in.
+    return *budget_;
 }
 
 recover::RecoveryManager &

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "backing/budget.hh"
 #include "core/system.hh"
 #include "hier/inter_bus_board.hh"
 
@@ -229,6 +230,21 @@ class HierVmpSystem
     void killInterBusBoard(std::uint32_t cluster, Tick at);
 
     /**
+     * Register every cluster's inter-bus board as a client of one
+     * machine-wide memory-budget controller: the cluster's global-
+     * shadow footprint is its occupancy and its global fetch/upgrade
+     * completions are its fault pressure. @p config.totalFrames of 0
+     * defaults to the main-memory frame count. The recurring epoch is
+     * NOT started — call start() (or rebalance() manually) so that
+     * unarmed runs stay event-free. At most once.
+     */
+    backing::BudgetController &
+    enableClusterBudget(backing::BudgetConfig config = {});
+
+    /** The cluster budget controller, or null if none installed. */
+    backing::BudgetController *clusterBudget() { return budget_.get(); }
+
+    /**
      * Full sweep on every installed checker (quiescence only).
      * @return violations found by this sweep, summed over checkers.
      */
@@ -252,6 +268,8 @@ class HierVmpSystem
 
     /** Rejoin body (defers itself while the cluster is reclaiming). */
     void doRejoin(std::uint32_t cpu);
+    /** Turn one scheduled partial-failure spec into onset/clear events. */
+    void armPartialFault(const fault::PartialFaultSpec &spec);
 
     HierConfig cfg_;
     EventQueue events_;
@@ -273,6 +291,7 @@ class HierVmpSystem
         clusterCheckpointers_;
     std::unique_ptr<backing::PageStore> globalCheckpointStore_;
     std::unique_ptr<backing::FrameCheckpointer> globalCheckpointer_;
+    std::unique_ptr<backing::BudgetController> budget_;
     std::unique_ptr<obs::EventTracer> tracer_;
     std::unique_ptr<obs::MissProfiler> profiler_;
     /** Track id recovery events land on (valid while tracer_ != null). */

@@ -192,7 +192,72 @@ VmpSystem::enableFaultInjection(const fault::FaultSchedule &schedule)
         if (crash.rejoinAt != 0)
             rejoinBoard(crash.board, crash.rejoinAt);
     }
+    // Partial failures (wedge/stuck/slow) are likewise time-driven;
+    // babble is opportunity-driven through the injectFifoBabble seam
+    // and needs no event here.
+    for (const auto &part : injector_->schedule().partials)
+        armPartialFault(part);
     return *injector_;
+}
+
+void
+VmpSystem::armPartialFault(const fault::PartialFaultSpec &spec)
+{
+    if (spec.interBus) {
+        fatal("system: wedgeInterBus() on a flat (single-bus) "
+              "system");
+    }
+    if (spec.board >= boards_.size())
+        fatal("system: partial fault on board ", spec.board,
+              " out of range");
+    if (spec.kind == fault::FaultKind::FifoBabble)
+        return; // drawn per bus transaction inside the injector
+    const std::uint32_t index = spec.board;
+    events_.schedule(spec.at, [this, index, spec] {
+        ProcessorBoard &board = *boards_[index];
+        if (board.controller.dead())
+            return;
+        VMP_DTRACE(debug::Fault, events_.now(), "board ", index,
+                   " partial fault onset: ",
+                   fault::faultKindName(spec.kind));
+        switch (spec.kind) {
+        case fault::FaultKind::MonitorWedge:
+            // Service loop stops draining; CPU and monitor hardware
+            // keep running against the rotting FIFO/table.
+            board.controller.setWedged(true);
+            break;
+        case fault::FaultKind::ActionTableStuck:
+            board.monitor.setTableStuck(true);
+            break;
+        case fault::FaultKind::SlowBoard:
+            board.controller.setServiceSlowdown(spec.factor);
+            break;
+        default:
+            fatal("system: unexpected partial fault kind");
+        }
+        injector_->notePartialFault(spec.kind);
+    }, "partial-fault");
+    if (spec.clearAt == 0)
+        return;
+    events_.schedule(spec.clearAt, [this, index, spec] {
+        ProcessorBoard &board = *boards_[index];
+        switch (spec.kind) {
+        case fault::FaultKind::MonitorWedge:
+            board.controller.setWedged(false);
+            break;
+        case fault::FaultKind::ActionTableStuck:
+            board.monitor.setTableStuck(false);
+            break;
+        case fault::FaultKind::SlowBoard:
+            board.controller.setServiceSlowdown(1);
+            break;
+        default:
+            break;
+        }
+        VMP_DTRACE(debug::Fault, events_.now(), "board ", index,
+                   " partial fault cleared: ",
+                   fault::faultKindName(spec.kind));
+    }, "partial-clear");
 }
 
 obs::EventTracer &
@@ -233,11 +298,58 @@ VmpSystem::enableRecovery(recover::RecoveryConfig options)
         recovery_->setTracer(tracer_.get(), recoverTrack_);
     for (std::size_t i = 0; i < boards_.size(); ++i) {
         auto *controller = &boards_[i]->controller;
+        auto *monitor = &boards_[i]->monitor;
         recovery_->addBoard(static_cast<std::uint32_t>(i),
                             boards_[i]->monitor,
                             [controller] { return !controller->dead(); });
         controller->setDeadOwnerOracle(recovery_.get());
+        // Health witness: the probe channel the detector's partial-
+        // failure witnesses read. A wedged service loop still answers
+        // alive (the hazard) but stops being responsive and freezes
+        // its progress epoch.
+        recovery_->detector().setHealthFn(
+            static_cast<std::uint32_t>(i), [controller, monitor] {
+                recover::HealthReport report;
+                report.alive = !controller->dead();
+                report.responsive =
+                    !controller->dead() && !controller->wedged();
+                report.progressEpoch = controller->serviceEpoch();
+                report.pendingWords =
+                    monitor->fifo().size() +
+                    (monitor->fifo().overflowed() ? 1 : 0);
+                report.wordsServiced =
+                    controller->wordsServiced().value();
+                report.spuriousWords =
+                    controller->spuriousWords().value();
+                report.serviceBusyNs = controller->serviceCpuTicks();
+                report.fifoPushed = monitor->fifo().pushed().value();
+                return report;
+            });
     }
+    // Quarantine hooks: park stops the fenced board's reference
+    // stream; resync cold-restarts its controller software after an
+    // unfence (monitor already unmasked over a clean table).
+    recovery_->setFenceHooks(
+        [this](std::uint32_t master) {
+            if (master < activeCpus_.size() &&
+                activeCpus_[master] != nullptr) {
+                activeCpus_[master]->requestFailstop();
+            }
+        },
+        [this](std::uint32_t master) {
+            ProcessorBoard &board = *boards_[master];
+            // Babble pushed through the masked window: start empty.
+            while (board.monitor.fifo().pop().has_value()) {
+            }
+            board.monitor.fifo().clearOverflow();
+            if (!board.controller.dead())
+                board.controller.failstop();
+            board.controller.rejoin();
+            if (master < activeCpus_.size() &&
+                activeCpus_[master] != nullptr) {
+                activeCpus_[master]->resume();
+            }
+        });
     // Checker may be installed before or after: resolve at sweep time.
     recovery_->setPostReclaimHook([this] {
         if (checker_)

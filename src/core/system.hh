@@ -275,6 +275,8 @@ class VmpSystem
   private:
     /** Rejoin body (defers itself while a reclaim is in flight). */
     void doRejoin(std::uint32_t index);
+    /** Turn one scheduled partial-failure spec into onset/clear events. */
+    void armPartialFault(const fault::PartialFaultSpec &spec);
 
     VmpConfig cfg_;
     EventQueue events_;

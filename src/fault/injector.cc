@@ -17,8 +17,26 @@ faultKindName(FaultKind kind)
       case FaultKind::InterruptDelay: return "interrupt-delay";
       case FaultKind::DmaBurst: return "dma-burst";
       case FaultKind::BoardCrash: return "board-crash";
+      case FaultKind::MonitorWedge: return "monitor-wedge";
+      case FaultKind::FifoBabble: return "fifo-babble";
+      case FaultKind::ActionTableStuck: return "action-table-stuck";
+      case FaultKind::SlowBoard: return "slow-board";
     }
     return "?";
+}
+
+bool
+isPartialFaultKind(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::MonitorWedge:
+      case FaultKind::FifoBabble:
+      case FaultKind::ActionTableStuck:
+      case FaultKind::SlowBoard:
+        return true;
+      default:
+        return false;
+    }
 }
 
 FaultSchedule &
@@ -125,11 +143,96 @@ FaultSchedule::rejoinAt(Tick t)
     return *this;
 }
 
+FaultSchedule &
+FaultSchedule::appendPartial(PartialFaultSpec spec)
+{
+    partials.push_back(spec);
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::wedgeMonitor(std::uint32_t board, Tick at)
+{
+    PartialFaultSpec spec;
+    spec.kind = FaultKind::MonitorWedge;
+    spec.board = board;
+    spec.at = at;
+    return appendPartial(spec);
+}
+
+FaultSchedule &
+FaultSchedule::wedgeInterBus(std::uint32_t cluster, Tick at)
+{
+    PartialFaultSpec spec;
+    spec.kind = FaultKind::MonitorWedge;
+    spec.board = cluster;
+    spec.at = at;
+    spec.interBus = true;
+    return appendPartial(spec);
+}
+
+FaultSchedule &
+FaultSchedule::babbleFifo(std::uint32_t board, Tick at, double rate)
+{
+    if (rate <= 0.0 || rate > 1.0)
+        fatal("babble rate ", rate, " outside (0, 1]");
+    PartialFaultSpec spec;
+    spec.kind = FaultKind::FifoBabble;
+    spec.board = board;
+    spec.at = at;
+    spec.rate = rate;
+    return appendPartial(spec);
+}
+
+FaultSchedule &
+FaultSchedule::stickActionTable(std::uint32_t board, Tick at)
+{
+    PartialFaultSpec spec;
+    spec.kind = FaultKind::ActionTableStuck;
+    spec.board = board;
+    spec.at = at;
+    return appendPartial(spec);
+}
+
+FaultSchedule &
+FaultSchedule::slowBoard(std::uint32_t board, Tick at,
+                         std::uint64_t factor)
+{
+    if (factor < 2)
+        fatal("slow-board factor ", factor, " does not slow anything");
+    PartialFaultSpec spec;
+    spec.kind = FaultKind::SlowBoard;
+    spec.board = board;
+    spec.at = at;
+    spec.factor = factor;
+    return appendPartial(spec);
+}
+
+FaultSchedule &
+FaultSchedule::clearAt(Tick t)
+{
+    if (partials.empty())
+        fatal("FaultSchedule::clearAt() with no partial failure to "
+              "modify");
+    if (t <= partials.back().at)
+        fatal("clear tick ", t, " not after onset tick ",
+              partials.back().at);
+    partials.back().clearAt = t;
+    return *this;
+}
+
 bool
 FaultSchedule::arms(FaultKind kind) const
 {
     if (kind == FaultKind::BoardCrash)
         return !crashes.empty();
+    if (isPartialFaultKind(kind)) {
+        for (const PartialFaultSpec &spec : partials) {
+            if (spec.kind == kind)
+                return true;
+        }
+        return false;
+    }
     for (const FaultSpec &spec : specs) {
         if (spec.kind == kind &&
             (spec.probability > 0.0 || spec.every > 0)) {
@@ -162,6 +265,14 @@ FaultInjector::FaultInjector(EventQueue &events, FaultSchedule schedule)
         arms_[kind].push_back(Arm{spec.probability, spec.every,
                                   spec.notBefore, spec.notAfter,
                                   spec.delayNs});
+    }
+    for (const PartialFaultSpec &spec : schedule_.partials) {
+        if (!isPartialFaultKind(spec.kind))
+            fatal("non-partial FaultKind ",
+                  static_cast<std::size_t>(spec.kind),
+                  " in partial-failure schedule");
+        if (spec.kind == FaultKind::FifoBabble)
+            babbles_.push_back(spec);
     }
 }
 
@@ -225,6 +336,46 @@ FaultInjector::noteBoardCrash()
     ++opportunities_[index];
     ++injected_[index];
     VMP_DTRACE(debug::Fault, events_.now(), "fire board-crash");
+}
+
+void
+FaultInjector::notePartialFault(FaultKind kind)
+{
+    if (!isPartialFaultKind(kind))
+        fatal("notePartialFault() with non-partial kind ",
+              static_cast<std::size_t>(kind));
+    const auto index = static_cast<std::size_t>(kind);
+    ++opportunities_[index];
+    ++injected_[index];
+    VMP_DTRACE(debug::Fault, events_.now(), "arm ",
+               faultKindName(kind));
+}
+
+std::uint32_t
+FaultInjector::injectFifoBabble(std::uint32_t owner)
+{
+    // Fast path for schedules with no babble specs: no counter churn,
+    // no randomness — bit-identical to a run without the hook.
+    if (babbles_.empty())
+        return 0;
+    const auto index = static_cast<std::size_t>(FaultKind::FifoBabble);
+    const Tick now = events_.now();
+    std::uint32_t words = 0;
+    for (const PartialFaultSpec &spec : babbles_) {
+        if (spec.board != owner)
+            continue;
+        ++opportunities_[index];
+        if (now < spec.at ||
+            (spec.clearAt != 0 && now >= spec.clearAt))
+            continue;
+        if (rng_.chance(spec.rate)) {
+            ++injected_[index];
+            ++words;
+            VMP_DTRACE(debug::Fault, now, "babble word on board ",
+                       owner);
+        }
+    }
+    return words;
 }
 
 bool
@@ -324,6 +475,14 @@ FaultInjector::registerStats(StatGroup &group) const
                      injected_[5]);
     group.addCounter("board_crashes", "board failstops executed",
                      injected_[6]);
+    group.addCounter("monitor_wedges", "service-loop wedges armed",
+                     injected_[7]);
+    group.addCounter("babble_words", "garbage FIFO words fabricated",
+                     injected_[8]);
+    group.addCounter("table_stucks", "action tables stuck",
+                     injected_[9]);
+    group.addCounter("slow_boards", "board slowdowns armed",
+                     injected_[10]);
 }
 
 } // namespace vmp::fault

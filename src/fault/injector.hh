@@ -51,9 +51,17 @@ enum class FaultKind : std::uint8_t
     InterruptDelay = 4, //!< interrupt line raised late
     DmaBurst = 5,       //!< unsolicited DMA write fired mid-run
     BoardCrash = 6,     //!< processor board failstopped mid-run
+    // Partial failures (boards that are sick rather than silent):
+    MonitorWedge = 7,     //!< service loop stops draining its FIFO
+    FifoBabble = 8,       //!< FIFO fabricates garbage interrupt words
+    ActionTableStuck = 9, //!< action-table updates silently dropped
+    SlowBoard = 10,       //!< interrupt-service latency inflated Nx
 };
 
-inline constexpr std::size_t kFaultKinds = 7;
+inline constexpr std::size_t kFaultKinds = 11;
+
+/** True for the per-board partial-failure kinds (time-driven specs). */
+bool isPartialFaultKind(FaultKind kind);
 
 const char *faultKindName(FaultKind kind);
 
@@ -93,6 +101,33 @@ struct BoardCrashSpec
 };
 
 /**
+ * One scheduled partial failure of one board. Like board crashes these
+ * are *time*-driven: the system executing the schedule arms the
+ * board's seam at tick `at` (and clears it at `clearAt`, if set) and
+ * calls FaultInjector::notePartialFault for the accounting. The one
+ * opportunity-driven member is FifoBabble's `rate`: while the window
+ * is open the board's monitor asks the injector, once per observed bus
+ * transaction, whether to fabricate a garbage word.
+ */
+struct PartialFaultSpec
+{
+    FaultKind kind = FaultKind::MonitorWedge;
+    /** CPU board index — or, with interBus set, the cluster index of
+     *  the inter-bus cache board to wedge (MonitorWedge only). */
+    std::uint32_t board = 0;
+    /** Tick the failure sets in. */
+    Tick at = 0;
+    /** Tick the underlying fault clears again (0 = never). */
+    Tick clearAt = 0;
+    /** FifoBabble: garbage words per observed bus transaction. */
+    double rate = 0.0;
+    /** SlowBoard: service-latency multiplier (>= 1). */
+    std::uint64_t factor = 1;
+    /** Wedge the cluster's inter-bus board instead of a CPU board. */
+    bool interBus = false;
+};
+
+/**
  * A seed plus a list of FaultSpecs. The builder methods append one
  * spec each and return *this, so schedules read declaratively:
  *
@@ -109,6 +144,8 @@ struct FaultSchedule
     std::vector<FaultSpec> specs;
     /** Scheduled board failstops (see BoardCrashSpec). */
     std::vector<BoardCrashSpec> crashes;
+    /** Scheduled partial failures (see PartialFaultSpec). */
+    std::vector<PartialFaultSpec> partials;
 
     FaultSchedule &busAborts(double p);
     FaultSchedule &truncations(double p);
@@ -129,6 +166,23 @@ struct FaultSchedule
     /** Make the most recently appended crash hot-rejoin at @p t. */
     FaultSchedule &rejoinAt(Tick t);
 
+    /** Wedge CPU board @p board's interrupt-service loop at @p at. */
+    FaultSchedule &wedgeMonitor(std::uint32_t board, Tick at);
+    /** Wedge cluster @p cluster's inter-bus board service loop. */
+    FaultSchedule &wedgeInterBus(std::uint32_t cluster, Tick at);
+    /** Make board @p board's FIFO babble garbage words at @p rate
+     *  (words per observed bus transaction) from @p at on. */
+    FaultSchedule &babbleFifo(std::uint32_t board, Tick at, double rate);
+    /** Silently drop board @p board's action-table updates from @p at. */
+    FaultSchedule &stickActionTable(std::uint32_t board, Tick at);
+    /** Inflate board @p board's interrupt-service latency @p factor x
+     *  from @p at on. */
+    FaultSchedule &slowBoard(std::uint32_t board, Tick at,
+                             std::uint64_t factor);
+    /** Make the most recently appended partial failure clear at @p t
+     *  (the underlying fault recovers; the board may be unfenced). */
+    FaultSchedule &clearAt(Tick t);
+
     /** True if any spec could ever fire for @p kind. */
     bool arms(FaultKind kind) const;
     /** True if no spec can ever fire. */
@@ -136,6 +190,7 @@ struct FaultSchedule
 
   private:
     FaultSchedule &append(FaultKind kind, double p, Tick delay_ns);
+    FaultSchedule &appendPartial(PartialFaultSpec spec);
 };
 
 /**
@@ -162,6 +217,7 @@ class FaultInjector final : public mem::FaultHooks
     Tick injectCopierStall(const mem::BusTransaction &tx) override;
     bool injectFifoDrop() override;
     Tick injectInterruptDelay() override;
+    std::uint32_t injectFifoBabble(std::uint32_t owner) override;
 
     /**
      * Enable DMA bursts against @p bus: one page of @p page_bytes per
@@ -180,6 +236,14 @@ class FaultInjector final : public mem::FaultHooks
      * the schedule's BoardCrashSpec entries at their trigger tick).
      */
     void noteBoardCrash();
+
+    /**
+     * Account one partial failure armed at its trigger tick (called by
+     * the system executing the schedule's PartialFaultSpec entries;
+     * FifoBabble is instead accounted per fabricated word through
+     * injectFifoBabble).
+     */
+    void notePartialFault(FaultKind kind);
 
     /** Hook calls offered for @p kind so far. */
     std::uint64_t opportunities(FaultKind kind) const;
@@ -215,6 +279,8 @@ class FaultInjector final : public mem::FaultHooks
     FaultSchedule schedule_;
     Rng rng_;
     std::vector<Arm> arms_[kFaultKinds];
+    /** Compiled FifoBabble specs (fast no-babble short-circuit). */
+    std::vector<PartialFaultSpec> babbles_;
     std::uint64_t opportunities_[kFaultKinds] = {};
     Counter injected_[kFaultKinds];
 

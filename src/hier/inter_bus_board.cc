@@ -160,7 +160,7 @@ InterBusBoard::idle() const
 void
 InterBusBoard::kick()
 {
-    if (dead_ || busy_ || kickScheduled_)
+    if (dead_ || wedged_ || busy_ || kickScheduled_)
         return;
     kickScheduled_ = true;
     events_.scheduleIn(1, [this] {
@@ -172,13 +172,14 @@ InterBusBoard::kick()
 void
 InterBusBoard::pump()
 {
-    if (dead_ || busy_)
+    if (dead_ || wedged_ || busy_)
         return;
     // Global-FIFO overflow may have lost an interrupt word for another
     // cluster's *successful* ownership acquisition; recover
     // conservatively before trusting any entry again.
     if (globalMonitor_.fifo().overflowed()) {
         busy_ = true;
+        ++serviceEpoch_;
         recoverGlobalOverflow([this] { finishWork(); });
         return;
     }
@@ -192,12 +193,14 @@ InterBusBoard::pump()
     if (auto word = globalMonitor_.fifo().pop()) {
         busy_ = true;
         ++wordsGlobal_;
+        ++serviceEpoch_;
         serviceGlobalWord(*word, [this] { finishWork(); });
         return;
     }
     if (auto word = localFifo_.pop()) {
         busy_ = true;
         ++wordsLocal_;
+        ++serviceEpoch_;
         serviceLocalWord(*word, [this] { finishWork(); });
         return;
     }
@@ -296,8 +299,10 @@ InterBusBoard::fetchFrame(monitor::InterruptWord word, bool exclusive,
             dirty_.erase(frame);
             const auto entry = exclusive ? ActionEntry::Protect
                                          : ActionEntry::Shared;
-            globalShadow_[frame] = entry;
+            shadowSet(frame, entry);
             ++(exclusive ? exclusiveFetches_ : sharedFetches_);
+            if (budgetFault_)
+                budgetFault_();
             traceFetch(fetch_started, base, exclusive,
                        /*upgrade=*/false);
             afterSoftware(timing_.installNs, [this, base, entry, done] {
@@ -335,7 +340,9 @@ InterBusBoard::upgradeFrame(monitor::InterruptWord word, Done done)
             return;
         }
         ++upgrades_;
-        globalShadow_[frameOf(base)] = ActionEntry::Protect;
+        shadowSet(frameOf(base), ActionEntry::Protect);
+        if (budgetFault_)
+            budgetFault_();
         traceFetch(upgrade_started, base, /*exclusive=*/true,
                    /*upgrade=*/true);
         afterSoftware(timing_.installNs, [this, base, done] {
@@ -434,7 +441,7 @@ InterBusBoard::downgradeCluster(Addr base, Done done)
     localTable_.setFor(base, ActionEntry::Ignore);
     recallLocal(base, [this, base, frame, done = std::move(done)] {
         const Done finish = [this, base, frame, done] {
-            globalShadow_[frame] = ActionEntry::Shared;
+            shadowSet(frame, ActionEntry::Shared);
             localTable_.setFor(base, ActionEntry::Shared);
             done();
         };
@@ -463,12 +470,12 @@ InterBusBoard::invalidateCluster(Addr base, Done done)
             writeBackGlobal(base, ActionEntry::Ignore,
                             [this, frame, done] {
                                 dirty_.erase(frame);
-                                globalShadow_.erase(frame);
+                                shadowErase(frame);
                                 done();
                             });
         } else {
             dirty_.erase(frame);
-            globalShadow_.erase(frame);
+            shadowErase(frame);
             setGlobalEntry(base, ActionEntry::Ignore, done);
         }
     });
@@ -486,6 +493,8 @@ InterBusBoard::clearGlobalEntryIfStale(Addr base, Done done)
         return;
     }
     globalShadow_.erase(it);
+    if (budgetUse_)
+        budgetUse_(-1);
     setGlobalEntry(base, ActionEntry::Ignore, std::move(done));
 }
 
@@ -599,12 +608,30 @@ InterBusBoard::dropSharedFrames(
     recallLocal(base, [this, frames, index, base,
                        done = std::move(done)] {
         dirty_.erase((*frames)[index]);
-        globalShadow_.erase((*frames)[index]);
+        shadowErase((*frames)[index]);
         setGlobalEntry(base, ActionEntry::Ignore,
                        [this, frames, index, done] {
                            dropSharedFrames(frames, index + 1, done);
                        });
     });
+}
+
+// --- budget-client footprint tracking -------------------------------
+
+void
+InterBusBoard::shadowSet(std::uint64_t frame, ActionEntry entry)
+{
+    const bool fresh =
+        globalShadow_.insert_or_assign(frame, entry).second;
+    if (fresh && budgetUse_)
+        budgetUse_(+1);
+}
+
+void
+InterBusBoard::shadowErase(std::uint64_t frame)
+{
+    if (globalShadow_.erase(frame) != 0 && budgetUse_)
+        budgetUse_(-1);
 }
 
 // --- statistics -----------------------------------------------------

@@ -132,6 +132,50 @@ class InterBusBoard : public mem::BusWatcher
     bool dead() const { return dead_; }
 
     /**
+     * Wedge / unwedge the board's service loop (partial-failure
+     * injection): while wedged, kick()/pump() refuse to start work, so
+     * aborted local requests and global consistency words pile up
+     * undrained while the table hardware keeps aborting on both buses.
+     * dead() stays false — a binary liveness probe sees a healthy
+     * board. Unwedging kicks the loop so the backlog drains.
+     */
+    void setWedged(bool wedged)
+    {
+        wedged_ = wedged;
+        if (!wedged_)
+            kick();
+    }
+    /** True while the service loop is wedged. */
+    bool wedged() const { return wedged_; }
+
+    /**
+     * Service-loop progress epoch: advances once per work item the
+     * pump takes (overflow recovery, global word, local word). The
+     * cluster health witness compares epochs across observations.
+     */
+    std::uint64_t serviceEpoch() const { return serviceEpoch_; }
+
+    /** Words currently queued for the service loop (both FIFOs). */
+    std::size_t pendingWords() const
+    {
+        return localFifo_.size() + globalMonitor_.fifo().size();
+    }
+
+    /**
+     * Register this board with a cluster-level memory-budget client:
+     * @p on_fault is called once per successful global fetch/upgrade
+     * (pressure input) and @p on_use with +1/-1 as the cluster's
+     * global-shadow footprint grows/shrinks (occupancy input). Null
+     * hooks (the default) cost one untaken branch each.
+     */
+    void setBudgetClient(std::function<void()> on_fault,
+                         std::function<void(std::int32_t)> on_use)
+    {
+        budgetFault_ = std::move(on_fault);
+        budgetUse_ = std::move(on_use);
+    }
+
+    /**
      * Arm fault injection on the board's soft spots: the local-side
      * request FIFO, the global-side monitor (FIFO + interrupt
      * delivery) and the global block copier. Null disarms.
@@ -259,9 +303,20 @@ class InterBusBoard : public mem::BusWatcher
     /** Software shadow of the global monitor's action table. */
     std::unordered_map<std::uint64_t, mem::ActionEntry> globalShadow_;
 
+    /** Track the global-shadow footprint for the budget client. */
+    void shadowSet(std::uint64_t frame, mem::ActionEntry entry);
+    void shadowErase(std::uint64_t frame);
+
     bool busy_ = false;
     bool kickScheduled_ = false;
     bool dead_ = false;
+    /** Service loop wedged (partial failure; distinct from dead_). */
+    bool wedged_ = false;
+    /** Service-loop progress epoch (see serviceEpoch()). */
+    std::uint64_t serviceEpoch_ = 0;
+    /** Cluster budget-client hooks (null unless registered). */
+    std::function<void()> budgetFault_;
+    std::function<void(std::int32_t)> budgetUse_;
 
     Counter sharedFetches_;
     Counter exclusiveFetches_;

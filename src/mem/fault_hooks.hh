@@ -17,6 +17,8 @@
 #ifndef VMP_MEM_FAULT_HOOKS_HH
 #define VMP_MEM_FAULT_HOOKS_HH
 
+#include <cstdint>
+
 #include "sim/types.hh"
 
 namespace vmp::mem
@@ -68,6 +70,21 @@ class FaultHooks
      * by that many ticks.
      */
     virtual Tick injectInterruptDelay() = 0;
+
+    /**
+     * Called by the bus monitor of board @p owner once per observed
+     * bus transaction (even while masked — babble is internal FIFO
+     * hardware, not bus-side). The return value is the number of
+     * spurious garbage interrupt words the monitor should fabricate
+     * into its own FIFO right now (a "babbling FIFO" partial failure).
+     * Defaulted so implementations that predate the partial-failure
+     * model keep compiling; the default babbles nothing.
+     */
+    virtual std::uint32_t injectFifoBabble(std::uint32_t owner)
+    {
+        (void)owner;
+        return 0;
+    }
 };
 
 } // namespace vmp::mem

@@ -212,9 +212,46 @@ VmeBus::request(const BusTransaction &tx, Completion done)
         if (tx.data == nullptr)
             panic("block transaction without buffer: ", tx.toString());
     }
+    // A fenced master's request bounces at the bus interface: no
+    // grant, no occupancy, no monitor observation. It completes as
+    // aborted after one short-transaction time so the requester's
+    // retry loop stays paced and its timed wait eventually abandons
+    // with a structured DeadOwnerError (a silent drop would strand
+    // in-flight operations forever and the run would never converge).
+    // The empty-set check keeps the healthy path at one untaken
+    // branch.
+    if (!fenced_.empty() && isMasterFenced(tx.requester)) {
+        ++fencedDrops_;
+        events_.scheduleIn(
+            timing_.shortTxNs,
+            [done = std::move(done)] {
+                TxResult result;
+                result.aborted = true;
+                done(result);
+            },
+            "bus-fence-bounce");
+        return;
+    }
     queue_.push_back(Pending{tx, std::move(done), events_.now()});
     if (!busy_)
         grant();
+}
+
+void
+VmeBus::setMasterFenced(std::uint32_t id, bool fenced)
+{
+    const auto it = std::find(fenced_.begin(), fenced_.end(), id);
+    if (fenced && it == fenced_.end())
+        fenced_.push_back(id);
+    else if (!fenced && it != fenced_.end())
+        fenced_.erase(it);
+}
+
+bool
+VmeBus::isMasterFenced(std::uint32_t id) const
+{
+    return std::find(fenced_.begin(), fenced_.end(), id) !=
+        fenced_.end();
 }
 
 void
@@ -439,6 +476,9 @@ VmeBus::registerStats(StatGroup &group) const
                      aborts_);
     group.addCounter("injected_aborts",
                      "aborts forced by fault injection", injectedAborts_);
+    group.addCounter("fenced_drops",
+                     "requests dropped at the quarantine fence",
+                     fencedDrops_);
     group.addCounter("read_shared", "read-shared transactions",
                      countOf(TxType::ReadShared));
     group.addCounter("read_private", "read-private transactions",

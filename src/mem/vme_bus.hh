@@ -176,6 +176,21 @@ class VmeBus
     /** Effective bus-request level of master @p id. */
     unsigned levelOf(std::uint32_t id) const;
 
+    /**
+     * Fence master @p id off the bus (partial-failure quarantine): its
+     * requests are dropped at arbitration — never granted, never
+     * observed by any monitor, and their completion callbacks never
+     * fire, so a babbling or wedged board's retry loops starve out
+     * deterministically instead of saturating the bus. Distinct from
+     * monitor masking, which silences a board's *watcher*; the fence
+     * silences its *requests*. Unfence before a cold rejoin.
+     */
+    void setMasterFenced(std::uint32_t id, bool fenced);
+    /** True while master @p id is fenced off the bus. */
+    bool isMasterFenced(std::uint32_t id) const;
+    /** Requests dropped at the fence. */
+    const Counter &fencedDrops() const { return fencedDrops_; }
+
     /** Event queue the bus schedules on (for components that share
      *  its timeline, e.g. a stalled block copier). */
     EventQueue &eventQueue() { return events_; }
@@ -287,6 +302,8 @@ class VmeBus
     /** Per-master level overrides (Priority discipline). */
     std::vector<std::pair<std::uint32_t, unsigned>> levelOverrides_;
     std::deque<Pending> queue_;
+    /** Masters currently fenced off the bus (normally empty). */
+    std::vector<std::uint32_t> fenced_;
     bool busy_ = false;
     /** Master granted most recently (round-robin rotation point). */
     std::uint32_t lastMaster_ = 0;
@@ -298,6 +315,7 @@ class VmeBus
     Counter transactions_;
     Counter aborts_;
     Counter injectedAborts_;
+    Counter fencedDrops_;
     Counter typeCounts_[kTxTypes];
     Counter typeAborts_[kTxTypes];
     /** Queue delay in microseconds, 1 us buckets up to 64 us. */

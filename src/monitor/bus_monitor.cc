@@ -1,5 +1,7 @@
 #include "monitor/bus_monitor.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace vmp::monitor
@@ -8,8 +10,8 @@ namespace vmp::monitor
 BusMonitor::BusMonitor(std::uint32_t owner_id, std::uint64_t mem_bytes,
                        std::uint32_t page_bytes,
                        std::size_t fifo_capacity)
-    : ownerId_(owner_id), table_(mem_bytes, page_bytes),
-      fifo_(fifo_capacity)
+    : ownerId_(owner_id), pageBytes_(page_bytes),
+      table_(mem_bytes, page_bytes), fifo_(fifo_capacity)
 {
 }
 
@@ -66,6 +68,17 @@ BusMonitor::decide(const mem::BusTransaction &tx) const
 mem::WatchVerdict
 BusMonitor::observe(const mem::BusTransaction &tx)
 {
+    // Babbling-FIFO fault: the FIFO hardware fabricates garbage words
+    // clocked by observed bus traffic. Deliberately ahead of the mask
+    // check — babble is internal to the board, so fencing (masking)
+    // does not silence it; only the underlying fault clearing does.
+    // Null hooks (or a schedule with no babble specs) cost one untaken
+    // branch.
+    if (hooks_ != nullptr) {
+        const std::uint32_t garbage = hooks_->injectFifoBabble(ownerId_);
+        for (std::uint32_t i = 0; i < garbage; ++i)
+            babbleWord();
+    }
     // A masked (declared-dead) monitor is electrically off the bus: it
     // neither aborts nor interrupts, whatever its stale table says.
     if (masked_)
@@ -127,7 +140,42 @@ BusMonitor::sideEffectUpdate(const mem::BusTransaction &tx)
     // recovery coordinator's scan).
     if (masked_)
         return;
+    // Stuck-table fault: the update is silently dropped, so the table
+    // drifts away from what the software believes it wrote.
+    if (tableStuck_) {
+        ++tableDropped_;
+        return;
+    }
     table_.setFor(tx.paddr, tx.newEntry);
+}
+
+void
+BusMonitor::babbleWord()
+{
+    using mem::TxType;
+    // Deterministic garbage: a Weyl-style walk over the covered frames
+    // and a cycle over the consistency word types whose service paths
+    // are coherence-preserving (downgrade, relinquish, notify, stale
+    // cleanup). WriteBack garbage is deliberately excluded — a forged
+    // write-back word would make defensive software drop genuinely
+    // dirty data, which is corruption, not degradation.
+    static constexpr TxType kinds[] = {
+        TxType::ReadShared, TxType::ReadPrivate,
+        TxType::AssertOwnership, TxType::Notify};
+    const std::uint64_t seq = babbleSeq_++;
+    const std::uint64_t frame =
+        (seq * 2654435761ull) % std::max<std::uint64_t>(1,
+                                                        table_.frames());
+    InterruptWord word;
+    word.type = kinds[seq % 4];
+    word.paddr = frame * pageBytes_;
+    word.requester = 0xBABB;
+    word.aborted = (seq % 3) == 0;
+    ++babbled_;
+    fifo_.push(word);
+    ++interrupts_;
+    if (line_)
+        line_();
 }
 
 } // namespace vmp::monitor

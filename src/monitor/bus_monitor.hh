@@ -101,8 +101,22 @@ class BusMonitor : public mem::BusWatcher
     void setMasked(bool masked) { masked_ = masked; }
     bool masked() const { return masked_; }
 
+    /**
+     * Stick the action table (partial-failure injection): while stuck,
+     * concurrent side-effect updates are silently dropped, so the
+     * table drifts stale — entries the software believes released keep
+     * aborting, entries it believes acquired never defend. decide()
+     * itself is unaffected; the table merely stops following the bus.
+     */
+    void setTableStuck(bool stuck) { tableStuck_ = stuck; }
+    bool tableStuck() const { return tableStuck_; }
+
     const Counter &interrupts() const { return interrupts_; }
     const Counter &abortsIssued() const { return aborts_; }
+    /** Garbage words fabricated by the babbling-FIFO fault. */
+    const Counter &babbleWords() const { return babbled_; }
+    /** Side-effect updates dropped while the table was stuck. */
+    const Counter &tableUpdatesDropped() const { return tableDropped_; }
 
   private:
     /** Pure decision function: what does the table say about @p tx? */
@@ -110,7 +124,11 @@ class BusMonitor : public mem::BusWatcher
 
     void queueWord(const mem::BusTransaction &tx, bool aborted);
 
+    /** Fabricate one deterministic garbage word into the own FIFO. */
+    void babbleWord();
+
     std::uint32_t ownerId_;
+    std::uint32_t pageBytes_;
     ActionTable table_;
     InterruptFifo fifo_;
     InterruptLine line_;
@@ -120,8 +138,13 @@ class BusMonitor : public mem::BusWatcher
     std::uint16_t traceTrack_ = 0;
     const EventQueue *obsEvents_ = nullptr;
     bool masked_ = false;
+    bool tableStuck_ = false;
+    /** Sequence of the garbage-word generator (babble injection). */
+    std::uint64_t babbleSeq_ = 0;
     Counter interrupts_;
     Counter aborts_;
+    Counter babbled_;
+    Counter tableDropped_;
 };
 
 } // namespace vmp::monitor

@@ -256,8 +256,20 @@ CacheController::rejoin()
 {
     dead_ = false;
     liveRetries_ = 0;
+    // Cold software restart also clears partial-failure seam state:
+    // the restarted service loop is neither wedged nor slow.
+    wedged_ = false;
+    slowFactor_ = 1;
     VMP_DTRACE(debug::Recover, events_.now(), "cpu", cpuId_,
                " rejoin: cold restart");
+}
+
+void
+CacheController::setServiceSlowdown(std::uint64_t factor)
+{
+    if (factor == 0)
+        panic("cpu", cpuId_, ": service slowdown factor must be >= 1");
+    slowFactor_ = factor;
 }
 
 void
@@ -814,6 +826,21 @@ CacheController::serviceInterrupts(Done done)
         done();
         return;
     }
+    if (wedged_) {
+        // Wedged service loop (partial failure): the service software
+        // is stuck, but the board is not silent — the monitor hardware
+        // keeps aborting against its (increasingly stale) table, and
+        // dead() stays false. Words rot undrained; only the health
+        // witness's progress-epoch check can tell this from healthy.
+        // The processor is stuck *inside* the handler, so completion
+        // is deferred by one futile service quantum — simulated time
+        // advances (callers re-poll without livelocking at one tick)
+        // while the epoch stays frozen.
+        events_.scheduleIn(timing_.serviceNs,
+                           [done = std::move(done)] { done(); },
+                           "svc-wedged");
+        return;
+    }
     if (!interruptPending()) {
         done();
         return;
@@ -840,22 +867,29 @@ CacheController::serviceInterrupts(Done done)
     *drain = [this, drain, finish = std::move(finish)] {
         if (monitor_.fifo().overflowed()) {
             monitor_.fifo().clearOverflow();
+            ++serviceEpoch_;
             recoverFromOverflow(*drain);
             return;
         }
         const auto word = monitor_.fifo().pop();
         if (!word) {
             releaseLoop(drain);
+            ++serviceEpoch_;
             finish();
             return;
         }
         ++serviceCount_;
+        ++serviceEpoch_;
         VMP_DTRACE(debug::Monitor, events_.now(), "cpu", cpuId_,
                    " service word ", mem::txTypeName(word->type),
                    " pa=0x", std::hex, word->paddr, std::dec,
                    " from=", word->requester,
                    word->aborted ? " (aborted)" : "");
-        afterSoftware(timing_.serviceNs, [this, w = *word, drain] {
+        // slowFactor_ is 1 on a healthy board — multiplying the charge
+        // by one keeps the unfaulted run bit-identical.
+        serviceCpuNs_ += timing_.serviceNs * slowFactor_;
+        afterSoftware(timing_.serviceNs * slowFactor_,
+                      [this, w = *word, drain] {
             serviceWord(w, *drain);
         });
     };

@@ -203,6 +203,37 @@ class CacheController
     /** True between failstop() and rejoin(). */
     bool dead() const { return dead_; }
 
+    // --- partial-failure seams (driven by the fault schedule) ---
+
+    /**
+     * Wedge / unwedge the interrupt-service loop: while wedged,
+     * serviceInterrupts() returns without draining, so words rot in
+     * the FIFO while the bus-side monitor hardware keeps aborting
+     * against stale Protect entries. Unlike failstop the board is NOT
+     * silent — dead() stays false, bookkeeping and cache contents are
+     * retained — which is exactly why a binary liveness probe reports
+     * a wedged board healthy and a progress-epoch witness is needed.
+     */
+    void setWedged(bool wedged) { wedged_ = wedged; }
+    bool wedged() const { return wedged_; }
+
+    /**
+     * Inflate interrupt-service latency by an integer factor
+     * (fail-slow injection). Factor 1 — the default — multiplies the
+     * unscaled charge by one and is bit-identical to it.
+     */
+    void setServiceSlowdown(std::uint64_t factor);
+    std::uint64_t serviceSlowdown() const { return slowFactor_; }
+
+    /**
+     * Service-loop progress epoch: advances whenever the loop
+     * demonstrably makes progress (a word serviced, an overflow sweep
+     * run, a drain pass completed). The health witness compares
+     * epochs across observations — a wedged loop's epoch freezes
+     * while its FIFO backlog persists.
+     */
+    std::uint64_t serviceEpoch() const { return serviceEpoch_; }
+
     /** Retry delay with desynchronizing jitter (public so the
      *  determinism regression tests can sample the sequence). */
     Tick retryDelay();
@@ -312,6 +343,18 @@ class CacheController
     const Counter &overflowRecoveries() const { return recoveryCount_; }
     Tick missStallTicks() const { return missStall_; }
     Tick serviceStallTicks() const { return serviceStall_; }
+    /**
+     * Cumulative service-software CPU time: the per-word software
+     * charge, accrued as each word is taken up. This is what the
+     * fail-slow health witness reads, and it differs from
+     * serviceStallTicks() in two ways that both matter there:
+     * it accrues mid-drain (a fail-slow board under steady traffic
+     * may never empty its FIFO, and serviceStall_ only commits when
+     * a drain finishes), and it excludes bus-wait time (a healthy
+     * survivor stalled retrying against a sick *peer* must not be
+     * billed as slow itself).
+     */
+    Tick serviceCpuTicks() const { return serviceCpuNs_; }
     /** Times any retry loop exceeded the watchdog cap. */
     const Counter &watchdogTrips() const { return watchdogTrips_; }
     /** Watchdog cap hits attributed to a declared-dead owner. */
@@ -455,6 +498,8 @@ class CacheController
     Counter recoveryCount_;
     Tick missStall_ = 0;
     Tick serviceStall_ = 0;
+    /** Service-software CPU time (see serviceCpuTicks). */
+    Tick serviceCpuNs_ = 0;
 
     // --- livelock watchdog ---
     /** Retry cap per logical operation (0 = watchdog disabled). */
@@ -470,6 +515,12 @@ class CacheController
     Counter deadOwnerErrors_;
     std::optional<DeadOwnerError> lastDeadOwnerError_;
     bool dead_ = false;
+    /** Service loop wedged (partial failure; distinct from dead_). */
+    bool wedged_ = false;
+    /** Interrupt-service latency multiplier (fail-slow; 1 = healthy). */
+    std::uint64_t slowFactor_ = 1;
+    /** Service-loop progress epoch (see serviceEpoch()). */
+    std::uint64_t serviceEpoch_ = 0;
     /** Retries of the in-flight access (one CPU => one at a time). */
     std::uint64_t liveRetries_ = 0;
     /** Retries per completed miss; bucket n = n retries, last bucket

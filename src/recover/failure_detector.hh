@@ -1,30 +1,45 @@
 /**
  * @file
- * Failstop failure detector. The paper's consistency protocol assumes
- * every board eventually services its bus-monitor interrupts; a
- * failstopped board violates that silently — its monitor hardware keeps
- * aborting transactions against stale Protect entries while the software
- * that would release them is gone. The detector watches the bus for the
- * two observable symptoms:
+ * Failure detector: failstop liveness plus a partial-failure *health
+ * witness*. The paper's consistency protocol assumes every board
+ * eventually services its bus-monitor interrupts; boards can break that
+ * assumption in more ways than halting:
  *
- *  - an *abort streak*: the same frame's consistency transactions keep
- *    aborting (a live owner resolves the conflict within a handful of
- *    retries; a dead one never does);
- *  - a *liveness sweep*: every sweepPeriod observed consistency
- *    transactions, each registered board's AliveFn is polled.
+ *  - *failstop*: the software is gone. Caught by an *abort streak*
+ *    (the same frame's consistency transactions keep aborting — a live
+ *    owner resolves the conflict within a handful of retries, a dead
+ *    one never does) or by a *liveness sweep* (every sweepPeriod
+ *    observed consistency transactions, each board's AliveFn is
+ *    polled).
+ *  - *wedged*: the service loop stops draining the FIFO but the board
+ *    is not dead — the binary AliveFn still answers true while the
+ *    monitor hardware keeps aborting against stale Protect entries.
+ *    Caught by the progress-epoch witness: backlog pending with a
+ *    frozen service epoch across wedgeSweeps consecutive sweeps.
+ *  - *babbling*: the FIFO delivers mostly garbage — the board stays
+ *    alive and busy, wasting its service loop on spurious words.
+ *    Caught by the spurious-fraction witness.
+ *  - *fail-slow*: service works but takes many times longer than it
+ *    should. Caught by an EWMA of per-word service latency.
+ *  - *stuck table*: updates are silently dropped, so released entries
+ *    keep aborting while the software truthfully answers probes alive.
+ *    Caught by escalation — repeated abort-streak suspicions answered
+ *    alive.
  *
- * Either symptom moves a board Live -> Suspect and schedules a probe
- * after deadlineNs; each unanswered probe doubles the delay
- * (exponential backoff) until maxProbes probes have failed, at which
- * point the board is declared dead and the DeadFn fires — typically
- * wired to RecoveryManager's reclaim flow.
+ * A failstop declaration fires the DeadFn (full reclaim). The partial
+ * kinds instead fire the FenceFn — quarantine rather than burial — and
+ * a bounded unfence-recheck chain can clear a fence whose underlying
+ * fault recovered (or was a false positive): a formerly wedged board
+ * that answers responsive again, or a fenced babbler whose FIFO has
+ * gone silent, is handed back via the UnfenceFn for a cold rejoin.
  *
  * Determinism and drain-friendliness: the detector consumes no
  * randomness and schedules *no standing periodic events* — probes are
- * scheduled only while a suspicion is pending and every chain is finite
- * (maxProbes), so an event queue with no other work still drains. In a
- * fault-free run the detector observes transactions but never suspects
- * anything: behavior is bit-identical to a run without it.
+ * scheduled only while a suspicion is pending, unfence rechecks only
+ * while a board is fenced, and every chain is finite (maxProbes /
+ * unfenceChecks), so an event queue with no other work still drains.
+ * In a fault-free run the detector observes transactions but never
+ * suspects anything: behavior is bit-identical to a run without it.
  */
 
 #ifndef VMP_RECOVER_FAILURE_DETECTOR_HH
@@ -59,6 +74,77 @@ struct DetectorConfig
     std::uint64_t abortStreakThreshold = 16;
     /** Observed consistency transactions between liveness sweeps. */
     std::uint64_t sweepPeriod = 256;
+
+    // --- health-witness knobs (boards with a HealthFn only) ---
+    /** Consecutive sweeps with backlog pending and a frozen progress
+     *  epoch before a wedge suspicion. */
+    std::uint32_t wedgeSweeps = 3;
+    /** Minimum words serviced per sweep before the babble witness
+     *  judges the spurious fraction at all. */
+    std::uint64_t babbleMinWords = 8;
+    /** Spurious fraction of serviced words that triggers a babble
+     *  suspicion (1.0 disables). */
+    double babbleFraction = 0.6;
+    /** Consecutive over-threshold sweeps before a babble suspicion.
+     *  One sweep window is a handful of words — under heavy sharing a
+     *  healthy board can legitimately service a burst of stale FIFO
+     *  entries (frames it already released) that clears the fraction
+     *  in a single window. Only a babbler sustains it. */
+    std::uint32_t babbleSweeps = 3;
+    /** Smoothing factor of the per-word service-latency EWMA. */
+    double slowEwmaAlpha = 0.25;
+    /** EWMA per-word service latency that triggers a fail-slow
+     *  suspicion (0 disables). */
+    Tick slowLatencyNs = 50'000;
+    /** Abort-streak suspicions answered alive before the owner's
+     *  action table is judged stuck and the board fenced. */
+    std::uint32_t tableStuckStrikes = 3;
+    /** Delay between unfence rechecks of a fenced board. */
+    Tick unfenceCheckNs = 200'000;
+    /** Rechecks before a fence is left standing for good (bounds the
+     *  event chain so the queue always drains). */
+    std::uint32_t unfenceChecks = 4;
+};
+
+/** Why a board is (or was) under suspicion. */
+enum class SuspicionKind : std::uint8_t
+{
+    None = 0,
+    Failstop,   //!< software gone: abort streak / failed liveness
+    Wedge,      //!< service loop stopped making progress
+    Babble,     //!< FIFO delivering mostly spurious words
+    FailSlow,   //!< per-word service latency inflated
+    StuckTable, //!< table ignores updates; alive but keeps aborting
+};
+
+const char *suspicionKindName(SuspicionKind kind);
+
+/**
+ * What one health probe learns about a board. Gathered by the board's
+ * HealthFn from externally observable evidence (service-loop counters
+ * a watchdog kernel could read); must be cheap and side-effect free.
+ */
+struct HealthReport
+{
+    /** Software not failstopped (the legacy liveness bit). */
+    bool alive = true;
+    /** The service loop answered the probe request (a wedged loop
+     *  cannot; a slow one still does, late). */
+    bool responsive = true;
+    /** Service-loop progress epoch (monotonic while healthy). */
+    std::uint64_t progressEpoch = 0;
+    /** Interrupt words currently queued awaiting service. */
+    std::uint64_t pendingWords = 0;
+    /** Cumulative interrupt words serviced. */
+    std::uint64_t wordsServiced = 0;
+    /** Cumulative words found spurious/stale when serviced. */
+    std::uint64_t spuriousWords = 0;
+    /** Cumulative service-software CPU time, accrued per word as it
+     *  is taken up. Deliberately excludes bus-wait time: a survivor
+     *  stalled retrying against a sick peer is not itself slow. */
+    Tick serviceBusyNs = 0;
+    /** Cumulative words pushed into the board's interrupt FIFO. */
+    std::uint64_t fifoPushed = 0;
 };
 
 /**
@@ -74,6 +160,14 @@ class FailureDetector
     using AliveFn = std::function<bool()>;
     /** Fired exactly once per declaration, with the dead master id. */
     using DeadFn = std::function<void(std::uint32_t master)>;
+    /** Gathers a HealthReport; must be cheap and side-effect free. */
+    using HealthFn = std::function<HealthReport()>;
+    /** Fired once per fence, with the quarantined master and the
+     *  suspicion kind that condemned it. */
+    using FenceFn =
+        std::function<void(std::uint32_t master, SuspicionKind kind)>;
+    /** Fired when an unfence recheck clears a fenced board. */
+    using UnfenceFn = std::function<void(std::uint32_t master)>;
 
     FailureDetector(EventQueue &events, mem::VmeBus &bus,
                     std::uint32_t page_bytes,
@@ -87,7 +181,24 @@ class FailureDetector
     void addBoard(std::uint32_t master,
                   const monitor::BusMonitor *monitor, AliveFn alive);
 
+    /**
+     * Attach a health witness to a registered board. Boards without
+     * one are handled exactly as before (binary liveness only) — the
+     * witness sweeps, escalations and fences all require it or the
+     * fence/unfence hooks, so a system that wires neither is
+     * bit-identical to the pre-witness detector.
+     */
+    void setHealthFn(std::uint32_t master, HealthFn health);
+
     void setOnDead(DeadFn on_dead) { onDead_ = std::move(on_dead); }
+    void setOnFence(FenceFn on_fence)
+    {
+        onFence_ = std::move(on_fence);
+    }
+    void setOnUnfence(UnfenceFn on_unfence)
+    {
+        onUnfence_ = std::move(on_unfence);
+    }
 
     /** Start observing the bus. */
     void install();
@@ -96,6 +207,17 @@ class FailureDetector
     void markRejoined(std::uint32_t master);
 
     bool declaredDead(std::uint32_t master) const;
+    /** True while @p master is quarantined. */
+    bool isFenced(std::uint32_t master) const;
+    /** Suspicion kind that fenced @p master (None if not fenced). */
+    SuspicionKind fenceKindOf(std::uint32_t master) const;
+
+    /**
+     * Quarantine @p master directly (bypassing the witness): used by
+     * tests and as an operator override. Fires the FenceFn and starts
+     * the same unfence-recheck chain a witness fence would.
+     */
+    void fenceBoard(std::uint32_t master, SuspicionKind kind);
 
     const DetectorConfig &config() const { return config_; }
 
@@ -103,28 +225,108 @@ class FailureDetector
     const Counter &probes() const { return probes_; }
     const Counter &falseSuspicions() const { return falseSuspicions_; }
     const Counter &declarations() const { return declarations_; }
+    /** Wedge-witness suspicions (frozen epoch with backlog). */
+    const Counter &wedgeSuspicions() const { return wedgeSuspicions_; }
+    /** Babble-witness suspicions (spurious fraction). */
+    const Counter &babbleSuspicions() const
+    {
+        return babbleSuspicions_;
+    }
+    /** Fail-slow suspicions (service-latency EWMA). */
+    const Counter &slowSuspicions() const { return slowSuspicions_; }
+    /** Stuck-table escalations (streak suspicions answered alive). */
+    const Counter &stuckEscalations() const
+    {
+        return stuckEscalations_;
+    }
+    const Counter &fences() const { return fences_; }
+    const Counter &unfences() const { return unfences_; }
 
     void registerStats(StatGroup &group) const;
 
   private:
-    enum class BoardState : std::uint8_t { Live, Suspect, Dead };
+    enum class BoardState : std::uint8_t
+    {
+        Live,
+        Suspect,
+        Fenced,
+        Dead,
+    };
+
+    /** Sentinel for "no frame tracked". */
+    static constexpr std::uint64_t kNoFrame = ~std::uint64_t{0};
 
     struct Board
     {
         std::uint32_t master;
         const monitor::BusMonitor *monitor;
         AliveFn alive;
+        HealthFn health; //!< null: binary liveness only
         BoardState state = BoardState::Live;
+        SuspicionKind kind = SuspicionKind::None;
+        /** Current suspicion came from an abort streak (vs sweep). */
+        bool streakOrigin = false;
         std::uint32_t probeAttempt = 0;
         Tick probeDelay = 0;
+
+        // Witness state, updated once per sweep.
+        std::uint64_t lastEpoch = 0;
+        std::uint64_t lastServiced = 0;
+        std::uint64_t lastSpurious = 0;
+        Tick lastBusyNs = 0;
+        std::uint32_t wedgeStrikes = 0;
+        std::uint32_t babbleStrikes = 0;
+        std::uint32_t streakStrikes = 0;
+        double latencyEwma = 0.0;
+        bool ewmaPrimed = false;
+
+        // Stuck-table evidence. A strike counts only when a
+        // *Protect-entry* abort streak re-forms on a frame whose
+        // table entry the owner had already visibly rewritten on the
+        // bus — impossible for a live owner (every writable value
+        // replaces Protect, and a later legitimate re-acquisition
+        // clears the evidence below), inevitable for a stuck table
+        // (the write was silently dropped and the stale Protect
+        // keeps aborting). Shared-entry write-back aborts are normal
+        // protocol behaviour after a downgrade and never count.
+        /** Frame behind the current streak-origin suspicion. */
+        std::uint64_t streakFrame = kNoFrame;
+        /** The aborting entry observed for that streak was Protect. */
+        bool streakProtect = false;
+        /** Frame whose post-write aborts are being tracked. */
+        std::uint64_t stuckFrame = kNoFrame;
+        /** The owner completed a WriteActionTable covering stuckFrame
+         *  since it was armed (and has not legitimately re-acquired
+         *  the frame since). */
+        bool stuckWriteSeen = false;
+
+        // Snapshots taken at suspicion time (probe answers).
+        std::uint64_t suspectEpoch = 0;
+        std::uint64_t suspectServiced = 0;
+        std::uint64_t suspectSpurious = 0;
+
+        // Unfence-recheck state.
+        std::uint32_t recheckCount = 0;
+        std::uint64_t recheckPushedBase = 0;
     };
 
     void onTransaction(const mem::BusTransaction &tx,
                        const mem::TxResult &result);
     void suspectOwnerOf(std::uint64_t frame, mem::TxType type);
-    void suspect(Board &board);
+    /** Evaluate the health witnesses of one Live board (per sweep). */
+    void witnessSweep(Board &board);
+    void suspect(Board &board, SuspicionKind kind, bool streak_origin,
+                 std::uint64_t streak_frame = kNoFrame,
+                 bool streak_protect = false);
     void probe(Board &board);
+    /** Did the board answer the pending probe, per suspicion kind? */
+    bool probeAnswered(Board &board);
     void declare(Board &board);
+    void fence(Board &board, SuspicionKind kind);
+    void scheduleRecheck(Board &board);
+    void recheck(Board &board);
+    /** Reset witness state and resync snapshots (rejoin/unfence). */
+    void resetWitness(Board &board);
     Board *find(std::uint32_t master);
     const Board *find(std::uint32_t master) const;
 
@@ -133,6 +335,8 @@ class FailureDetector
     std::uint32_t pageBytes_;
     DetectorConfig config_;
     DeadFn onDead_;
+    FenceFn onFence_;
+    UnfenceFn onUnfence_;
     bool installed_ = false;
 
     /** Stable addresses: probe events capture Board pointers. */
@@ -145,6 +349,12 @@ class FailureDetector
     Counter probes_;
     Counter falseSuspicions_;
     Counter declarations_;
+    Counter wedgeSuspicions_;
+    Counter babbleSuspicions_;
+    Counter slowSuspicions_;
+    Counter stuckEscalations_;
+    Counter fences_;
+    Counter unfences_;
 };
 
 } // namespace vmp::recover

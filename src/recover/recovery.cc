@@ -17,6 +17,12 @@ RecoveryManager::RecoveryManager(EventQueue &events, mem::VmeBus &bus,
 {
     detector_.setOnDead(
         [this](std::uint32_t master) { onDeclaredDead(master); });
+    detector_.setOnFence(
+        [this](std::uint32_t master, SuspicionKind kind) {
+            onFenced(master, kind);
+        });
+    detector_.setOnUnfence(
+        [this](std::uint32_t master) { onUnfenced(master); });
 }
 
 void
@@ -67,6 +73,14 @@ RecoveryManager::setPostReclaimHook(std::function<void()> hook)
 }
 
 void
+RecoveryManager::setFenceHooks(std::function<void(std::uint32_t)> park,
+                               std::function<void(std::uint32_t)> resync)
+{
+    parkHook_ = std::move(park);
+    resyncHook_ = std::move(resync);
+}
+
+void
 RecoveryManager::markRejoined(std::uint32_t master)
 {
     Record *record = find(master);
@@ -75,6 +89,15 @@ RecoveryManager::markRejoined(std::uint32_t master)
     if (record->reclaiming)
         fatal("master ", master, " rejoined mid-reclaim");
     record->dead = false;
+    if (record->fenced) {
+        // Operator-forced rejoin of a quarantined board: lift the
+        // fence as part of trusting it again.
+        record->fenced = false;
+        record->fenceKind = SuspicionKind::None;
+        bus_.setMasterFenced(master, false);
+        if (record->monitor != nullptr)
+            record->monitor->setMasked(false);
+    }
     detector_.markRejoined(master);
 }
 
@@ -83,7 +106,9 @@ RecoveryManager::isFrameOwnerDead(Addr paddr) const
 {
     const std::uint64_t frame = paddr / mem_.pageBytes();
     for (const Record &record : records_) {
-        if (!record.dead)
+        // A fenced board's frames are as hopeless to wait on as a dead
+        // one's until its reclaim clears them.
+        if (!record.dead && !record.fenced)
             continue;
         // A dead bridge strands every frame reached through it.
         if (record.bridge)
@@ -105,6 +130,24 @@ RecoveryManager::deadBoards() const
             ++dead;
     }
     return dead;
+}
+
+std::uint64_t
+RecoveryManager::fencedBoards() const
+{
+    std::uint64_t fenced = 0;
+    for (const Record &record : records_) {
+        if (record.fenced)
+            ++fenced;
+    }
+    return fenced;
+}
+
+bool
+RecoveryManager::isFenced(std::uint32_t master) const
+{
+    const Record *record = find(master);
+    return record != nullptr && record->fenced;
 }
 
 bool
@@ -167,28 +210,107 @@ RecoveryManager::onDeclaredDead(std::uint32_t master)
         return;
     }
 
-    // 1. Mask the monitor: its stale entries stop aborting live
-    //    traffic. The table is retained for the reclaim scan below.
-    record->monitor->setMasked(true);
-
-    // 2. Drain the dead board's interrupt FIFO — nobody will ever
-    //    service those words.
-    while (record->monitor->fifo().pop().has_value()) {
-    }
-    record->monitor->fifo().clearOverflow();
-
     VMP_DTRACE(debug::Recover, events_.now(), "master ", master,
                " declared dead; monitor masked, starting reclaim");
+    maskAndReclaim(*record);
+}
+
+void
+RecoveryManager::maskAndReclaim(Record &record)
+{
+    // 1. Mask the monitor: its stale entries stop aborting live
+    //    traffic. The table is retained for the reclaim scan below.
+    record.monitor->setMasked(true);
+
+    // 2. Drain the board's interrupt FIFO — nobody will ever service
+    //    those words.
+    while (record.monitor->fifo().pop().has_value()) {
+    }
+    record.monitor->fifo().clearOverflow();
 
     // 3. Announce the masking with one short broadcast, then reclaim.
-    record->reclaiming = true;
+    record.reclaiming = true;
     mem::BusTransaction tx;
     tx.type = mem::TxType::BoardMask;
     tx.requester = config_.coordinatorMaster;
-    Record *target = record; // deque: stable address
+    Record *target = &record; // deque: stable address
     bus_.request(tx, [this, target](const mem::TxResult &) {
         startReclaim(*target);
     });
+}
+
+void
+RecoveryManager::onFenced(std::uint32_t master, SuspicionKind kind)
+{
+    Record *record = find(master);
+    if (record == nullptr)
+        fatal("fence for unregistered master ", master);
+    if (record->dead || record->fenced)
+        return;
+    record->fenced = true;
+    record->fenceKind = kind;
+    record->declaredAt = events_.now();
+    lastFenceAt_ = events_.now();
+    ++boardsFenced_;
+    if (tracer_ != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::RecoveryBegin;
+        event.at = events_.now();
+        event.master = master;
+        event.track = traceTrack_;
+        // aux: 0/1 = dead board/bridge, 2+ = fence, offset by kind.
+        event.aux = static_cast<std::uint8_t>(
+            2 + static_cast<std::uint8_t>(kind));
+        tracer_->record(event);
+    }
+    VMP_DTRACE(debug::Recover, events_.now(), "master ", master,
+               " fenced (", suspicionKindName(kind),
+               "); quarantining");
+
+    // Quarantine: park the board's reference stream and drop its
+    // requests at the bus — a babbling or wedged board must not keep
+    // competing for arbitration while its frames are reclaimed.
+    if (parkHook_)
+        parkHook_(master);
+    bus_.setMasterFenced(master, true);
+
+    if (record->bridge) {
+        // Bridge fencing is liveness + bus quarantine only here; the
+        // bridge's global-side frames are the global manager's
+        // problem, exactly as for a dead bridge.
+        return;
+    }
+    maskAndReclaim(*record);
+}
+
+void
+RecoveryManager::onUnfenced(std::uint32_t master)
+{
+    Record *record = find(master);
+    if (record == nullptr)
+        fatal("unfence for unregistered master ", master);
+    if (!record->fenced)
+        return;
+    if (record->reclaiming) {
+        // The detector cleared the fence while the reclaim broadcast
+        // chain is still on the bus; let it finish, then lift.
+        events_.scheduleIn(config_.reclaimServiceNs * 4,
+                           [this, master] { onUnfenced(master); },
+                           "unfence-wait");
+        return;
+    }
+    record->fenced = false;
+    record->fenceKind = SuspicionKind::None;
+    ++boardsUnfenced_;
+    VMP_DTRACE(debug::Recover, events_.now(), "master ", master,
+               " unfenced; cold rejoin");
+    bus_.setMasterFenced(master, false);
+    // The reclaim scan left the table clean; the monitor may watch the
+    // bus again.
+    if (record->monitor != nullptr)
+        record->monitor->setMasked(false);
+    if (resyncHook_)
+        resyncHook_(master);
 }
 
 void
@@ -325,6 +447,12 @@ RecoveryManager::registerStats(StatGroup &group) const
     group.addCounter("boards_declared_dead",
                      "boards (and bridges) declared failstopped",
                      boardsDead_);
+    group.addCounter("boards_fenced",
+                     "boards quarantined for partial failures",
+                     boardsFenced_);
+    group.addCounter("boards_unfenced",
+                     "quarantines lifted after recovery",
+                     boardsUnfenced_);
     group.addCounter("frames_reclaimed",
                      "Protect frames reclaimed from dead boards",
                      framesReclaimed_);

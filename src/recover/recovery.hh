@@ -30,9 +30,22 @@
  * frame learn their wait is hopeless and abandon with a structured
  * DeadOwnerError instead of hanging.
  *
- * Failstop only: a board is either executing its software correctly or
- * halted — Byzantine behavior (a live board emitting wrong protocol
- * traffic) is out of scope, matching the paper's hardware model.
+ * Fencing (partial failures): a wedged, babbling, fail-slow or
+ * stuck-table board is sick rather than silent, so the detector's
+ * FenceFn triggers *quarantine* instead of burial — park the board's
+ * reference stream, fence its requests off at the bus, mask its
+ * monitor and drain its FIFO, then run the same reclaim scan so its
+ * frames return to service. A fenced board keeps its Record and may be
+ * *unfenced* when the detector's recheck finds the fault cleared (or
+ * the fence was a false positive): the bus fence lifts, the monitor
+ * unmasks over its now-clean table, and the resync hook cold-rejoins
+ * the board.
+ *
+ * Failure model: failstop plus the partial-failure kinds above.
+ * Arbitrary Byzantine behavior (a live board emitting adversarially
+ * wrong protocol traffic) remains out of scope; the babble model is
+ * restricted to garbage *interrupt* words, which degrade service but
+ * cannot forge ownership.
  */
 
 #ifndef VMP_RECOVER_RECOVERY_HH
@@ -107,6 +120,16 @@ class RecoveryManager final : public proto::DeadOwnerOracle
     void setPostReclaimHook(std::function<void()> hook);
 
     /**
+     * Hooks bracketing a quarantine, wired by the system: @p park
+     * stops the fenced board's reference stream (its bus requests are
+     * already being dropped; parking keeps the workload model honest),
+     * @p resync cold-rejoins the board after an unfence — wipe its
+     * software state and resume. Either may be null.
+     */
+    void setFenceHooks(std::function<void(std::uint32_t)> park,
+                       std::function<void(std::uint32_t)> resync);
+
+    /**
      * Attach (or detach, with nullptr) an event tracer. On @p track:
      * a RecoveryBegin instant at declaration, a Reclaim instant per
      * reclaimed frame, and one Recovery span covering declaration to
@@ -135,12 +158,20 @@ class RecoveryManager final : public proto::DeadOwnerOracle
 
     /** Boards currently declared dead (reclaimed or in progress). */
     std::uint64_t deadBoards() const;
+    /** Boards currently fenced (quarantined, not dead). */
+    std::uint64_t fencedBoards() const;
+    /** True while @p master is quarantined. */
+    bool isFenced(std::uint32_t master) const;
     /** True while any board's reclaim is still in flight. */
     bool recovering() const;
     /** Declaration-to-reclaim-complete time of the last recovery. */
     Tick lastRecoveryNs() const { return lastRecoveryNs_; }
+    /** Tick of the most recent fence (detection-latency probes). */
+    Tick lastFenceAt() const { return lastFenceAt_; }
 
     const Counter &boardsDeclaredDead() const { return boardsDead_; }
+    const Counter &boardsFenced() const { return boardsFenced_; }
+    const Counter &boardsUnfenced() const { return boardsUnfenced_; }
     const Counter &framesReclaimed() const { return framesReclaimed_; }
     const Counter &sharedDropped() const { return sharedDropped_; }
     const Counter &pagesLost() const { return pagesLost_; }
@@ -157,11 +188,17 @@ class RecoveryManager final : public proto::DeadOwnerOracle
         monitor::BusMonitor *monitor; //!< null for bridges
         bool bridge = false;
         bool dead = false;
+        bool fenced = false;
+        SuspicionKind fenceKind = SuspicionKind::None;
         bool reclaiming = false;
         Tick declaredAt = 0;
     };
 
     void onDeclaredDead(std::uint32_t master);
+    void onFenced(std::uint32_t master, SuspicionKind kind);
+    void onUnfenced(std::uint32_t master);
+    /** Shared quarantine steps: mask, drain, broadcast, reclaim. */
+    void maskAndReclaim(Record &record);
     void startReclaim(Record &record);
     void reclaimNext(Record &record,
                      std::shared_ptr<std::deque<std::uint64_t>> frames);
@@ -184,9 +221,14 @@ class RecoveryManager final : public proto::DeadOwnerOracle
     obs::EventTracer *tracer_ = nullptr;
     std::uint16_t traceTrack_ = 0;
     std::function<void()> postReclaimHook_;
+    std::function<void(std::uint32_t)> parkHook_;
+    std::function<void(std::uint32_t)> resyncHook_;
     Tick lastRecoveryNs_ = 0;
+    Tick lastFenceAt_ = 0;
 
     Counter boardsDead_;
+    Counter boardsFenced_;
+    Counter boardsUnfenced_;
     Counter framesReclaimed_;
     Counter sharedDropped_;
     Counter pagesLost_;

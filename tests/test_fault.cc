@@ -300,8 +300,12 @@ TEST(FaultInjector, AllKindsFireAndInvariantsHold)
     quiesce(system);
     EXPECT_EQ(checker.checkFull(), 0u) << reportsOf(checker);
 
+    // Partial-failure kinds are board-targeted schedules with their
+    // own detection/fencing flows; they get dedicated tests below.
     for (std::size_t k = 0; k < fault::kFaultKinds; ++k) {
         const auto kind = static_cast<fault::FaultKind>(k);
+        if (fault::isPartialFaultKind(kind))
+            continue;
         EXPECT_GT(injector.injected(kind).value(), 0u)
             << fault::faultKindName(kind);
     }
@@ -338,6 +342,149 @@ TEST(FaultInjector, DmaBurstsLandInScratchFrames)
             touched = true;
     }
     EXPECT_TRUE(touched);
+}
+
+// ------------------------------------------------- partial failures
+
+TEST(PartialFault, BuilderValidatesSpecs)
+{
+    fault::FaultSchedule s;
+    EXPECT_THROW(s.babbleFifo(0, 0, 0.0), FatalError);
+    EXPECT_THROW(s.babbleFifo(0, 0, 1.5), FatalError);
+    EXPECT_THROW(s.slowBoard(0, 0, 1), FatalError);
+    EXPECT_THROW(s.clearAt(100), FatalError); // nothing appended yet
+    s.wedgeMonitor(1, usec(50));
+    EXPECT_THROW(s.clearAt(usec(50)), FatalError); // not after onset
+    s.clearAt(usec(60));
+    EXPECT_TRUE(s.arms(fault::FaultKind::MonitorWedge));
+    EXPECT_FALSE(s.arms(fault::FaultKind::FifoBabble));
+    s.babbleFifo(0, 0, 0.5).stickActionTable(1, usec(10))
+        .slowBoard(0, 0, 4);
+    EXPECT_TRUE(s.arms(fault::FaultKind::FifoBabble));
+    EXPECT_TRUE(s.arms(fault::FaultKind::ActionTableStuck));
+    EXPECT_TRUE(s.arms(fault::FaultKind::SlowBoard));
+}
+
+TEST(PartialFault, UnarmedHierIsBitIdentical)
+{
+    // The partial-failure seams (wedge branch, babble hook, stuck-table
+    // branch, slowdown multiply) must cost nothing when unarmed — the
+    // hierarchy exercises the wedged-IBC seam as well.
+    auto run = [](bool with_injector) {
+        core::HierConfig cfg;
+        cfg.clusters = 2;
+        cfg.cpusPerCluster = 2;
+        cfg.cache = cache::CacheConfig{256, 2, 16, true};
+        cfg.memBytes = MiB(1);
+        core::HierVmpSystem system(cfg);
+        if (with_injector)
+            system.enableFaultInjection(fault::FaultSchedule{});
+        auto gens = makeSources("atum2", 4, 5'000, 61);
+        auto raw = rawSources(gens);
+        return system.runTraces(raw).toString();
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(PartialFault, WedgeFreezesServiceThenClearRecovers)
+{
+    core::VmpSystem system(smallConfig(2, 256));
+    fault::FaultSchedule s;
+    s.wedgeMonitor(0, msec(1)).clearAt(msec(2));
+    auto &injector = system.enableFaultInjection(s);
+    auto &checker = system.enableCoherenceChecker();
+
+    auto gens = makeSources("atum3", 2, 20'000, 43);
+    auto raw = rawSources(gens);
+    const auto result = system.runTraces(raw);
+    // The wedge window closes mid-run, the backlog drains, and every
+    // reference still retires with the invariants intact.
+    EXPECT_EQ(result.totalRefs, 40'000u);
+    EXPECT_EQ(injector.injected(fault::FaultKind::MonitorWedge).value(),
+              1u);
+    EXPECT_FALSE(system.controller(0).wedged());
+    EXPECT_GT(system.controller(0).serviceEpoch(), 0u);
+    quiesce(system);
+    EXPECT_EQ(checker.checkFull(), 0u) << reportsOf(checker);
+}
+
+TEST(PartialFault, BabbleWordsAreSpuriousAndHarmless)
+{
+    core::VmpSystem system(smallConfig(2, 256));
+    fault::FaultSchedule s;
+    s.seed = 47;
+    s.babbleFifo(0, 0, 0.2);
+    auto &injector = system.enableFaultInjection(s);
+    auto &checker = system.enableCoherenceChecker();
+
+    auto gens = makeSources("atum3", 2, 10'000, 47);
+    auto raw = rawSources(gens);
+    system.runTraces(raw);
+    // Garbage words were fabricated, the service loop recognized them
+    // as spurious, and no table state was corrupted.
+    EXPECT_GT(injector.injected(fault::FaultKind::FifoBabble).value(),
+              0u);
+    EXPECT_GT(system.board(0).monitor.babbleWords().value(), 0u);
+    EXPECT_GT(system.controller(0).spuriousWords().value(), 0u);
+    quiesce(system);
+    EXPECT_EQ(checker.checkFull(), 0u) << reportsOf(checker);
+}
+
+TEST(PartialFault, StuckTableDropsUpdates)
+{
+    core::VmpSystem system(smallConfig(1, 256));
+    fault::FaultSchedule s;
+    s.stickActionTable(0, 0);
+    auto &injector = system.enableFaultInjection(s);
+    system.events().run(); // fire the onset event
+    EXPECT_EQ(
+        injector.injected(fault::FaultKind::ActionTableStuck).value(),
+        1u);
+
+    auto &board = system.board(0);
+    const Addr paddr = 5 * 256;
+    bool done = false;
+    system.controller(0).writeActionTable(
+        paddr, mem::ActionEntry::Shared, [&] { done = true; });
+    system.events().run();
+    ASSERT_TRUE(done);
+    // The bus transaction completed but the monitor hardware silently
+    // dropped the entry update.
+    EXPECT_EQ(board.monitor.table().get(5), mem::ActionEntry::Ignore);
+    EXPECT_GE(board.monitor.tableUpdatesDropped().value(), 1u);
+
+    board.monitor.setTableStuck(false);
+    done = false;
+    system.controller(0).writeActionTable(
+        paddr, mem::ActionEntry::Shared, [&] { done = true; });
+    system.events().run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(board.monitor.table().get(5), mem::ActionEntry::Shared);
+}
+
+TEST(PartialFault, SlowBoardStretchesServiceTime)
+{
+    auto run = [](std::uint64_t factor) {
+        core::VmpSystem system(smallConfig(2, 256));
+        if (factor > 1) {
+            fault::FaultSchedule s;
+            s.slowBoard(0, 0, factor).slowBoard(1, 0, factor);
+            system.enableFaultInjection(s);
+        }
+        auto gens = makeSources("atum3", 2, 10'000, 53);
+        auto raw = rawSources(gens);
+        return system.runTraces(raw).elapsed;
+    };
+    // Inflated interrupt-service latency shows up as wall-clock time:
+    // every consistency interaction with the slow boards takes longer.
+    EXPECT_GT(run(16), run(1));
+}
+
+TEST(PartialFault, ZeroSlowdownFactorIsFatal)
+{
+    core::VmpSystem system(smallConfig(1, 256));
+    EXPECT_THROW(system.controller(0).setServiceSlowdown(0),
+                 PanicError);
 }
 
 // ------------------------------------------------ coherence checker

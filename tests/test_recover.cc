@@ -341,6 +341,287 @@ TEST(Detector, LivenessSweepCatchesSilentBoard)
     EXPECT_TRUE(rig.detector.declaredDead(0));
 }
 
+// ------------------------------------------------- health witnesses
+
+/** DetectorRig plus a mutable health report and fence/unfence logs. */
+struct WitnessRig : BusRig
+{
+    explicit WitnessRig(recover::DetectorConfig cfg)
+        : monitor(0, MiB(1), 256), detector(events, bus, 256, cfg)
+    {
+        bus.attachWatcher(0, monitor);
+        detector.addBoard(0, &monitor,
+                          [this] { return health.alive; });
+        detector.setHealthFn(0, [this] { return health; });
+        detector.setOnDead([this](std::uint32_t master) {
+            deadMasters.push_back(master);
+        });
+        detector.setOnFence(
+            [this](std::uint32_t master, recover::SuspicionKind kind) {
+                fencedMasters.push_back(master);
+                fenceKinds.push_back(kind);
+            });
+        detector.setOnUnfence([this](std::uint32_t master) {
+            unfencedMasters.push_back(master);
+        });
+        detector.install();
+    }
+
+    monitor::BusMonitor monitor;
+    recover::FailureDetector detector;
+    recover::HealthReport health{};
+    std::vector<std::uint32_t> deadMasters;
+    std::vector<std::uint32_t> fencedMasters;
+    std::vector<recover::SuspicionKind> fenceKinds;
+    std::vector<std::uint32_t> unfencedMasters;
+};
+
+TEST(Witness, WedgeWitnessFencesUnresponsiveBoard)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 2;
+    cfg.sweepPeriod = 4;
+    cfg.wedgeSweeps = 2;
+    cfg.unfenceCheckNs = 5'000;
+    cfg.unfenceChecks = 2;
+    WitnessRig rig(cfg);
+
+    // Alive but not responsive: backlog pending, epoch frozen (it
+    // stays at the value snapshotted when the witness was attached).
+    rig.health.responsive = false;
+    rig.health.pendingWords = 3;
+
+    // Two sweeps (4 observed transactions each) with a frozen epoch
+    // cross wedgeSweeps; the probes see an unresponsive loop and the
+    // declaration routes to a fence, not a failstop declaration.
+    for (int i = 0; i < 8; ++i)
+        rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+
+    EXPECT_EQ(rig.detector.wedgeSuspicions().value(), 1u);
+    EXPECT_EQ(rig.detector.fences().value(), 1u);
+    EXPECT_EQ(rig.detector.declarations().value(), 0u);
+    EXPECT_TRUE(rig.detector.isFenced(0));
+    EXPECT_EQ(rig.detector.fenceKindOf(0),
+              recover::SuspicionKind::Wedge);
+    ASSERT_EQ(rig.fencedMasters.size(), 1u);
+    EXPECT_EQ(rig.fencedMasters[0], 0u);
+    EXPECT_EQ(rig.fenceKinds[0], recover::SuspicionKind::Wedge);
+    // The board never recovered: both rechecks failed, fence stands.
+    EXPECT_TRUE(rig.unfencedMasters.empty());
+    EXPECT_TRUE(rig.deadMasters.empty());
+}
+
+TEST(Witness, FalsePositiveFenceUnfencesHealthyBoard)
+{
+    recover::DetectorConfig cfg;
+    cfg.unfenceCheckNs = 5'000;
+    cfg.unfenceChecks = 2;
+    WitnessRig rig(cfg);
+
+    // Operator (or over-eager policy) fences a perfectly healthy
+    // board: the first recovery recheck sees it answering and lifts
+    // the quarantine.
+    rig.detector.fenceBoard(0, recover::SuspicionKind::Wedge);
+    EXPECT_TRUE(rig.detector.isFenced(0));
+    rig.events.run();
+
+    EXPECT_EQ(rig.detector.unfences().value(), 1u);
+    EXPECT_FALSE(rig.detector.isFenced(0));
+    ASSERT_EQ(rig.unfencedMasters.size(), 1u);
+    EXPECT_EQ(rig.unfencedMasters[0], 0u);
+}
+
+TEST(Witness, BabbleWitnessFencesThenSilenceUnfences)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 2;
+    cfg.sweepPeriod = 4;
+    cfg.babbleMinWords = 4;
+    cfg.babbleFraction = 0.5;
+    cfg.babbleSweeps = 1; // single-window flow test; strikes below
+    cfg.unfenceCheckNs = 10'000;
+    cfg.unfenceChecks = 2;
+    WitnessRig rig(cfg);
+
+    // Since the last sweep the board serviced 8 words, all spurious.
+    rig.health.wordsServiced = 8;
+    rig.health.spuriousWords = 8;
+    rig.health.fifoPushed = 16;
+
+    for (int i = 0; i < 3; ++i)
+        rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+    // The babble keeps flowing between the imminent suspicion (at the
+    // 4th transaction, a short-tx time from now) and its first probe
+    // (a full deadline later).
+    rig.events.scheduleIn(500, [&rig] {
+        rig.health.wordsServiced += 8;
+        rig.health.spuriousWords += 8;
+        rig.health.fifoPushed += 8;
+    }, "babble-continues");
+    rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+
+    EXPECT_EQ(rig.detector.babbleSuspicions().value(), 1u);
+    EXPECT_EQ(rig.detector.fences().value(), 1u);
+    ASSERT_EQ(rig.fenceKinds.size(), 1u);
+    EXPECT_EQ(rig.fenceKinds[0], recover::SuspicionKind::Babble);
+    // After the fence the FIFO went silent (fifoPushed stopped
+    // moving): one quiet recheck window proves the fault cleared.
+    EXPECT_EQ(rig.detector.unfences().value(), 1u);
+    EXPECT_FALSE(rig.detector.isFenced(0));
+}
+
+TEST(Witness, BoardDeadUnderWitnessSuspicionIsDeclaredNotFenced)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 2;
+    cfg.sweepPeriod = 4;
+    cfg.babbleMinWords = 4;
+    cfg.babbleFraction = 0.5;
+    cfg.babbleSweeps = 1;
+    WitnessRig rig(cfg);
+
+    // A babbling board draws a witness suspicion, then failstops
+    // outright before the first probe fires. Liveness trumps the
+    // suspicion kind: the corpse is declared dead, not fenced — a
+    // fence would be lifted by the first quiet recheck (a dead FIFO
+    // is silent too) and the hazard would cycle forever.
+    rig.health.wordsServiced = 8;
+    rig.health.spuriousWords = 8;
+    rig.health.fifoPushed = 16;
+    for (int i = 0; i < 3; ++i)
+        rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+    rig.events.scheduleIn(500, [&rig] {
+        rig.health.alive = false;
+    }, "board-dies");
+    rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+    EXPECT_EQ(rig.detector.babbleSuspicions().value(), 1u);
+    rig.events.run();
+
+    EXPECT_EQ(rig.detector.declarations().value(), 1u);
+    EXPECT_EQ(rig.detector.fences().value(), 0u);
+    EXPECT_TRUE(rig.detector.declaredDead(0));
+    ASSERT_EQ(rig.deadMasters.size(), 1u);
+    EXPECT_EQ(rig.deadMasters[0], 0u);
+    EXPECT_TRUE(rig.fencedMasters.empty());
+}
+
+TEST(Witness, BabbleNeedsSustainedWindows)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.sweepPeriod = 4;
+    cfg.babbleMinWords = 4;
+    cfg.babbleFraction = 0.5;
+    cfg.babbleSweeps = 2;
+    WitnessRig rig(cfg);
+
+    auto sweep = [&rig] {
+        for (int i = 0; i < 4; ++i)
+            rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+    };
+
+    // Window 1: all spurious — a healthy board can legitimately burn
+    // one window on stale FIFO entries. One strike, no suspicion.
+    rig.health.wordsServiced = 8;
+    rig.health.spuriousWords = 8;
+    sweep();
+    EXPECT_EQ(rig.detector.babbleSuspicions().value(), 0u);
+
+    // Window 2: clean — the strike count resets.
+    rig.health.wordsServiced += 8;
+    sweep();
+    EXPECT_EQ(rig.detector.babbleSuspicions().value(), 0u);
+
+    // Windows 3+4: spurious again, twice in a row — only now does the
+    // witness call it babble.
+    rig.health.wordsServiced += 8;
+    rig.health.spuriousWords += 8;
+    sweep();
+    EXPECT_EQ(rig.detector.babbleSuspicions().value(), 0u);
+    rig.health.wordsServiced += 8;
+    rig.health.spuriousWords += 8;
+    sweep();
+    EXPECT_EQ(rig.detector.babbleSuspicions().value(), 1u);
+}
+
+TEST(Witness, FailSlowWitnessFencesAndStaysFenced)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 2;
+    cfg.sweepPeriod = 4;
+    cfg.slowEwmaAlpha = 1.0;
+    cfg.slowLatencyNs = 1'000;
+    cfg.unfenceCheckNs = 5'000;
+    cfg.unfenceChecks = 2;
+    WitnessRig rig(cfg);
+
+    // 4 words took 40us: 10us/word against a 1us threshold.
+    rig.health.wordsServiced = 4;
+    rig.health.serviceBusyNs = 40'000;
+
+    for (int i = 0; i < 4; ++i)
+        rig.issue(rig.shortTx(TxType::Notify, 0, 9));
+
+    EXPECT_EQ(rig.detector.slowSuspicions().value(), 1u);
+    EXPECT_EQ(rig.detector.fences().value(), 1u);
+    EXPECT_EQ(rig.detector.fenceKindOf(0),
+              recover::SuspicionKind::FailSlow);
+    // Fail-slow boards are not rechecked: quarantine holds until an
+    // operator rejoin.
+    EXPECT_TRUE(rig.detector.isFenced(0));
+    EXPECT_EQ(rig.detector.unfences().value(), 0u);
+}
+
+TEST(Witness, StuckTableEscalatesOnlyWithWriteEvidence)
+{
+    recover::DetectorConfig cfg;
+    cfg.deadlineNs = 1'000;
+    cfg.maxProbes = 3;
+    cfg.abortStreakThreshold = 2;
+    cfg.tableStuckStrikes = 2;
+    cfg.sweepPeriod = 1u << 30; // only the abort-streak path
+    WitnessRig rig(cfg);
+
+    rig.monitor.table().set(0, ActionEntry::Protect);
+
+    // Phase 1: three full streak rounds against a live owner that
+    // never released the frame. Each suspicion clears on the first
+    // probe, and without a visible release write none of them counts
+    // as stuck-table evidence — a recovery-storm retry chain must
+    // never get a live owner fenced.
+    for (int round = 0; round < 3; ++round)
+        for (int i = 0; i < 2; ++i)
+            EXPECT_TRUE(rig.issue(
+                rig.shortTx(TxType::AssertOwnership, 0, 9)));
+    EXPECT_EQ(rig.detector.falseSuspicions().value(), 3u);
+    EXPECT_EQ(rig.detector.stuckEscalations().value(), 0u);
+    EXPECT_TRUE(rig.fencedMasters.empty());
+
+    // Phase 2: the owner visibly releases the frame on the bus, but
+    // its monitor drops the update (the table still reads Protect).
+    EXPECT_FALSE(
+        rig.issue(rig.shortTx(TxType::WriteActionTable, 0, 0)));
+    ASSERT_EQ(rig.monitor.table().get(0), ActionEntry::Protect);
+
+    // Phase 3: post-release streaks on the same frame are hard
+    // evidence; tableStuckStrikes of them fence the board.
+    for (int round = 0; round < 2; ++round)
+        for (int i = 0; i < 2; ++i)
+            EXPECT_TRUE(rig.issue(
+                rig.shortTx(TxType::AssertOwnership, 0, 9)));
+    EXPECT_EQ(rig.detector.stuckEscalations().value(), 1u);
+    EXPECT_EQ(rig.detector.fences().value(), 1u);
+    EXPECT_EQ(rig.detector.fenceKindOf(0),
+              recover::SuspicionKind::StuckTable);
+    EXPECT_TRUE(rig.detector.isFenced(0));
+    // No recheck path for a stuck table: the fence stands.
+    EXPECT_EQ(rig.detector.unfences().value(), 0u);
+}
+
 // ----------------------------------------------------- reclaim flow
 
 TEST(Reclaim, FullFlowMasksDrainsReclaimsAndRestores)
@@ -633,6 +914,135 @@ TEST(Recovery, HierDeadInterBusBoardIsReclaimedGlobally)
         << reportsOf(system.clusterChecker(0));
 }
 
+// --------------------------------------------- partial-failure flow
+
+TEST(Recovery, WedgedBoardIsFencedAndQuarantined)
+{
+    auto cfg = smallConfig(4, 256);
+    // Bound the fenced board's stranded in-flight access.
+    cfg.swTiming.deadOwnerTimeoutNs = msec(1);
+    core::VmpSystem system(cfg);
+    fault::FaultSchedule s;
+    s.wedgeMonitor(0, msec(1)); // never clears
+    system.enableFaultInjection(s);
+    auto &checker = system.enableCoherenceChecker();
+    recover::RecoveryConfig rc;
+    rc.detector.sweepPeriod = 32;
+    rc.detector.deadlineNs = 20'000;
+    auto &manager = system.enableRecovery(rc);
+
+    auto gens = makeSources("atum3", 4, 12'000, 13);
+    auto raw = rawSources(gens);
+    const auto result = system.runTraces(raw);
+
+    // The wedge witness caught the frozen service loop and the board
+    // was quarantined — fenced and reclaimed, not declared dead.
+    EXPECT_EQ(manager.boardsFenced().value(), 1u);
+    EXPECT_TRUE(manager.isFenced(0));
+    EXPECT_EQ(manager.detector().fenceKindOf(0),
+              recover::SuspicionKind::Wedge);
+    EXPECT_GE(manager.lastFenceAt(), msec(1));
+    EXPECT_EQ(manager.boardsDeclaredDead().value(), 0u);
+    EXPECT_FALSE(system.controller(0).dead());
+    EXPECT_TRUE(system.board(0).monitor.masked());
+
+    // The survivors finished; the fenced board's trace is cut short.
+    EXPECT_GE(result.totalRefs, 3u * 12'000u);
+    EXPECT_LT(result.totalRefs, 4u * 12'000u);
+
+    // Post-fence sweep: single-owner holds with the sick board out.
+    EXPECT_EQ(checker.checkOwnersSweep(), 0u) << reportsOf(checker);
+    EXPECT_EQ(checker.violations().value(), 0u) << reportsOf(checker);
+}
+
+TEST(Recovery, ClearedWedgeIsUnfencedAndBoardResumes)
+{
+    core::VmpSystem system(smallConfig(4, 256));
+    fault::FaultSchedule s;
+    s.wedgeMonitor(0, msec(1)).clearAt(msec(3));
+    system.enableFaultInjection(s);
+    auto &checker = system.enableCoherenceChecker();
+    recover::RecoveryConfig rc;
+    rc.detector.sweepPeriod = 32;
+    rc.detector.deadlineNs = 20'000;
+    // Recheck window spans the scheduled clear tick.
+    rc.detector.unfenceCheckNs = 500'000;
+    rc.detector.unfenceChecks = 8;
+    auto &manager = system.enableRecovery(rc);
+
+    auto gens = makeSources("atum3", 4, 20'000, 17);
+    auto raw = rawSources(gens);
+    const auto result = system.runTraces(raw);
+
+    // Fenced while wedged, unfenced by a recheck after the underlying
+    // fault cleared; the board cold-restarted and finished its trace.
+    EXPECT_EQ(manager.boardsFenced().value(), 1u);
+    EXPECT_EQ(manager.boardsUnfenced().value(), 1u);
+    EXPECT_FALSE(manager.isFenced(0));
+    EXPECT_FALSE(system.controller(0).dead());
+    EXPECT_FALSE(system.board(0).monitor.masked());
+    EXPECT_EQ(result.totalRefs, 4u * 20'000u);
+
+    quiesce(system);
+    EXPECT_EQ(checker.checkFull(), 0u) << reportsOf(checker);
+    EXPECT_EQ(checker.violations().value(), 0u) << reportsOf(checker);
+}
+
+// -------------------- false suspicions across arbitration disciplines
+//
+// Queue-delay-inflated retry chains under priority or round-robin
+// arbitration must never push a live owner past the abort-streak
+// threshold into a declaration or fence (satellite: detector
+// robustness against arbitration-induced latency).
+
+class ArbitrationFalseSuspicion
+    : public ::testing::TestWithParam<mem::Arbitration>
+{
+};
+
+TEST_P(ArbitrationFalseSuspicion, LiveOwnersNeverDeclaredOrFenced)
+{
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        auto cfg = smallConfig(4, 256);
+        cfg.arbitration.discipline = GetParam();
+        core::VmpSystem system(cfg);
+        auto &checker = system.enableCoherenceChecker();
+        recover::RecoveryConfig rc;
+        rc.detector.sweepPeriod = 64;
+        auto &manager = system.enableRecovery(rc);
+
+        // Hot sharing: heavy consistency traffic and long retry
+        // chains against perfectly live owners.
+        auto gens = makeSources("atum3", 4, 15'000, seed * 7);
+        auto raw = rawSources(gens);
+        const auto result = system.runTraces(raw);
+        EXPECT_EQ(result.totalRefs, 4u * 15'000u);
+
+        EXPECT_EQ(manager.detector().declarations().value(), 0u);
+        EXPECT_EQ(manager.detector().fences().value(), 0u);
+        EXPECT_EQ(manager.boardsDeclaredDead().value(), 0u);
+        EXPECT_EQ(manager.fencedBoards(), 0u);
+        quiesce(system);
+        EXPECT_EQ(checker.checkFull(), 0u) << reportsOf(checker);
+        EXPECT_EQ(checker.violations().value(), 0u)
+            << reportsOf(checker);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Disciplines, ArbitrationFalseSuspicion,
+    ::testing::Values(mem::Arbitration::Fifo,
+                      mem::Arbitration::Priority,
+                      mem::Arbitration::RoundRobin),
+    [](const ::testing::TestParamInfo<mem::Arbitration> &info) {
+        switch (info.param) {
+          case mem::Arbitration::Fifo: return std::string("fifo");
+          case mem::Arbitration::Priority:
+            return std::string("priority");
+          default: return std::string("rr");
+        }
+    });
+
 // --------------------------------------------------- torture matrix
 //
 // Registered under the "torture" ctest label, excluded from tier-1
@@ -768,6 +1178,111 @@ INSTANTIATE_TEST_SUITE_P(Hier, TortureHierIbc,
                              os << "p" << info.param;
                              return os.str();
                          });
+
+// Partial-failure torture: {wedge, babble, fail-slow} x page sizes
+// x 3 seeds. Every injected partial failure must be detected and
+// fenced, with zero post-fence invariant violations, no false
+// declarations, and no second board swept up in the quarantine.
+
+struct PartialTortureParams
+{
+    fault::FaultKind kind;
+    std::uint32_t pageBytes;
+};
+
+std::string
+partialName(const ::testing::TestParamInfo<PartialTortureParams> &info)
+{
+    std::ostringstream os;
+    switch (info.param.kind) {
+      case fault::FaultKind::MonitorWedge:
+        os << "wedge";
+        break;
+      case fault::FaultKind::FifoBabble:
+        os << "babble";
+        break;
+      default:
+        os << "slow";
+        break;
+    }
+    os << "_p" << info.param.pageBytes;
+    return os.str();
+}
+
+class TorturePartialFault
+    : public ::testing::TestWithParam<PartialTortureParams>
+{
+};
+
+TEST_P(TorturePartialFault, DetectedFencedZeroViolations)
+{
+    const auto &p = GetParam();
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto cfg = smallConfig(4, p.pageBytes);
+        cfg.swTiming.deadOwnerTimeoutNs = msec(1);
+        core::VmpSystem system(cfg);
+        fault::FaultSchedule s;
+        s.seed = seed;
+        s.busAborts(0.01); // background noise
+        switch (p.kind) {
+          case fault::FaultKind::MonitorWedge:
+            s.wedgeMonitor(2, msec(1));
+            break;
+          case fault::FaultKind::FifoBabble:
+            s.babbleFifo(2, msec(1), 0.8);
+            break;
+          default:
+            s.slowBoard(2, msec(1), 64);
+            break;
+        }
+        auto &injector = system.enableFaultInjection(s);
+        auto &checker = system.enableCoherenceChecker();
+        recover::RecoveryConfig rc;
+        rc.detector.sweepPeriod = 32;
+        rc.detector.deadlineNs = 20'000;
+        auto &manager = system.enableRecovery(rc);
+        std::uint64_t trips = 0;
+        system.setWatchdog(
+            1'000, [&](const proto::WatchdogReport &) { ++trips; });
+
+        auto gens = makeSources("atum3", 4, 8'000, seed);
+        auto raw = rawSources(gens);
+        const auto result = system.runTraces(raw);
+
+        const std::string ctx = ::testing::PrintToString(seed) +
+            " p=" + std::to_string(p.pageBytes);
+        EXPECT_GT(injector.injected(p.kind).value(), 0u) << ctx;
+        // Detected and fenced — the sick board, and only it.
+        EXPECT_TRUE(manager.isFenced(2)) << ctx;
+        EXPECT_EQ(manager.fencedBoards(), 1u) << ctx;
+        EXPECT_EQ(manager.boardsDeclaredDead().value(), 0u) << ctx;
+        EXPECT_GE(manager.lastFenceAt(), msec(1)) << ctx;
+        // Survivors ran to completion.
+        EXPECT_GE(result.totalRefs, 3u * 8'000u) << ctx;
+        // Zero post-fence invariant violations, silent watchdog.
+        EXPECT_EQ(checker.checkOwnersSweep(), 0u)
+            << ctx << "\n" << reportsOf(checker);
+        EXPECT_EQ(checker.violations().value(), 0u)
+            << ctx << "\n" << reportsOf(checker);
+        EXPECT_EQ(trips, 0u) << ctx;
+    }
+}
+
+std::vector<PartialTortureParams>
+partialParams()
+{
+    std::vector<PartialTortureParams> params;
+    for (const auto kind :
+         {fault::FaultKind::MonitorWedge, fault::FaultKind::FifoBabble,
+          fault::FaultKind::SlowBoard})
+        for (std::uint32_t page : {128u, 256u})
+            params.push_back({kind, page});
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Partial, TorturePartialFault,
+                         ::testing::ValuesIn(partialParams()),
+                         partialName);
 
 } // namespace
 } // namespace vmp
