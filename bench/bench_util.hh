@@ -52,8 +52,13 @@ inline constexpr const char *kArtifactSchema = "vmp-bench-artifact";
  *  fenced-mode survivor throughput across wedge/babble/fail-slow
  *  severities) and the fencing counters in the "recovery" stat group
  *  (boards_fenced / boards_unfenced, wedge/babble/slow suspicion and
- *  stuck-table escalation counters). */
-inline constexpr double kArtifactSchemaVersion = 1.6;
+ *  stuck-table escalation counters). v1.7 added the telemetry bench
+ *  (bench_telemetry: streamed-vs-post-hoc trace equivalence, sink
+ *  overhead, replay ownership probes) and the streaming-sink counters
+ *  (stream_events / stream_dropped / stream_flushes /
+ *  stream_gauge_samples) plus per-track overwritten_* counters in the
+ *  "obs" stat group. */
+inline constexpr double kArtifactSchemaVersion = 1.7;
 
 /** Build-time git revision (configure-time snapshot; "unknown" when
  *  the build tree was configured outside a git checkout). */

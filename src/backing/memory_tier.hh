@@ -111,6 +111,7 @@ class MemoryTier
 
     /** Node-local frame pool; null in Mirror mode. */
     FrameArena *arena() { return arena_.get(); }
+    const FrameArena *arena() const { return arena_.get(); }
 
     /** Select the backend medium for one address space. */
     void setBackend(Asid asid, BackendKind kind);

@@ -112,6 +112,14 @@ HierVmpSystem::localBus(std::size_t cluster)
     return clusters_[cluster]->bus;
 }
 
+const mem::VmeBus &
+HierVmpSystem::localBus(std::size_t cluster) const
+{
+    if (cluster >= clusters_.size())
+        panic("cluster index ", cluster, " out of range");
+    return clusters_[cluster]->bus;
+}
+
 mem::PhysMem &
 HierVmpSystem::image(std::size_t cluster)
 {
@@ -128,6 +136,14 @@ HierVmpSystem::interBusBoard(std::size_t cluster)
     return clusters_[cluster]->ibc;
 }
 
+const hier::InterBusBoard &
+HierVmpSystem::interBusBoard(std::size_t cluster) const
+{
+    if (cluster >= clusters_.size())
+        panic("cluster index ", cluster, " out of range");
+    return clusters_[cluster]->ibc;
+}
+
 ProcessorBoard &
 HierVmpSystem::board(std::size_t cpu)
 {
@@ -137,8 +153,23 @@ HierVmpSystem::board(std::size_t cpu)
                 ->boards[cpu % cfg_.cpusPerCluster];
 }
 
+const ProcessorBoard &
+HierVmpSystem::board(std::size_t cpu) const
+{
+    if (cpu >= cfg_.totalCpus())
+        panic("cpu index ", cpu, " out of range");
+    return *clusters_[cpu / cfg_.cpusPerCluster]
+                ->boards[cpu % cfg_.cpusPerCluster];
+}
+
 proto::CacheController &
 HierVmpSystem::controller(std::size_t cpu)
+{
+    return board(cpu).controller;
+}
+
+const proto::CacheController &
+HierVmpSystem::controller(std::size_t cpu) const
 {
     return board(cpu).controller;
 }

@@ -96,21 +96,27 @@ class HierVmpSystem
 
     const HierConfig &config() const { return cfg_; }
     EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
     /** Main (global) memory. */
     mem::PhysMem &memory() { return memory_; }
     mem::VmeBus &globalBus() { return globalBus_; }
+    const mem::VmeBus &globalBus() const { return globalBus_; }
     std::uint32_t clusters() const { return cfg_.clusters; }
     std::uint32_t cpusPerCluster() const { return cfg_.cpusPerCluster; }
     std::uint32_t totalCpus() const { return cfg_.totalCpus(); }
 
     mem::VmeBus &localBus(std::size_t cluster);
+    const mem::VmeBus &localBus(std::size_t cluster) const;
     mem::PhysMem &image(std::size_t cluster);
     hier::InterBusBoard &interBusBoard(std::size_t cluster);
+    const hier::InterBusBoard &interBusBoard(std::size_t cluster) const;
 
     /** Board/controller for the flat CPU index
      *  (cluster = index / cpusPerCluster). */
     ProcessorBoard &board(std::size_t cpu);
+    const ProcessorBoard &board(std::size_t cpu) const;
     proto::CacheController &controller(std::size_t cpu);
+    const proto::CacheController &controller(std::size_t cpu) const;
 
     /** One trace CPU per source, filled cluster-major; runs all to
      *  completion. */
@@ -169,8 +175,19 @@ class HierVmpSystem
 
     /** Per-cluster recovery manager (requires enableRecovery). */
     recover::RecoveryManager &clusterRecovery(std::size_t cluster);
+    /** True once enableRecovery() has run. */
+    bool recoveryEnabled() const { return globalRecovery_ != nullptr; }
+    const recover::RecoveryManager &
+    clusterRecovery(std::size_t cluster) const
+    {
+        return *clusterRecoveries_.at(cluster);
+    }
     /** Global-bus recovery manager, or null if none installed. */
     recover::RecoveryManager *globalRecovery()
+    {
+        return globalRecovery_.get();
+    }
+    const recover::RecoveryManager *globalRecovery() const
     {
         return globalRecovery_.get();
     }
@@ -243,6 +260,10 @@ class HierVmpSystem
 
     /** The cluster budget controller, or null if none installed. */
     backing::BudgetController *clusterBudget() { return budget_.get(); }
+    const backing::BudgetController *clusterBudget() const
+    {
+        return budget_.get();
+    }
 
     /**
      * Full sweep on every installed checker (quiescence only).

@@ -84,8 +84,22 @@ VmpSystem::board(std::size_t index)
     return *boards_[index];
 }
 
+const ProcessorBoard &
+VmpSystem::board(std::size_t index) const
+{
+    if (index >= boards_.size())
+        panic("board index ", index, " out of range");
+    return *boards_[index];
+}
+
 proto::CacheController &
 VmpSystem::controller(std::size_t index)
+{
+    return board(index).controller;
+}
+
+const proto::CacheController &
+VmpSystem::controller(std::size_t index) const
 {
     return board(index).controller;
 }

@@ -109,11 +109,16 @@ class VmpSystem
 
     const VmpConfig &config() const { return cfg_; }
     EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
     mem::PhysMem &memory() { return memory_; }
+    const mem::PhysMem &memory() const { return memory_; }
     mem::VmeBus &bus() { return bus_; }
+    const mem::VmeBus &bus() const { return bus_; }
     std::uint32_t processors() const;
     ProcessorBoard &board(std::size_t index);
+    const ProcessorBoard &board(std::size_t index) const;
     proto::CacheController &controller(std::size_t index);
+    const proto::CacheController &controller(std::size_t index) const;
 
     /**
      * Attach one trace-driven CPU per source and run all of them to
@@ -189,6 +194,10 @@ class VmpSystem
 
     /** The installed recovery manager, or null if none. */
     recover::RecoveryManager *recoveryManager() { return recovery_.get(); }
+    const recover::RecoveryManager *recoveryManager() const
+    {
+        return recovery_.get();
+    }
 
     /**
      * Install an NVRAM-shadowed frame checkpoint: a cache-page-granule

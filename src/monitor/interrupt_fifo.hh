@@ -52,6 +52,9 @@ class InterruptFifo
     std::size_t size() const { return words_.size(); }
     std::size_t capacity() const { return capacity_; }
 
+    /** Queued words, oldest first (live-inspection snapshots). */
+    const std::deque<InterruptWord> &words() const { return words_; }
+
     /** True once any word has been dropped; cleared by software. */
     bool overflowed() const { return overflowed_; }
     void clearOverflow() { overflowed_ = false; }

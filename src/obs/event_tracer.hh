@@ -175,6 +175,30 @@ class EventTracer
         group.addCounter("events_overwritten",
                          "oldest events overwritten by ring wrap",
                          dropped_);
+        // Per-track overwrite loss: sinks see every event before ring
+        // storage, so overwrite only loses the *retained* copy — but
+        // that is exactly what the post-hoc exporters read, so a
+        // non-zero counter here means writeChromeTrace() is showing a
+        // truncated track. Track names are sanitized ('.' -> '_') so
+        // the flat "group.stat" dump format stays unambiguous.
+        for (const Ring &ring : rings_) {
+            group.addCounter("overwritten_" + statName(ring.name),
+                             "events overwritten on track " +
+                                 ring.name,
+                             ring.dropped);
+        }
+    }
+
+    /** Track name as a stat identifier ("c0.bus" -> "c0_bus"). */
+    static std::string
+    statName(const std::string &track_name)
+    {
+        std::string out = track_name;
+        for (char &c : out) {
+            if (c == '.')
+                c = '_';
+        }
+        return out;
     }
 
   private:

@@ -80,50 +80,58 @@ spanArgs(const TraceEvent &event)
 } // namespace
 
 Json
+chromeTraceEvent(const TraceEvent &event)
+{
+    if (isSpan(event.kind)) {
+        const char *name =
+            event.kind == EventKind::MissPhase
+                ? missPhaseName(static_cast<MissPhase>(event.aux))
+                : eventKindName(event.kind);
+        Json j = chromeEvent("X", name, event);
+        j["dur"] = Json(usec(event.arg0));
+        j["args"] = spanArgs(event);
+        return j;
+    }
+    if (event.kind == EventKind::FifoDepth) {
+        Json j = chromeEvent("C", "fifo_depth", event);
+        Json args = Json::object();
+        args["depth"] = Json(event.arg0);
+        j["args"] = std::move(args);
+        return j;
+    }
+    Json j = chromeEvent("i", eventKindName(event.kind), event);
+    j["s"] = Json("t");
+    Json args = Json::object();
+    args["addr"] = Json(event.addr);
+    args["master"] = Json(std::uint64_t{event.master});
+    j["args"] = std::move(args);
+    return j;
+}
+
+Json
+chromeTrackMetadata(std::uint16_t track, const std::string &name)
+{
+    Json meta = Json::object();
+    meta["name"] = Json("thread_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(0);
+    meta["tid"] = Json(std::uint64_t{track});
+    Json args = Json::object();
+    args["name"] = Json(name);
+    meta["args"] = std::move(args);
+    return meta;
+}
+
+Json
 chromeTraceJson(const EventTracer &tracer)
 {
     Json events = Json::array();
     // Track-name metadata first, one per track, in track order.
     for (std::uint16_t t = 0;
-         t < static_cast<std::uint16_t>(tracer.trackCount()); ++t) {
-        Json meta = Json::object();
-        meta["name"] = Json("thread_name");
-        meta["ph"] = Json("M");
-        meta["pid"] = Json(0);
-        meta["tid"] = Json(std::uint64_t{t});
-        Json args = Json::object();
-        args["name"] = Json(tracer.trackName(t));
-        meta["args"] = std::move(args);
-        events.push(std::move(meta));
-    }
-    for (const TraceEvent &event : tracer.allEvents()) {
-        if (isSpan(event.kind)) {
-            const char *name =
-                event.kind == EventKind::MissPhase
-                    ? missPhaseName(
-                          static_cast<MissPhase>(event.aux))
-                    : eventKindName(event.kind);
-            Json j = chromeEvent("X", name, event);
-            j["dur"] = Json(usec(event.arg0));
-            j["args"] = spanArgs(event);
-            events.push(std::move(j));
-        } else if (event.kind == EventKind::FifoDepth) {
-            Json j = chromeEvent("C", "fifo_depth", event);
-            Json args = Json::object();
-            args["depth"] = Json(event.arg0);
-            j["args"] = std::move(args);
-            events.push(std::move(j));
-        } else {
-            Json j =
-                chromeEvent("i", eventKindName(event.kind), event);
-            j["s"] = Json("t");
-            Json args = Json::object();
-            args["addr"] = Json(event.addr);
-            args["master"] = Json(std::uint64_t{event.master});
-            j["args"] = std::move(args);
-            events.push(std::move(j));
-        }
-    }
+         t < static_cast<std::uint16_t>(tracer.trackCount()); ++t)
+        events.push(chromeTrackMetadata(t, tracer.trackName(t)));
+    for (const TraceEvent &event : tracer.allEvents())
+        events.push(chromeTraceEvent(event));
     Json doc = Json::object();
     doc["displayTimeUnit"] = Json("ns");
     doc["traceEvents"] = std::move(events);
@@ -219,7 +227,7 @@ fifoDepthCsv(const EventTracer &tracer)
 
 std::string
 metricsSnapshot(const EventTracer &tracer,
-                const MissProfiler *profiler)
+                const MissProfiler *profiler, const GaugeSet *gauges)
 {
     std::ostringstream os;
     os << "obs snapshot: " << tracer.trackCount() << " tracks, "
@@ -271,6 +279,16 @@ metricsSnapshot(const EventTracer &tracer,
                     cls.meanPhaseUs(MissPhase::BlockCopy),
                     cls.meanPhaseUs(MissPhase::ConsistencyWait));
                 os << line;
+            }
+        }
+    }
+    if (gauges != nullptr && !gauges->empty()) {
+        os << "  gauges:\n";
+        for (const GaugeGroup &group : gauges->groups()) {
+            for (const Gauge &gauge : group.gauges) {
+                os << "    " << group.name << '.' << gauge.name
+                   << " = " << Json::numberToString(gauge.value)
+                   << '\n';
             }
         }
     }

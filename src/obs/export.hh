@@ -17,6 +17,7 @@
 #include <string>
 
 #include "obs/event_tracer.hh"
+#include "obs/gauges.hh"
 #include "obs/miss_profiler.hh"
 #include "sim/json.hh"
 
@@ -30,6 +31,18 @@ namespace vmp::obs
  * tid is the tracer's track id.
  */
 Json chromeTraceJson(const EventTracer &tracer);
+
+/**
+ * One TraceEvent as its Chrome-trace JSON object — the exact record
+ * chromeTraceJson() emits for it. Public so the telemetry streaming
+ * sink serializes events identically to the post-hoc exporter (the
+ * streamed-vs-post-hoc equivalence gate depends on this being the
+ * single source of truth).
+ */
+Json chromeTraceEvent(const TraceEvent &event);
+
+/** The "M" thread_name metadata record naming @p track. */
+Json chromeTrackMetadata(std::uint16_t track, const std::string &name);
 
 /** Write chromeTraceJson to @p os (2-space indent, trailing \n). */
 void writeChromeTrace(const EventTracer &tracer, std::ostream &os);
@@ -50,11 +63,16 @@ std::string fifoDepthCsv(const EventTracer &tracer);
 
 /**
  * Human-readable snapshot: per-track record/drop totals, per-kind
- * event counts, and (when @p profiler is non-null) the per-class miss
- * phase table.
+ * event counts, (when @p profiler is non-null) the per-class miss
+ * phase table, and (when @p gauges is non-null) one line per sampled
+ * gauge — the hook that surfaces live BudgetController grants, arena
+ * occupancy and RecoveryManager fencing counters mid-run instead of
+ * only in the end-of-run stat groups (telemetry::collectGauges wires
+ * those up for a whole system).
  */
 std::string metricsSnapshot(const EventTracer &tracer,
-                            const MissProfiler *profiler = nullptr);
+                            const MissProfiler *profiler = nullptr,
+                            const GaugeSet *gauges = nullptr);
 
 } // namespace vmp::obs
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GaugeSet: a rolled-up snapshot of instantaneous metrics (bus
+ * utilization, FIFO depths, arena occupancy, fencing counters, ...)
+ * sampled at one point in simulated time.
+ *
+ * Unlike StatGroup — which registers live Counter references and is
+ * read once at end of run — a GaugeSet is a *value*: whoever samples
+ * it copies the numbers out, so it can be serialized mid-run (the
+ * telemetry streaming sink emits one per flush) or rendered into
+ * metricsSnapshot() without holding references into live components.
+ * Groups and gauges keep insertion order, so serialized output is
+ * deterministic for a given wiring.
+ */
+
+#ifndef VMP_OBS_GAUGES_HH
+#define VMP_OBS_GAUGES_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/json.hh"
+
+namespace vmp::obs
+{
+
+/** One named instantaneous value inside a group. */
+struct Gauge
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** One component's worth of gauges ("bus", "cpu0", "budget", ...). */
+struct GaugeGroup
+{
+    std::string name;
+    std::vector<Gauge> gauges;
+};
+
+/** An ordered collection of gauge groups sampled at one instant. */
+class GaugeSet
+{
+  public:
+    /** Append @p name = @p value to @p group (created on first use). */
+    void
+    add(const std::string &group, const std::string &name,
+        double value)
+    {
+        for (GaugeGroup &g : groups_) {
+            if (g.name == group) {
+                g.gauges.push_back({name, value});
+                return;
+            }
+        }
+        groups_.push_back({group, {{name, value}}});
+    }
+
+    const std::vector<GaugeGroup> &groups() const { return groups_; }
+
+    bool empty() const { return groups_.empty(); }
+
+    /** {"bus": {"utilization": 0.42, ...}, "cpu0": {...}, ...} */
+    Json
+    toJson() const
+    {
+        Json doc = Json::object();
+        for (const GaugeGroup &group : groups_) {
+            Json values = Json::object();
+            for (const Gauge &gauge : group.gauges)
+                values[gauge.name] = Json(gauge.value);
+            doc[group.name] = std::move(values);
+        }
+        return doc;
+    }
+
+  private:
+    std::vector<GaugeGroup> groups_;
+};
+
+} // namespace vmp::obs
+
+#endif // VMP_OBS_GAUGES_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ReplaySession: fold a Chrome-trace event file back into per-frame
+ * ownership history.
+ */
+
+#include "telemetry/replay.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "telemetry/streaming_sink.hh"
+
+namespace vmp::telemetry
+{
+
+namespace
+{
+
+Tick
+nsFromUsec(double usec)
+{
+    return static_cast<Tick>(std::llround(usec * 1000.0));
+}
+
+} // namespace
+
+bool
+OwnershipEvent::acquiresOwnership() const
+{
+    return !aborted && (tx == mem::TxType::ReadPrivate ||
+                        tx == mem::TxType::AssertOwnership);
+}
+
+bool
+OwnershipEvent::releasesOwnership() const
+{
+    return !aborted && (tx == mem::TxType::WriteBack ||
+                        tx == mem::TxType::Reclaim);
+}
+
+std::string
+OwnershipEvent::toString() const
+{
+    std::ostringstream os;
+    os << "t=" << atNs << "ns";
+    if (!trackName.empty())
+        os << " [" << trackName << "]";
+    os << " master=" << master << " " << mem::txTypeName(tx)
+       << " addr=0x" << std::hex << addr << std::dec;
+    if (aborted)
+        os << " (aborted)";
+    else if (acquiresOwnership())
+        os << " (acquires Protect)";
+    else if (releasesOwnership())
+        os << " (releases)";
+    return os.str();
+}
+
+bool
+ReplayFilter::matches(const OwnershipEvent &event) const
+{
+    if (frame && event.addr != *frame)
+        return false;
+    if (board && event.master != *board)
+        return false;
+    if (track && event.trackName != *track)
+        return false;
+    if (fromNs && event.atNs < *fromNs)
+        return false;
+    if (toNs && event.atNs > *toNs)
+        return false;
+    return true;
+}
+
+std::string
+OwnerVerdict::toString() const
+{
+    std::ostringstream os;
+    if (owned) {
+        os << "owned Protect by board " << board << " since "
+           << sinceNs << "ns";
+    } else {
+        os << "unowned (memory authoritative)";
+    }
+    os << "; chain of " << chain.size() << " transition(s)";
+    return os.str();
+}
+
+ReplaySession
+ReplaySession::fromText(const std::string &text)
+{
+    const Json doc =
+        Json::parse(StreamingSink::recoverTruncated(text));
+    const Json &records = doc.get("traceEvents");
+    ReplaySession session;
+    session.rawRecords_ = records.size();
+    for (const Json &record : records.items()) {
+        const std::string &ph = record.get("ph").asString();
+        const std::uint16_t tid = static_cast<std::uint16_t>(
+            record.get("tid").asUint());
+        if (ph == "M") {
+            if (record.get("name").asString() != "thread_name")
+                continue;
+            if (tid >= session.trackNames_.size())
+                session.trackNames_.resize(tid + 1);
+            session.trackNames_[tid] =
+                record.get("args").get("name").asString();
+            continue;
+        }
+        const std::string &name = record.get("name").asString();
+        const bool bus_tx = ph == "X" && name == "bus_tx";
+        const bool reclaim = ph == "i" && name == "reclaim";
+        if (!bus_tx && !reclaim)
+            continue;
+        const Json &args = record.get("args");
+        OwnershipEvent event;
+        event.track = tid;
+        event.startNs = nsFromUsec(record.get("ts").asNumber());
+        event.addr = args.get("addr").asUint();
+        event.master =
+            static_cast<std::uint32_t>(args.get("master").asUint());
+        if (bus_tx) {
+            event.atNs =
+                event.startNs +
+                nsFromUsec(record.get("dur").asNumber());
+            const std::uint64_t tx = args.get("tx_type").asUint();
+            if (tx >= mem::kTxTypes)
+                continue; // unknown vocabulary; skip, don't guess
+            event.tx = static_cast<mem::TxType>(tx);
+            event.aborted = args.get("aborted").asBool();
+        } else {
+            event.atNs = event.startNs;
+            event.tx = mem::TxType::Reclaim;
+        }
+        session.events_.push_back(std::move(event));
+    }
+    std::stable_sort(session.events_.begin(), session.events_.end(),
+                     [](const OwnershipEvent &a,
+                        const OwnershipEvent &b) {
+                         return a.atNs < b.atNs;
+                     });
+    for (OwnershipEvent &event : session.events_) {
+        if (event.track < session.trackNames_.size())
+            event.trackName = session.trackNames_[event.track];
+    }
+    return session;
+}
+
+ReplaySession
+ReplaySession::fromStream(std::istream &is)
+{
+    std::ostringstream text;
+    text << is.rdbuf();
+    return fromText(text.str());
+}
+
+std::vector<OwnershipEvent>
+ReplaySession::history(const ReplayFilter &filter) const
+{
+    std::vector<OwnershipEvent> out;
+    for (const OwnershipEvent &event : events_) {
+        if (filter.matches(event))
+            out.push_back(event);
+    }
+    return out;
+}
+
+OwnerVerdict
+ReplaySession::ownerAt(std::uint64_t addr, Tick at_ns,
+                       const std::string &track) const
+{
+    OwnerVerdict verdict;
+    for (const OwnershipEvent &event : events_) {
+        if (event.atNs > at_ns)
+            break;
+        if (event.addr != addr)
+            continue;
+        if (!track.empty() && event.trackName != track)
+            continue;
+        if (event.acquiresOwnership()) {
+            verdict.owned = true;
+            verdict.board = event.master;
+            verdict.sinceNs = event.atNs;
+            verdict.chain.push_back(event);
+        } else if (event.releasesOwnership()) {
+            // WriteBack by the owner or a recovery Reclaim: memory
+            // becomes authoritative again. (A WriteBack while we
+            // believe the frame unowned is table drift — recorded in
+            // the chain so the archaeology is visible.)
+            verdict.owned = false;
+            verdict.chain.push_back(event);
+        }
+    }
+    return verdict;
+}
+
+} // namespace vmp::telemetry

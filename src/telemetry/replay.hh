@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Trace-driven replay: reconstruct per-frame ownership history from a
+ * streamed (or post-hoc) Chrome-trace event file.
+ *
+ * The ownership protocol leaves a complete audit trail on the bus
+ * tracks: a completed (non-aborted) ReadPrivate or AssertOwnership by
+ * master M over frame F makes M the exclusive (Protect) owner of F; a
+ * completed WriteBack by the owner releases F back to memory; a
+ * Reclaim broadcast force-clears a dead board's ownership during
+ * recovery. Folding the BusTx spans and Reclaim instants of a trace
+ * in completion order therefore answers the torture-debugging
+ * question directly: who owned frame F at time T, and through which
+ * Protect/Reclaim chain did it get there — no VMP_DEBUG=Proto
+ * spelunking required.
+ *
+ * Input is tolerant: a cleanly closed stream, writeChromeTrace()
+ * output, or a mid-run truncated stream (recovered via
+ * StreamingSink::recoverTruncated) all load. In hierarchical traces
+ * each bus track describes ownership at its own level (cluster-local
+ * vs global); use the track filter to scope queries to one domain.
+ */
+
+#ifndef VMP_TELEMETRY_REPLAY_HH
+#define VMP_TELEMETRY_REPLAY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/bus_types.hh"
+#include "sim/types.hh"
+
+namespace vmp::telemetry
+{
+
+/** One ownership-relevant bus record, reconstructed from the trace. */
+struct OwnershipEvent
+{
+    /** Transaction completion tick (span end), ns. */
+    Tick atNs = 0;
+    /** Transaction start tick, ns (== atNs for instants). */
+    Tick startNs = 0;
+    /** Page-aligned physical address (the frame). */
+    std::uint64_t addr = 0;
+    /** Issuing master (board id; recovery coordinator for Reclaim). */
+    std::uint32_t master = 0;
+    mem::TxType tx = mem::TxType::ReadShared;
+    bool aborted = false;
+    std::uint16_t track = 0;
+    std::string trackName;
+
+    /** Completion makes `master` the exclusive owner. */
+    bool acquiresOwnership() const;
+    /** Completion releases (or force-clears) ownership. */
+    bool releasesOwnership() const;
+    std::string toString() const;
+};
+
+/** Query filters; unset fields match everything. */
+struct ReplayFilter
+{
+    std::optional<std::uint64_t> frame;
+    std::optional<std::uint32_t> board;
+    std::optional<std::string> track;
+    std::optional<Tick> fromNs;
+    std::optional<Tick> toNs;
+
+    bool matches(const OwnershipEvent &event) const;
+};
+
+/** Who owned a frame at a probed time. */
+struct OwnerVerdict
+{
+    /** False: memory was the authority (no Protect owner). */
+    bool owned = false;
+    std::uint32_t board = 0;
+    /** Completion tick of the acquiring transaction. */
+    Tick sinceNs = 0;
+    /** Protect/Reclaim transitions for the frame up to the probe. */
+    std::vector<OwnershipEvent> chain;
+
+    std::string toString() const;
+};
+
+/** A loaded trace, indexed for ownership queries. */
+class ReplaySession
+{
+  public:
+    /** Load a Chrome-trace document; throws FatalError on malformed
+     *  input that truncation recovery cannot repair. */
+    static ReplaySession fromText(const std::string &text);
+    static ReplaySession fromStream(std::istream &is);
+
+    /** All ownership-relevant records, completion-time order. */
+    const std::vector<OwnershipEvent> &events() const
+    {
+        return events_;
+    }
+
+    /** Records matching @p filter, completion-time order. */
+    std::vector<OwnershipEvent>
+    history(const ReplayFilter &filter) const;
+
+    /**
+     * Owner of the frame containing @p addr at tick @p at_ns, with
+     * the full Protect/Reclaim chain leading there. @p track scopes
+     * the query to one bus domain (hier traces); empty = all tracks.
+     */
+    OwnerVerdict ownerAt(std::uint64_t addr, Tick at_ns,
+                         const std::string &track = "") const;
+
+    /** Chrome-trace records ingested (all kinds, pre-filter). */
+    std::size_t rawRecords() const { return rawRecords_; }
+    /** Track id -> name map from the trace metadata. */
+    const std::vector<std::string> &trackNames() const
+    {
+        return trackNames_;
+    }
+
+  private:
+    std::vector<OwnershipEvent> events_;
+    std::vector<std::string> trackNames_;
+    std::size_t rawRecords_ = 0;
+};
+
+} // namespace vmp::telemetry
+
+#endif // VMP_TELEMETRY_REPLAY_HH

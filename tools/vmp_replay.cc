@@ -1,0 +1,151 @@
+/**
+ * @file
+ * vmp_replay: trace-driven ownership-history archaeology.
+ *
+ * Ingests a streamed (or post-hoc) Chrome-trace event file — cleanly
+ * closed or truncated mid-run — and reconstructs per-frame ownership
+ * history from the bus transactions it carries:
+ *
+ *   vmp_replay TRACE.json                      # all ownership traffic
+ *   vmp_replay TRACE.json --frame 0x1f00       # one frame's history
+ *   vmp_replay TRACE.json --board 2            # one board's traffic
+ *   vmp_replay TRACE.json --track c0.bus       # one bus domain (hier)
+ *   vmp_replay TRACE.json --from-us 50 --to-us 900   # time window
+ *   vmp_replay TRACE.json --frame 0x1f00 --at-us 731 # owner probe:
+ *       who owned the frame at t=731us, and through which
+ *       Protect/Reclaim chain did it get there
+ *
+ * --page-bytes N aligns --frame down to a page boundary so a faulting
+ * data address can be probed directly. Exit status: 0 on success, 1
+ * on unreadable/unparseable input, 2 on usage errors.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "sim/logging.hh"
+#include "telemetry/replay.hh"
+
+namespace
+{
+
+using namespace vmp;
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " TRACE.json [options]\n"
+        << "  --frame ADDR    frame physical address (0x.. or dec)\n"
+        << "  --at-us T       probe: who owned --frame at T (us)\n"
+        << "  --board N       filter history to one master\n"
+        << "  --track NAME    filter to one track (e.g. bus, c0.bus)\n"
+        << "  --from-us T     window start (us)\n"
+        << "  --to-us T       window end (us)\n"
+        << "  --page-bytes N  align --frame down to a page boundary\n"
+        << "  --limit N       print at most N history rows (0 = all)\n";
+    return 2;
+}
+
+std::uint64_t
+parseU64(const std::string &text)
+{
+    return std::stoull(text, nullptr, 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string path = argv[1];
+    if (path == "-h" || path == "--help")
+        return usage(argv[0]);
+
+    telemetry::ReplayFilter filter;
+    std::optional<double> at_us;
+    std::uint64_t page_bytes = 0;
+    std::size_t limit = 40;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--frame" && has_value)
+            filter.frame = parseU64(argv[++i]);
+        else if (arg == "--at-us" && has_value)
+            at_us = std::stod(argv[++i]);
+        else if (arg == "--board" && has_value)
+            filter.board =
+                static_cast<std::uint32_t>(parseU64(argv[++i]));
+        else if (arg == "--track" && has_value)
+            filter.track = std::string(argv[++i]);
+        else if (arg == "--from-us" && has_value)
+            filter.fromNs = static_cast<Tick>(
+                std::stod(argv[++i]) * 1000.0);
+        else if (arg == "--to-us" && has_value)
+            filter.toNs =
+                static_cast<Tick>(std::stod(argv[++i]) * 1000.0);
+        else if (arg == "--page-bytes" && has_value)
+            page_bytes = parseU64(argv[++i]);
+        else if (arg == "--limit" && has_value)
+            limit = static_cast<std::size_t>(parseU64(argv[++i]));
+        else
+            return usage(argv[0]);
+    }
+    if (page_bytes != 0 && filter.frame)
+        filter.frame = *filter.frame / page_bytes * page_bytes;
+    if (at_us && !filter.frame) {
+        std::cerr << "vmp_replay: --at-us requires --frame\n";
+        return 2;
+    }
+
+    std::ifstream is(path);
+    if (!is) {
+        std::cerr << "vmp_replay: cannot open " << path << "\n";
+        return 1;
+    }
+
+    try {
+        const auto session = telemetry::ReplaySession::fromStream(is);
+        std::cout << "loaded " << path << ": "
+                  << session.rawRecords() << " trace records, "
+                  << session.events().size()
+                  << " ownership-relevant, "
+                  << session.trackNames().size() << " tracks\n";
+
+        if (at_us) {
+            const Tick at_ns =
+                static_cast<Tick>(*at_us * 1000.0);
+            const auto verdict = session.ownerAt(
+                *filter.frame, at_ns,
+                filter.track ? *filter.track : "");
+            std::cout << "frame 0x" << std::hex << *filter.frame
+                      << std::dec << " at t=" << at_ns
+                      << "ns: " << verdict.toString() << "\n";
+            for (const auto &event : verdict.chain)
+                std::cout << "  " << event.toString() << "\n";
+            return 0;
+        }
+
+        const auto history = session.history(filter);
+        std::cout << history.size() << " matching record(s)\n";
+        std::size_t printed = 0;
+        for (const auto &event : history) {
+            if (limit != 0 && printed++ >= limit) {
+                std::cout << "  ... (" << history.size() - limit
+                          << " more; raise --limit)\n";
+                break;
+            }
+            std::cout << "  " << event.toString() << "\n";
+        }
+        return 0;
+    } catch (const FatalError &err) {
+        std::cerr << "vmp_replay: " << err.what() << "\n";
+        return 1;
+    }
+}
